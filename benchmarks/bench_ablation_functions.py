@@ -1,0 +1,71 @@
+"""EXT-B: sensitivity to the Figure 4 parameter interpretation and to
+the piecewise resolution of ``f``.
+
+Artifacts: ``results/ablation_interpretations.txt`` and
+``results/ablation_resolution.txt``.
+"""
+
+from conftest import save_text
+
+from repro.experiments import (
+    interpretation_sweep,
+    knot_resolution_sweep,
+    render_table,
+)
+
+_QS = [15.0, 50.0, 200.0, 1000.0]
+
+
+def test_interpretation_sweep(benchmark, artifacts_dir):
+    sweeps = benchmark.pedantic(
+        interpretation_sweep,
+        kwargs={"qs": _QS, "knots": 1024},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for interpretation, data in sweeps.items():
+        for row in data.rows:
+            rows.append(
+                [
+                    interpretation,
+                    row.q,
+                    row.algorithm1["gaussian1"],
+                    row.algorithm1["gaussian2"],
+                    row.algorithm1["bimodal"],
+                    row.state_of_the_art,
+                ]
+            )
+    table = render_table(
+        ["interpretation", "Q", "g1", "g2", "bimodal", "SOA"], rows
+    )
+    save_text(artifacts_dir, "ablation_interpretations.txt", table)
+    print()
+    print(table)
+
+    # The qualitative conclusion (Algorithm 1 <= SOA) holds under every
+    # reading of the ambiguous parameters.
+    for data in sweeps.values():
+        for row in data.rows:
+            for value in row.algorithm1.values():
+                assert value <= row.state_of_the_art + 1e-9
+
+
+def test_knot_resolution(benchmark, artifacts_dir):
+    points = benchmark.pedantic(
+        knot_resolution_sweep,
+        kwargs={"q": 50.0, "knots_list": [64, 128, 256, 512, 1024, 2048, 4096]},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        ["knots", "Algorithm 1 bound"],
+        [[p.knots, p.bound] for p in points],
+    )
+    save_text(artifacts_dir, "ablation_resolution.txt", table)
+    print()
+    print(table)
+
+    bounds = [p.bound for p in points]
+    assert all(a >= b - 1e-9 for a, b in zip(bounds, bounds[1:]))

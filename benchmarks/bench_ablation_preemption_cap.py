@@ -1,0 +1,38 @@
+"""EXT-C: the paper's future-work item (ii) — capping the number of
+preemptions by the higher-priority release pattern.
+
+Artifact: ``results/ablation_preemption_cap.txt``.
+"""
+
+from conftest import save_text
+
+from repro.experiments import preemption_cap_sweep, render_table
+from repro.npr import max_preemptions_release_based
+from repro.tasks import Task
+
+
+def test_preemption_cap(benchmark, artifacts_dir):
+    points = benchmark.pedantic(
+        preemption_cap_sweep,
+        kwargs={"q": 50.0, "caps": [0, 1, 2, 4, 8, 16, 32, 64], "knots": 1024},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [["(uncapped)" if p.cap is None else p.cap, p.bound] for p in points]
+    table = render_table(["max preemptions", "Algorithm 1 bound"], rows)
+    save_text(artifacts_dir, "ablation_preemption_cap.txt", table)
+    print()
+    print(table)
+
+    uncapped = points[0].bound
+    capped = {p.cap: p.bound for p in points[1:]}
+    assert all(capped[c] <= uncapped + 1e-9 for c in capped)
+
+    # A concrete release-pattern cap: one interferer with period 700
+    # within a 4000-deadline window admits only ceil(4000/700) = 6
+    # preemptions — fewer than the uncapped analysis assumes.
+    target = Task("t", 4000.0, 40_000.0, deadline=4000.0, npr_length=50.0)
+    interferer = Task("i", 10.0, 700.0)
+    cap = max_preemptions_release_based(target, [interferer])
+    assert cap == 6
+    assert capped[8] >= capped[4]

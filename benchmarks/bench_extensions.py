@@ -1,0 +1,158 @@
+"""EXT-G/H/I: benches for the extension analyses.
+
+* joint response-time / preemption-cap fixpoint vs plain inflation
+  (EXT-G, ``results/joint_rta.txt``);
+* EDF delay-aware acceptance (EXT-H, ``results/edf_study.txt``);
+* NPR-length tuning sweep (EXT-I, ``results/q_tuning.txt``).
+"""
+
+from conftest import save_text
+
+from repro.core import PreemptionDelayFunction
+from repro.npr import assign_npr_lengths, best_fraction, q_fraction_sweep
+from repro.sched import (
+    edf_acceptance_ratio,
+    joint_rta,
+    rta_fixed_priority,
+)
+from repro.core.floating_npr import floating_npr_delay_bound
+from repro.experiments import render_table
+from repro.tasks import Task, TaskSet, gaussian_delay_factory, generate_task_set
+
+
+def _fp_task_set() -> TaskSet:
+    def bell(wcet, height):
+        return PreemptionDelayFunction.from_points(
+            [0.0, wcet / 2, wcet], [0.0, height, 0.0]
+        )
+
+    return TaskSet(
+        [
+            Task("hi", 2.0, 25.0),
+            Task("mid", 6.0, 80.0, npr_length=2.0, delay_function=bell(6.0, 1.0)),
+            Task("lo", 20.0, 300.0, npr_length=3.0, delay_function=bell(20.0, 2.0)),
+        ]
+    ).rate_monotonic()
+
+
+def test_joint_rta_vs_plain(benchmark, artifacts_dir):
+    tasks = _fp_task_set()
+    joint = benchmark(joint_rta, tasks)
+
+    rows = []
+    plain_wcets = {}
+    for task in tasks:
+        if task.delay_function is None or task.npr_length is None:
+            plain_wcets[task.name] = task.wcet
+            continue
+        plain_wcets[task.name] = floating_npr_delay_bound(
+            task.delay_function, task.npr_length
+        ).inflated_wcet
+    plain = rta_fixed_priority(tasks, execution_times=plain_wcets)
+    for task in tasks:
+        rows.append(
+            [
+                task.name,
+                task.wcet,
+                plain_wcets[task.name],
+                joint.inflated_wcets[task.name],
+                plain.response_times[task.name],
+                joint.response_times[task.name],
+                joint.preemption_caps[task.name],
+            ]
+        )
+    table = render_table(
+        ["task", "C", "C' plain", "C' joint", "R plain", "R joint", "cap"],
+        rows,
+    )
+    save_text(artifacts_dir, "joint_rta.txt", table)
+    print()
+    print(table)
+
+    for task in tasks:
+        assert (
+            joint.response_times[task.name]
+            <= plain.response_times[task.name] + 1e-9
+        )
+
+
+def test_edf_acceptance(benchmark, artifacts_dir):
+    factory = gaussian_delay_factory(relative_height=0.05)
+
+    def build_batch(utilization: float) -> list[TaskSet]:
+        batch = []
+        for k in range(20):
+            ts = generate_task_set(
+                5,
+                utilization,
+                seed=31_000 + int(utilization * 100) * 100 + k,
+                delay_function_factory=factory,
+            )
+            try:
+                batch.append(assign_npr_lengths(ts, policy="edf", fraction=0.5))
+            except ValueError:
+                continue
+            # unassignable sets simply don't enter the batch
+        return batch
+
+    def study():
+        rows = []
+        for u in (0.4, 0.6, 0.75, 0.9):
+            batch = build_batch(u)
+            if not batch:
+                continue
+            rows.append(
+                [
+                    u,
+                    len(batch),
+                    edf_acceptance_ratio(batch, "oblivious"),
+                    edf_acceptance_ratio(batch, "algorithm1"),
+                    edf_acceptance_ratio(batch, "eq4"),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    table = render_table(
+        ["U", "sets", "oblivious", "algorithm1", "eq4"], rows
+    )
+    save_text(artifacts_dir, "edf_study.txt", table)
+    print()
+    print(table)
+
+    for row in rows:
+        assert row[2] >= row[3] >= row[4]
+
+
+def test_q_tuning_sweep(benchmark, artifacts_dir):
+    def bell(wcet, height):
+        return PreemptionDelayFunction.from_points(
+            [0.0, wcet / 2, wcet], [0.0, height, 0.0]
+        )
+
+    tasks = TaskSet(
+        [
+            Task("a", 1.0, 10.0),
+            Task("b", 3.0, 30.0, delay_function=bell(3.0, 0.4)),
+            Task("c", 8.0, 90.0, delay_function=bell(8.0, 1.0)),
+        ]
+    ).rate_monotonic()
+    fractions = [0.1, 0.25, 0.5, 0.75, 1.0]
+    points = benchmark(q_fraction_sweep, tasks, fractions)
+
+    rows = [
+        [p.fraction, p.schedulable, p.worst_slack_ratio] for p in points
+    ]
+    table = render_table(["Q fraction", "schedulable", "worst slack ratio"], rows)
+    best = best_fraction(points)
+    footer = (
+        f"\nbest fraction: {best.fraction} "
+        f"(slack ratio {best.worst_slack_ratio:.3f})"
+        if best
+        else "\nno schedulable fraction"
+    )
+    save_text(artifacts_dir, "q_tuning.txt", table + footer)
+    print()
+    print(table + footer)
+
+    assert best is not None

@@ -1,0 +1,42 @@
+"""FIG1: Eqs. 1-3 start-offset analysis on the paper's Figure 1 CFG.
+
+Artifact: ``results/fig1_offsets.txt`` (the offsets table the right half
+of the figure shows).
+"""
+
+from conftest import save_text
+
+from repro.cfg import (
+    FIGURE1_EXPECTED_OFFSETS,
+    execution_windows,
+    figure1_cfg,
+    start_offsets,
+)
+from repro.experiments import render_table
+
+
+def test_fig1_start_offsets(benchmark, artifacts_dir):
+    cfg = figure1_cfg()
+    offsets = benchmark(start_offsets, cfg)
+
+    windows = execution_windows(cfg)
+    rows = []
+    for name in sorted(cfg.blocks, key=lambda n: int(n[1:])):
+        smin, smax = offsets[name]
+        block = cfg.block(name)
+        rows.append(
+            [
+                name,
+                f"[{block.emin:g},{block.emax:g}]",
+                f"[{smin:g},{smax:g}]",
+                f"[{windows[name].window[0]:g},{windows[name].window[1]:g}]",
+            ]
+        )
+    table = render_table(
+        ["block", "exec [emin,emax]", "start [smin,smax]", "window"], rows
+    )
+    save_text(artifacts_dir, "fig1_offsets.txt", table)
+    print()
+    print(table)
+
+    assert offsets == FIGURE1_EXPECTED_OFFSETS

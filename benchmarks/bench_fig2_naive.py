@@ -1,0 +1,31 @@
+"""FIG2: the naive point-selection bound is unsound — executable version.
+
+Artifact: ``results/fig2_naive.txt`` (the three-way comparison).
+"""
+
+from conftest import save_text
+
+from repro.experiments import render_table, run_figure2_demo
+
+
+def test_fig2_naive_counterexample(benchmark, artifacts_dir):
+    demo = benchmark.pedantic(run_figure2_demo, rounds=1, iterations=1)
+
+    table = render_table(
+        ["quantity", "value"],
+        [
+            ["Q", demo.q],
+            ["naive packing 'bound'", demo.naive_bound],
+            ["simulated run delay", demo.simulated_delay],
+            ["Algorithm 1 bound", demo.algorithm1_bound],
+            ["preemptions in run", demo.preemptions],
+            ["naive violated by run", demo.naive_is_violated],
+            ["Algorithm 1 safe", demo.algorithm1_is_safe],
+        ],
+    )
+    save_text(artifacts_dir, "fig2_naive.txt", table)
+    print()
+    print(table)
+
+    assert demo.naive_is_violated
+    assert demo.algorithm1_is_safe

@@ -1,0 +1,34 @@
+"""FIG4: regenerate the paper's Figure 4 (the three benchmark ``f_i``).
+
+Artifacts: ``results/fig4.csv`` (sampled curves) and
+``results/fig4.txt`` (ASCII rendering).
+"""
+
+from conftest import save_text
+
+from repro.experiments import generate_fig4, line_plot, write_fig4_csv
+from repro.experiments.io import RESULTS_DIR_ENV
+
+
+def test_fig4_generate(benchmark, artifacts_dir, monkeypatch):
+    monkeypatch.setenv(RESULTS_DIR_ENV, str(artifacts_dir))
+    data = benchmark(generate_fig4, samples=401, knots=2048)
+
+    write_fig4_csv(data)
+    series = {
+        name: list(zip(data.ts, values))
+        for name, values in data.series.items()
+    }
+    plot = line_plot(
+        series,
+        width=72,
+        height=18,
+        title="Figure 4 - synthetic preemption delay functions f_i(t)",
+    )
+    save_text(artifacts_dir, "fig4.txt", plot)
+    print()
+    print(plot)
+
+    assert set(data.series) == {"gaussian1", "gaussian2", "bimodal"}
+    for values in data.series.values():
+        assert max(values) <= 10.0 + 1e-9

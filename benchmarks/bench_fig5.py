@@ -1,0 +1,56 @@
+"""FIG5: the paper's headline evaluation — cumulative preemption-delay
+bound vs Q for Algorithm 1 (three functions) and the Eq. 4 baseline.
+
+Artifacts: ``results/fig5.csv``, ``results/fig5.txt`` (log-scale ASCII
+plot) and ``results/fig5_summary.txt`` (median improvement factors).
+"""
+
+from conftest import save_text
+
+from repro.experiments import (
+    generate_fig5,
+    improvement_summary,
+    line_plot,
+    render_table,
+    write_fig5_csv,
+)
+from repro.experiments.io import RESULTS_DIR_ENV
+
+
+def test_fig5_sweep(benchmark, artifacts_dir, monkeypatch):
+    monkeypatch.setenv(RESULTS_DIR_ENV, str(artifacts_dir))
+    data = benchmark.pedantic(
+        generate_fig5, kwargs={"knots": 2048}, rounds=1, iterations=1
+    )
+
+    write_fig5_csv(data)
+    plot = line_plot(
+        data.series(),
+        width=72,
+        height=20,
+        log_y=True,
+        title=(
+            "Figure 5 - cumulative preemption delay vs Q "
+            "(log y; state of the art = Eq. 4)"
+        ),
+    )
+    save_text(artifacts_dir, "fig5.txt", plot)
+    print()
+    print(plot)
+
+    summary = improvement_summary(data)
+    table = render_table(
+        ["function", "median SOA / Algorithm 1"],
+        [[name, factor] for name, factor in sorted(summary.items())],
+    )
+    save_text(artifacts_dir, "fig5_summary.txt", table)
+    print()
+    print(table)
+
+    # The paper's qualitative claims, asserted on the real sweep:
+    for row in data.rows:
+        for value in row.algorithm1.values():
+            assert value <= row.state_of_the_art + 1e-9
+    small_q = data.rows[0]
+    for value in small_q.algorithm1.values():
+        assert small_q.state_of_the_art / value > 10.0

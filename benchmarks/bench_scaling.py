@@ -1,0 +1,25 @@
+"""EXT-F: runtime scaling of Algorithm 1.
+
+The paper claims the method "is easy to implement with small overhead";
+this bench quantifies it: wall time versus the number of segments of
+``f`` and versus ``C/Q`` (the iteration count driver).
+"""
+
+import pytest
+
+from repro.core import floating_npr_delay_bound
+from repro.experiments import fig4_delay_function
+
+
+@pytest.mark.parametrize("knots", [256, 1024, 4096])
+def test_scaling_with_resolution(benchmark, knots):
+    f = fig4_delay_function("gaussian2", knots=knots)
+    result = benchmark(floating_npr_delay_bound, f, 100.0)
+    assert result.converged
+
+
+@pytest.mark.parametrize("q", [20.0, 100.0, 1000.0])
+def test_scaling_with_iteration_count(benchmark, q):
+    f = fig4_delay_function("gaussian2", knots=1024)
+    result = benchmark(floating_npr_delay_bound, f, q)
+    assert result.converged

@@ -1,0 +1,51 @@
+"""EXT-D: acceptance ratio vs utilization for the delay-aware tests.
+
+Artifact: ``results/schedulability_study.txt`` (table + ASCII plot).
+"""
+
+from conftest import save_text
+
+from repro.experiments import (
+    acceptance_study,
+    line_plot,
+    render_table,
+    study_series,
+)
+
+_METHODS = ["oblivious", "busquets", "algorithm1", "eq4"]
+_UTILIZATIONS = [0.3, 0.5, 0.65, 0.8, 0.9]
+
+
+def test_acceptance_study(benchmark, artifacts_dir):
+    points = benchmark.pedantic(
+        acceptance_study,
+        kwargs={
+            "utilizations": _UTILIZATIONS,
+            "methods": _METHODS,
+            "n_tasks": 5,
+            "sets_per_point": 30,
+            "seed": 2012,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [p.utilization, *(p.ratios[m] for m in _METHODS)] for p in points
+    ]
+    table = render_table(["U", *_METHODS], rows)
+    plot = line_plot(
+        study_series(points),
+        width=64,
+        height=14,
+        title="Acceptance ratio vs utilization (EXT-D)",
+    )
+    save_text(artifacts_dir, "schedulability_study.txt", table + "\n\n" + plot)
+    print()
+    print(table)
+    print()
+    print(plot)
+
+    for p in points:
+        assert p.ratios["oblivious"] >= p.ratios["algorithm1"]
+        assert p.ratios["algorithm1"] >= p.ratios["eq4"]

@@ -1,0 +1,50 @@
+"""EXT-A: Theorem 1 validated against the discrete-event simulator.
+
+Fuzzes release patterns and delay models over the benchmark functions;
+reports how tight the run-time delays get relative to Algorithm 1's
+bound.  Artifact: ``results/sim_validation.txt``.
+"""
+
+from conftest import save_text
+
+from repro.experiments import fig4_delay_function, render_table
+from repro.sim import validation_campaign
+from repro.tasks import Task, TaskSet
+
+
+def _task_set(q: float) -> TaskSet:
+    f = fig4_delay_function("gaussian2", knots=512, wcet=4000.0)
+    target = Task("target", 4000.0, 40_000.0, npr_length=q, delay_function=f)
+    hp1 = Task("hp1", 40.0, 900.0)
+    hp2 = Task("hp2", 25.0, 2100.0)
+    return TaskSet([target, hp1, hp2]).rate_monotonic()
+
+
+def test_sim_validation_campaign(benchmark, artifacts_dir):
+    rows = []
+    for q in (60.0, 200.0, 800.0):
+        tasks = _task_set(q)
+        report = benchmark.pedantic(
+            validation_campaign,
+            kwargs={
+                "tasks": tasks,
+                "policy": "fp",
+                "seeds": range(6),
+                "horizon": 60_000.0,
+            },
+            rounds=1,
+            iterations=1,
+        ) if q == 60.0 else validation_campaign(
+            tasks, policy="fp", seeds=range(6), horizon=60_000.0
+        )
+        rows.append(
+            [q, report.checked_jobs, report.max_tightness, report.passed]
+        )
+        assert report.passed
+
+    table = render_table(
+        ["Q", "jobs checked", "max measured/bound", "bound held"], rows
+    )
+    save_text(artifacts_dir, "sim_validation.txt", table)
+    print()
+    print(table)

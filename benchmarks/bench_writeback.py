@@ -1,0 +1,64 @@
+"""EXT-J: how much of the real preemption cost does the paper's
+reload-only CRPD model cover on write-heavy workloads?
+
+Replays the load/process/compute pattern with varying write ratios on a
+write-back cache and splits the measured preemption cost into the reload
+part (the paper's model) and the write-back part (outside its model).
+Artifact: ``results/writeback_split.txt``.
+"""
+
+import random
+
+from conftest import save_text
+
+from repro.cache import CacheGeometry, preemption_cost_with_writebacks
+from repro.experiments import render_table
+
+
+def _trace(rng: random.Random, blocks: int, write_ratio: float):
+    load = [(b, rng.random() < write_ratio) for b in range(blocks)]
+    process = [(b, rng.random() < write_ratio) for b in range(blocks)]
+    return load, process
+
+
+def test_writeback_cost_split(benchmark, artifacts_dir):
+    geometry = CacheGeometry(num_sets=64, block_reload_time=1.0)
+    writeback_time = 1.0
+
+    def sweep():
+        rows = []
+        for write_ratio in (0.0, 0.25, 0.5, 0.75, 1.0):
+            rng = random.Random(42)
+            warm, resume = _trace(rng, blocks=48, write_ratio=write_ratio)
+            reload_cost, wb_cost = preemption_cost_with_writebacks(
+                geometry,
+                warm,
+                resume,
+                set(range(64)),
+                writeback_time=writeback_time,
+            )
+            total = reload_cost + wb_cost
+            rows.append(
+                [
+                    write_ratio,
+                    reload_cost,
+                    wb_cost,
+                    reload_cost / total if total else 1.0,
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    table = render_table(
+        ["write ratio", "reload cost", "writeback cost", "reload share"],
+        rows,
+    )
+    save_text(artifacts_dir, "writeback_split.txt", table)
+    print()
+    print(table)
+
+    # Read-only workloads are fully covered by the paper's model; the
+    # covered share decreases as writes increase.
+    assert rows[0][2] == 0.0
+    shares = [r[3] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(shares, shares[1:]))

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure/experiment of the paper (see the
+per-experiment index in ``DESIGN.md``), writes its data under
+``results/`` and prints a text rendering.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> Path:
+    """Directory for benchmark artifacts (CSV series, ASCII plots)."""
+    root = Path(__file__).resolve().parent.parent / "results"
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def save_text(directory: Path, name: str, content: str) -> Path:
+    """Write a text artifact and return its path."""
+    path = directory / name
+    path.write_text(content + "\n")
+    return path

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper in one go.
+
+Writes ``results/fig4.csv``, ``results/fig5.csv`` and prints ASCII
+renderings of Figures 4 and 5 plus the Figure 2 counterexample table.
+(The benchmark harness under ``benchmarks/`` does the same per-figure
+with timing; this script is the quick human-facing version.)
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.experiments import (
+    generate_fig4,
+    generate_fig5,
+    improvement_summary,
+    line_plot,
+    render_table,
+    run_figure2_demo,
+    write_fig4_csv,
+    write_fig5_csv,
+)
+
+# Figure 4 ---------------------------------------------------------------
+print("generating Figure 4 ...")
+fig4 = generate_fig4(samples=401, knots=2048)
+path4 = write_fig4_csv(fig4)
+series4 = {
+    name: list(zip(fig4.ts, values)) for name, values in fig4.series.items()
+}
+print(line_plot(series4, width=72, height=16, title="Figure 4"))
+print(f"-> {path4}\n")
+
+# Figure 5 ---------------------------------------------------------------
+print("generating Figure 5 (full Q sweep) ...")
+fig5 = generate_fig5(knots=2048)
+path5 = write_fig5_csv(fig5)
+print(
+    line_plot(
+        fig5.series(), width=72, height=20, log_y=True, title="Figure 5"
+    )
+)
+summary = improvement_summary(fig5)
+print(
+    render_table(
+        ["function", "median SOA / Algorithm 1"],
+        [[k, v] for k, v in sorted(summary.items())],
+    )
+)
+print(f"-> {path5}\n")
+
+# Figure 2 ---------------------------------------------------------------
+print("running the Figure 2 naive-bound counterexample ...")
+demo = run_figure2_demo()
+print(
+    render_table(
+        ["quantity", "value"],
+        [
+            ["naive packing 'bound'", demo.naive_bound],
+            ["simulated run delay", demo.simulated_delay],
+            ["Algorithm 1 bound", demo.algorithm1_bound],
+            ["naive violated", demo.naive_is_violated],
+            ["Algorithm 1 safe", demo.algorithm1_is_safe],
+        ],
+    )
+)

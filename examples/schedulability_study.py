@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""End-to-end schedulability: does Algorithm 1 buy real acceptance?
+
+Generates UUniFast task sets, assigns floating-NPR lengths via the
+fixed-priority blocking-tolerance method (Yao et al.), attaches
+bell-shaped delay functions, and compares the acceptance ratio of four
+schedulability tests as utilization grows:
+
+* ``oblivious``  — ignores preemption delay (optimistic reference),
+* ``busquets``   — per-arrival max-CRPD charge,
+* ``algorithm1`` — WCETs inflated by the paper's Algorithm 1,
+* ``eq4``        — WCETs inflated by the Eq. 4 state of the art.
+
+Run:  python examples/schedulability_study.py
+"""
+
+from repro.experiments import (
+    acceptance_study,
+    line_plot,
+    render_table,
+    study_series,
+)
+
+METHODS = ["oblivious", "busquets", "algorithm1", "eq4"]
+UTILIZATIONS = [0.3, 0.5, 0.65, 0.8, 0.9]
+
+print("running acceptance study (this takes a few seconds)...")
+points = acceptance_study(
+    utilizations=UTILIZATIONS,
+    methods=METHODS,
+    n_tasks=5,
+    sets_per_point=25,
+    q_fraction=0.5,
+    delay_height=0.05,
+    seed=2012,
+)
+
+rows = [[p.utilization, *(p.ratios[m] for m in METHODS)] for p in points]
+print()
+print(render_table(["U", *METHODS], rows))
+print()
+print(
+    line_plot(
+        study_series(points),
+        width=64,
+        height=14,
+        title="Acceptance ratio vs utilization",
+    )
+)
+
+for p in points:
+    assert p.ratios["oblivious"] >= p.ratios["algorithm1"] >= p.ratios["eq4"]
+print("\nordering oblivious >= algorithm1 >= eq4 confirmed at every level")

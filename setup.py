@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable wheels cannot be built; this shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` code path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Cache substrate (S6): CRPD estimation in the style of Lee et al. [3].
+
+Provides cache geometry, concrete direct-mapped / LRU simulators (ground
+truth for tests), the useful-cache-block (UCB) dataflow analyses, ECB
+computation for preemptors, per-basic-block CRPD bounds and synthetic
+access-pattern generators — everything needed to derive the paper's
+``f_i`` from a program instead of assuming it.
+"""
+
+from repro.cache.crpd import (
+    annotate_cfg_with_crpd,
+    crpd_per_block,
+    delay_function_from_program,
+    per_preemptor_delay_functions,
+    ucb_analysis_for,
+)
+from repro.cache.ecb import combined_ecbs, evicting_cache_sets, task_ecbs
+from repro.cache.geometry import CacheGeometry
+from repro.cache.patterns import (
+    SyntheticProgram,
+    phased_accesses,
+    random_accesses,
+)
+from repro.cache.simulators import LRUCache, extra_misses_after_preemption
+from repro.cache.ucb import (
+    UCBAnalysis,
+    direct_mapped_ucb,
+    lru_may_ucb,
+)
+
+from repro.cache.writeback import (
+    Access,
+    AccessCosts,
+    WritebackLRUCache,
+    preemption_cost_with_writebacks,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "LRUCache",
+    "extra_misses_after_preemption",
+    "UCBAnalysis",
+    "direct_mapped_ucb",
+    "lru_may_ucb",
+    "evicting_cache_sets",
+    "task_ecbs",
+    "combined_ecbs",
+    "crpd_per_block",
+    "annotate_cfg_with_crpd",
+    "delay_function_from_program",
+    "per_preemptor_delay_functions",
+    "ucb_analysis_for",
+    "SyntheticProgram",
+    "phased_accesses",
+    "random_accesses",
+    "Access",
+    "AccessCosts",
+    "WritebackLRUCache",
+    "preemption_cost_with_writebacks",
+]

@@ -1,0 +1,60 @@
+"""Evicting cache blocks (ECBs) of a preempting task.
+
+The ECBs of a task are the cache sets its memory accesses may touch: a
+preemption by that task can only evict a preempted task's useful blocks
+that reside in those sets.  Combining UCBs of the preempted task with
+ECBs of the preemptor(s) is the classic refinement of Busquets' and
+Petters' analyses and feeds the per-block CRPD bounds here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.cache.geometry import CacheGeometry
+from repro.cfg.graph import ControlFlowGraph
+
+
+def evicting_cache_sets(
+    accesses: Mapping[str, Sequence[int]] | Iterable[int],
+    geometry: CacheGeometry,
+) -> frozenset[int]:
+    """Cache sets a task may touch.
+
+    Args:
+        accesses: Either a per-basic-block access map or a flat iterable
+            of memory blocks.
+        geometry: Cache shape.
+
+    Returns:
+        The set of cache-set indices the task's accesses map to.
+    """
+    if isinstance(accesses, Mapping):
+        blocks: set[int] = set()
+        for trace in accesses.values():
+            blocks.update(trace)
+    else:
+        blocks = set(accesses)
+    return frozenset(geometry.set_of(b) for b in blocks)
+
+
+def task_ecbs(
+    cfg: ControlFlowGraph,
+    accesses: Mapping[str, Sequence[int]],
+    geometry: CacheGeometry,
+) -> frozenset[int]:
+    """ECB sets of a task given its CFG and per-block accesses."""
+    relevant = {n: accesses.get(n, ()) for n in cfg.blocks}
+    return evicting_cache_sets(relevant, geometry)
+
+
+def combined_ecbs(ecb_sets: Iterable[frozenset[int]]) -> frozenset[int]:
+    """Union of the ECBs of several (potential) preemptors.
+
+    Under floating-NPR scheduling any higher-priority task may be the
+    preemptor at a given point, so the safe combination is the union.
+    """
+    result: frozenset[int] = frozenset()
+    for ecb in ecb_sets:
+        result |= ecb
+    return result

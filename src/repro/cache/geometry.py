@@ -1,0 +1,68 @@
+"""Cache geometry and address mapping.
+
+Memory is modelled at the granularity of *memory blocks* (cache-line-sized
+chunks).  A block maps to cache set ``block % num_sets``; a direct-mapped
+cache is the special case ``associativity == 1``.  ``block_reload_time``
+(BRT) is the penalty for re-fetching one evicted block, the unit in which
+all CRPD values are expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.checks import require
+
+
+@dataclass(frozen=True, slots=True)
+class CacheGeometry:
+    """Shape and timing of one cache level.
+
+    Attributes:
+        num_sets: Number of cache sets (> 0).
+        associativity: Ways per set (> 0); 1 = direct-mapped.
+        line_size: Bytes per cache line (> 0); used only by the
+            byte-address helpers.
+        block_reload_time: Time to reload one evicted block (BRT, >= 0).
+    """
+
+    num_sets: int
+    associativity: int = 1
+    line_size: int = 32
+    block_reload_time: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(self.num_sets > 0, f"num_sets must be > 0, got {self.num_sets}")
+        require(
+            self.associativity > 0,
+            f"associativity must be > 0, got {self.associativity}",
+        )
+        require(self.line_size > 0, f"line_size must be > 0, got {self.line_size}")
+        require(
+            self.block_reload_time >= 0,
+            f"block_reload_time must be >= 0, got {self.block_reload_time}",
+        )
+
+    @property
+    def capacity_blocks(self) -> int:
+        """Total number of blocks the cache can hold."""
+        return self.num_sets * self.associativity
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        """Whether each set holds a single block."""
+        return self.associativity == 1
+
+    def set_of(self, memory_block: int) -> int:
+        """Cache set a memory block maps to."""
+        require(memory_block >= 0, f"memory block must be >= 0, got {memory_block}")
+        return memory_block % self.num_sets
+
+    def block_of_address(self, address: int) -> int:
+        """Memory block containing a byte address."""
+        require(address >= 0, f"address must be >= 0, got {address}")
+        return address // self.line_size
+
+    def conflicts(self, block_a: int, block_b: int) -> bool:
+        """Whether two memory blocks compete for the same cache set."""
+        return self.set_of(block_a) == self.set_of(block_b)

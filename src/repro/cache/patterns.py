@@ -1,0 +1,124 @@
+"""Synthetic memory-access pattern generators.
+
+The paper motivates shape-aware delay analysis with a task that "starts
+its execution by loading from the memory an important amount of data",
+processes it, then performs "a long-time computation using only a small
+subset of the data" — a pattern whose delay function is front-loaded.
+:func:`phased_accesses` reproduces exactly that three-phase shape on a
+linear CFG; :func:`random_accesses` provides seeded noise for property
+tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+from repro.utils.checks import require
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticProgram:
+    """A generated program: CFG plus per-block memory accesses."""
+
+    cfg: ControlFlowGraph
+    accesses: dict[str, list[int]]
+
+
+def phased_accesses(
+    working_set: int = 64,
+    hot_subset: int = 4,
+    load_time: tuple[float, float] = (10.0, 14.0),
+    process_time: tuple[float, float] = (20.0, 26.0),
+    compute_time: tuple[float, float] = (60.0, 80.0),
+    compute_blocks: int = 6,
+) -> SyntheticProgram:
+    """The paper's motivating load/process/compute program.
+
+    Phase 1 (``load``) touches the whole working set; phase 2
+    (``process``) re-reads all of it (making every block useful); phase 3
+    (``compute``, split into several basic blocks for a finer delay
+    profile) loops over a small hot subset only.
+
+    Args:
+        working_set: Number of distinct memory blocks loaded up front.
+        hot_subset: Blocks still referenced during the compute phase.
+        load_time: ``(emin, emax)`` of the load block.
+        process_time: ``(emin, emax)`` of the process block.
+        compute_time: Total ``(emin, emax)`` of the compute phase.
+        compute_blocks: Number of basic blocks forming the compute phase.
+
+    Returns:
+        The linear CFG and its access map.
+    """
+    require(working_set >= 1, "working_set must be >= 1")
+    require(
+        0 <= hot_subset <= working_set,
+        "hot_subset must lie in [0, working_set]",
+    )
+    require(compute_blocks >= 1, "compute_blocks must be >= 1")
+
+    all_blocks = list(range(working_set))
+    hot = all_blocks[:hot_subset]
+
+    names = ["load", "process"] + [f"compute{k}" for k in range(compute_blocks)]
+    blocks = [
+        BasicBlock("load", *load_time),
+        BasicBlock("process", *process_time),
+    ]
+    per_block = (
+        compute_time[0] / compute_blocks,
+        compute_time[1] / compute_blocks,
+    )
+    for k in range(compute_blocks):
+        blocks.append(BasicBlock(f"compute{k}", *per_block))
+    edges = list(zip(names, names[1:]))
+    cfg = ControlFlowGraph(blocks, edges, entry="load")
+
+    accesses = {
+        "load": list(all_blocks),
+        "process": list(all_blocks),
+    }
+    for k in range(compute_blocks):
+        accesses[f"compute{k}"] = list(hot)
+    return SyntheticProgram(cfg=cfg, accesses=accesses)
+
+
+def random_accesses(
+    cfg: ControlFlowGraph,
+    seed: int,
+    address_space: int = 256,
+    max_accesses_per_block: int = 12,
+    locality: float = 0.6,
+) -> dict[str, list[int]]:
+    """Seeded random access map for an existing CFG.
+
+    Args:
+        cfg: The CFG whose blocks receive accesses.
+        seed: RNG seed.
+        address_space: Number of distinct memory blocks to draw from.
+        max_accesses_per_block: Upper bound on accesses per basic block.
+        locality: Probability that an access repeats a recently used
+            block (temporal locality knob).
+
+    Returns:
+        Per-block access sequences.
+    """
+    require(address_space >= 1, "address_space must be >= 1")
+    require(0.0 <= locality <= 1.0, "locality must lie in [0, 1]")
+    rng = random.Random(seed)
+    recent: list[int] = []
+    result: dict[str, list[int]] = {}
+    for name in sorted(cfg.blocks):
+        count = rng.randint(0, max_accesses_per_block)
+        trace: list[int] = []
+        for _ in range(count):
+            if recent and rng.random() < locality:
+                block = rng.choice(recent[-8:])
+            else:
+                block = rng.randrange(address_space)
+            trace.append(block)
+            recent.append(block)
+        result[name] = trace
+    return result

@@ -1,0 +1,281 @@
+"""Useful-cache-block (UCB) analysis in the style of Lee et al. [3].
+
+A memory block ``m`` is *useful* at program point ``p`` when
+
+* ``m`` may reside in the cache at ``p`` (forward "reaching cache
+  blocks" analysis), and
+* some path from ``p`` re-references ``m`` before any conflicting access
+  would evict it anyway (backward "live memory blocks" analysis).
+
+A preemption at ``p`` can then cost at most ``BRT * |UCB(p)|`` — or,
+when the preemptor's evicting cache blocks (ECBs) are known,
+``BRT * |{m in UCB(p) : set(m) in ECB_sets}|``.
+
+For direct-mapped caches both analyses are exact under the standard
+may/may abstraction (joins are set unions).  For set-associative LRU
+caches we implement the classic may-analysis with minimal ages
+(Ferdinand-style), paired with an eviction-oblivious liveness — a
+documented over-approximation that keeps the result a safe upper bound.
+
+Program points: within a basic block with accesses ``a_1 .. a_k`` there
+are ``k + 1`` points (before each access and after the last); the
+per-block CRPD bound takes the maximum over all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from repro.cache.geometry import CacheGeometry
+from repro.cfg.graph import ControlFlowGraph
+from repro.utils.checks import require
+
+#: Type alias: per-basic-block memory access sequences.
+AccessMap = Mapping[str, Sequence[int]]
+
+
+def _validated_accesses(cfg: ControlFlowGraph, accesses: AccessMap) -> dict[str, list[int]]:
+    result: dict[str, list[int]] = {}
+    for name in cfg.blocks:
+        trace = list(accesses.get(name, ()))
+        require(
+            all(isinstance(b, int) and b >= 0 for b in trace),
+            f"block {name!r}: memory blocks must be non-negative ints",
+        )
+        result[name] = trace
+    unknown = set(accesses) - set(cfg.blocks)
+    require(not unknown, f"accesses given for unknown blocks: {sorted(unknown)}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Direct-mapped analysis (exact may/may)
+# ----------------------------------------------------------------------
+def _dm_transfer_forward(
+    state: frozenset[int], trace: Sequence[int], geometry: CacheGeometry
+) -> frozenset[int]:
+    """Forward transfer of the reaching-cache-blocks analysis."""
+    current = set(state)
+    for m in trace:
+        s = geometry.set_of(m)
+        current = {b for b in current if geometry.set_of(b) != s}
+        current.add(m)
+    return frozenset(current)
+
+
+def _dm_transfer_backward(
+    state: frozenset[int], trace: Sequence[int], geometry: CacheGeometry
+) -> frozenset[int]:
+    """Backward transfer of the live-memory-blocks analysis."""
+    current = set(state)
+    for m in reversed(trace):
+        s = geometry.set_of(m)
+        current = {b for b in current if geometry.set_of(b) != s}
+        current.add(m)
+    return frozenset(current)
+
+
+@dataclass(frozen=True, slots=True)
+class UCBAnalysis:
+    """Result of the UCB dataflow.
+
+    Attributes:
+        reaching_in: May-cached blocks at each basic-block entry.
+        live_in: May-live blocks at each basic-block entry.
+        ucb_per_point: For every block, the UCB set at each of its
+            ``k + 1`` internal program points.
+        max_ucb_per_block: ``max_p |UCB(p)|`` over the block's points.
+    """
+
+    reaching_in: Mapping[str, frozenset[int]]
+    live_in: Mapping[str, frozenset[int]]
+    ucb_per_point: Mapping[str, tuple[frozenset[int], ...]]
+    max_ucb_per_block: Mapping[str, int]
+
+    def ucb_at_entry(self, block: str) -> frozenset[int]:
+        """UCB set at the entry point of ``block``."""
+        return self.ucb_per_point[block][0]
+
+
+def direct_mapped_ucb(
+    cfg: ControlFlowGraph,
+    accesses: AccessMap,
+    geometry: CacheGeometry,
+) -> UCBAnalysis:
+    """Run the Lee-style UCB analysis for a direct-mapped cache.
+
+    Args:
+        cfg: The task's control-flow graph (cycles allowed: the dataflow
+            iterates to a fixpoint).
+        accesses: Memory blocks referenced by each basic block, in
+            program order.
+        geometry: Cache shape (must be direct-mapped).
+
+    Returns:
+        The dataflow result with per-point UCB sets.
+    """
+    require(geometry.is_direct_mapped, "use lru_may_ucb for associative caches")
+    traces = _validated_accesses(cfg, accesses)
+
+    # Forward reaching fixpoint: IN(b) = union of OUT(preds).
+    reaching_in: dict[str, frozenset[int]] = {n: frozenset() for n in cfg.blocks}
+    reaching_out: dict[str, frozenset[int]] = {n: frozenset() for n in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for name in cfg.blocks:
+            incoming = frozenset().union(
+                *(reaching_out[p] for p in cfg.predecessors(name))
+            ) if cfg.predecessors(name) else frozenset()
+            outgoing = _dm_transfer_forward(incoming, traces[name], geometry)
+            if incoming != reaching_in[name] or outgoing != reaching_out[name]:
+                reaching_in[name] = incoming
+                reaching_out[name] = outgoing
+                changed = True
+
+    # Backward liveness fixpoint: OUT(b) = union of IN(succs).
+    live_in: dict[str, frozenset[int]] = {n: frozenset() for n in cfg.blocks}
+    live_out: dict[str, frozenset[int]] = {n: frozenset() for n in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for name in cfg.blocks:
+            outgoing = frozenset().union(
+                *(live_in[s] for s in cfg.successors(name))
+            ) if cfg.successors(name) else frozenset()
+            incoming = _dm_transfer_backward(outgoing, traces[name], geometry)
+            if outgoing != live_out[name] or incoming != live_in[name]:
+                live_out[name] = outgoing
+                live_in[name] = incoming
+                changed = True
+
+    # Per-point UCB inside each block.
+    ucb_per_point: dict[str, tuple[frozenset[int], ...]] = {}
+    max_per_block: dict[str, int] = {}
+    for name in cfg.blocks:
+        trace = traces[name]
+        # Forward states before each access and after the last.
+        forward_states = [reaching_in[name]]
+        for m in trace:
+            forward_states.append(
+                _dm_transfer_forward(forward_states[-1], [m], geometry)
+            )
+        # Backward states: live before each access (and after the last).
+        backward_states = [live_out[name]]
+        for m in reversed(trace):
+            backward_states.append(
+                _dm_transfer_backward(backward_states[-1], [m], geometry)
+            )
+        backward_states.reverse()
+        points = tuple(
+            f & b for f, b in zip(forward_states, backward_states)
+        )
+        ucb_per_point[name] = points
+        max_per_block[name] = max((len(p) for p in points), default=0)
+
+    return UCBAnalysis(
+        reaching_in=reaching_in,
+        live_in=live_in,
+        ucb_per_point=ucb_per_point,
+        max_ucb_per_block=max_per_block,
+    )
+
+
+# ----------------------------------------------------------------------
+# Set-associative LRU (conservative may-analysis)
+# ----------------------------------------------------------------------
+def _lru_transfer(
+    ages: dict[int, int], trace: Sequence[int], geometry: CacheGeometry
+) -> dict[int, int]:
+    """May-analysis transfer: minimal ages, eviction at ``associativity``."""
+    current = dict(ages)
+    for m in trace:
+        s = geometry.set_of(m)
+        old_age = current.get(m, geometry.associativity)
+        for b in list(current):
+            if b != m and geometry.set_of(b) == s and current[b] < old_age:
+                current[b] += 1
+                if current[b] >= geometry.associativity:
+                    del current[b]
+        current[m] = 0
+    return current
+
+
+def _lru_join(a: dict[int, int], b: dict[int, int]) -> dict[int, int]:
+    """May join: union of blocks with pointwise minimal age."""
+    result = dict(a)
+    for block, age in b.items():
+        if block not in result or age < result[block]:
+            result[block] = age
+    return result
+
+
+def lru_may_ucb(
+    cfg: ControlFlowGraph,
+    accesses: AccessMap,
+    geometry: CacheGeometry,
+) -> UCBAnalysis:
+    """Conservative UCB analysis for set-associative LRU caches.
+
+    May-content analysis with minimal ages determines which blocks may be
+    cached; liveness is *eviction-oblivious* (any future re-reference
+    keeps a block live), which over-approximates usefulness and therefore
+    keeps every derived CRPD bound safe.
+    """
+    traces = _validated_accesses(cfg, accesses)
+
+    may_in: dict[str, dict[int, int]] = {n: {} for n in cfg.blocks}
+    may_out: dict[str, dict[int, int]] = {n: {} for n in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for name in cfg.blocks:
+            incoming: dict[int, int] = {}
+            for p in cfg.predecessors(name):
+                incoming = _lru_join(incoming, may_out[p])
+            outgoing = _lru_transfer(incoming, traces[name], geometry)
+            if incoming != may_in[name] or outgoing != may_out[name]:
+                may_in[name] = incoming
+                may_out[name] = outgoing
+                changed = True
+
+    # Eviction-oblivious liveness: block live if referenced on some path.
+    live_in: dict[str, frozenset[int]] = {n: frozenset() for n in cfg.blocks}
+    live_out: dict[str, frozenset[int]] = {n: frozenset() for n in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for name in cfg.blocks:
+            outgoing = frozenset().union(
+                *(live_in[s] for s in cfg.successors(name))
+            ) if cfg.successors(name) else frozenset()
+            incoming = outgoing | frozenset(traces[name])
+            if outgoing != live_out[name] or incoming != live_in[name]:
+                live_out[name] = outgoing
+                live_in[name] = incoming
+                changed = True
+
+    ucb_per_point: dict[str, tuple[frozenset[int], ...]] = {}
+    max_per_block: dict[str, int] = {}
+    for name in cfg.blocks:
+        trace = traces[name]
+        forward = [may_in[name]]
+        for m in trace:
+            forward.append(_lru_transfer(forward[-1], [m], geometry))
+        backward: list[frozenset[int]] = [live_out[name]]
+        for i in range(len(trace) - 1, -1, -1):
+            backward.append(backward[-1] | frozenset(trace[i:]))
+        backward.reverse()
+        points = tuple(
+            frozenset(f) & b for f, b in zip(forward, backward)
+        )
+        ucb_per_point[name] = points
+        max_per_block[name] = max((len(p) for p in points), default=0)
+
+    return UCBAnalysis(
+        reaching_in={n: frozenset(m) for n, m in may_in.items()},
+        live_in=live_in,
+        ucb_per_point=ucb_per_point,
+        max_ucb_per_block=max_per_block,
+    )

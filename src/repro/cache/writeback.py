@@ -1,0 +1,158 @@
+"""Write-back cache simulation: the dirty-line component of CRPD.
+
+The paper's CRPD model counts *reload* cost only.  On write-back caches
+a preemption has a second component: the preemptor's accesses evict
+dirty lines, forcing memory writes that the preempted task would
+otherwise have deferred (or merged).  This module extends the concrete
+LRU simulator with dirty-bit tracking so the extra write-back traffic of
+a preemption can be *measured* and compared against the reload-only
+bound — quantifying how much of the real cost the paper's model covers
+on write-heavy workloads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+from repro.utils.checks import require
+
+#: A trace item: (memory block, is_write).
+Access = tuple[int, bool]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessCosts:
+    """Cost accounting for a trace replay.
+
+    Attributes:
+        misses: Number of cache misses (each costs one block reload).
+        writebacks: Number of dirty lines written back to memory.
+    """
+
+    misses: int
+    writebacks: int
+
+    def total(self, geometry: CacheGeometry, writeback_time: float) -> float:
+        """Weighted cost: ``misses * BRT + writebacks * writeback_time``."""
+        return (
+            self.misses * geometry.block_reload_time
+            + self.writebacks * writeback_time
+        )
+
+
+class WritebackLRUCache:
+    """Set-associative LRU cache with write-back / write-allocate policy.
+
+    Args:
+        geometry: Cache shape (BRT used for cost weighting).
+    """
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geometry = geometry
+        # Per set: block -> dirty flag, most recently used last.
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(geometry.num_sets)
+        ]
+
+    def access(self, memory_block: int, write: bool = False) -> tuple[bool, int]:
+        """Access a block.
+
+        Args:
+            memory_block: The block referenced.
+            write: Whether the access is a store (marks the line dirty).
+
+        Returns:
+            ``(hit, writebacks)`` — whether it hit, and how many dirty
+            lines were written back due to the (possible) eviction.
+        """
+        line = self._sets[self.geometry.set_of(memory_block)]
+        writebacks = 0
+        if memory_block in line:
+            dirty = line.pop(memory_block)
+            line[memory_block] = dirty or write
+            return True, 0
+        if len(line) >= self.geometry.associativity:
+            _, victim_dirty = line.popitem(last=False)
+            if victim_dirty:
+                writebacks = 1
+        line[memory_block] = write
+        return False, writebacks
+
+    def run(self, trace: list[Access]) -> AccessCosts:
+        """Replay a (block, is_write) trace and return its costs."""
+        misses = 0
+        writebacks = 0
+        for block, write in trace:
+            hit, wb = self.access(block, write)
+            misses += 0 if hit else 1
+            writebacks += wb
+        return AccessCosts(misses=misses, writebacks=writebacks)
+
+    def evict_sets(self, cache_sets: set[int]) -> AccessCosts:
+        """Evict every line in the given sets (a preemptor's damage).
+
+        Dirty victims are written back immediately — this is the cost the
+        *preemption* adds on write-back hardware even before the
+        preempted task resumes.
+        """
+        writebacks = 0
+        for s in cache_sets:
+            require(
+                0 <= s < self.geometry.num_sets,
+                f"cache set {s} out of range [0, {self.geometry.num_sets})",
+            )
+            line = self._sets[s]
+            writebacks += sum(1 for dirty in line.values() if dirty)
+            line.clear()
+        return AccessCosts(misses=0, writebacks=writebacks)
+
+    def contents(self) -> set[int]:
+        """Currently cached blocks."""
+        return {b for line in self._sets for b in line}
+
+    def dirty_blocks(self) -> set[int]:
+        """Currently dirty blocks."""
+        return {
+            b for line in self._sets for b, dirty in line.items() if dirty
+        }
+
+    def clone(self) -> "WritebackLRUCache":
+        """Independent copy of the cache state."""
+        copy = WritebackLRUCache(self.geometry)
+        for idx, line in enumerate(self._sets):
+            copy._sets[idx] = OrderedDict(line)
+        return copy
+
+
+def preemption_cost_with_writebacks(
+    geometry: CacheGeometry,
+    warmup_trace: list[Access],
+    resume_trace: list[Access],
+    evicted_sets: set[int],
+    writeback_time: float,
+) -> tuple[float, float]:
+    """Measured preemption cost split into reload and write-back parts.
+
+    Replays ``warmup_trace``, injects an eviction of ``evicted_sets``,
+    and compares the resume costs with an undisturbed clone.
+
+    Returns:
+        ``(reload_cost, writeback_cost)`` where ``reload_cost`` is the
+        extra-miss cost (the paper's CRPD) and ``writeback_cost`` the
+        extra write-back traffic caused by the preemption (including the
+        immediate flush of dirty victims).
+    """
+    require(writeback_time >= 0, "writeback_time must be >= 0")
+    warm = WritebackLRUCache(geometry)
+    warm.run(warmup_trace)
+    disturbed = warm.clone()
+    flush = disturbed.evict_sets(evicted_sets)
+    base = warm.run(resume_trace)
+    after = disturbed.run(resume_trace)
+    reload_cost = (after.misses - base.misses) * geometry.block_reload_time
+    writeback_cost = (
+        flush.writebacks + after.writebacks - base.writebacks
+    ) * writeback_time
+    return reload_cost, writeback_cost

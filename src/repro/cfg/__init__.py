@@ -1,0 +1,90 @@
+"""Control-flow-graph substrate (S5): Section IV of the paper.
+
+Basic blocks, execution-interval analysis (Eqs. 1–3), natural-loop
+collapsing, acyclic call graphs, the ``BB(t)`` envelope that turns
+per-block CRPD bounds into the task-level preemption-delay function
+``f_i``, plus the reconstructed Figure 1 example and a random structured
+CFG generator for property tests.
+"""
+
+from repro.cfg.callgraph import (
+    CallGraph,
+    CyclicCallGraphError,
+    Function,
+    ProgramAnalysis,
+)
+from repro.cfg.delay_profile import (
+    blocks_active_at,
+    delay_envelope,
+    delay_function_from_cfg,
+)
+from repro.cfg.dominators import dominates, dominators, immediate_dominators
+from repro.cfg.dot import to_dot
+from repro.cfg.figure1 import (
+    FIGURE1_EDGES,
+    FIGURE1_EXECUTION_TIMES,
+    FIGURE1_EXPECTED_OFFSETS,
+    figure1_cfg,
+)
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+from repro.cfg.intervals import (
+    ExecutionWindow,
+    execution_windows,
+    path_extremes,
+    start_offsets,
+    windows_with_loops,
+)
+from repro.cfg.loops import (
+    CollapseResult,
+    IrreducibleLoopError,
+    LoopSummary,
+    NaturalLoop,
+    back_edges,
+    collapse_loops,
+    natural_loops,
+)
+from repro.cfg.random_cfg import GeneratedCfg, random_cfg
+from repro.cfg.traversal import (
+    NotADagError,
+    is_dag,
+    reverse_postorder,
+    topological_order,
+)
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "NotADagError",
+    "topological_order",
+    "reverse_postorder",
+    "is_dag",
+    "immediate_dominators",
+    "dominators",
+    "dominates",
+    "NaturalLoop",
+    "LoopSummary",
+    "CollapseResult",
+    "IrreducibleLoopError",
+    "back_edges",
+    "natural_loops",
+    "collapse_loops",
+    "ExecutionWindow",
+    "start_offsets",
+    "execution_windows",
+    "path_extremes",
+    "windows_with_loops",
+    "blocks_active_at",
+    "delay_envelope",
+    "delay_function_from_cfg",
+    "Function",
+    "CallGraph",
+    "CyclicCallGraphError",
+    "ProgramAnalysis",
+    "figure1_cfg",
+    "FIGURE1_EXECUTION_TIMES",
+    "FIGURE1_EDGES",
+    "FIGURE1_EXPECTED_OFFSETS",
+    "to_dot",
+    "GeneratedCfg",
+    "random_cfg",
+]

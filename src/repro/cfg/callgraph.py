@@ -1,0 +1,214 @@
+"""Acyclic call-graph analysis (paper, Section IV, last paragraph).
+
+Tasks containing function calls are analysed bottom-up: leaves of the
+call graph first, then callers, with each call site's block widened by
+the callee's best/worst path times.  The execution windows of a callee's
+blocks at a given call site are the call block's window shifted by the
+callee-local offsets; the task-level window of a callee block is the
+union over all its call sites, which we over-approximate by the convex
+hull (sound for the ``BB(t)`` envelope: a larger window can only raise
+``f_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+from repro.cfg.intervals import (
+    ExecutionWindow,
+    path_extremes,
+    windows_with_loops,
+)
+from repro.core.delay_function import PreemptionDelayFunction
+from repro.cfg.delay_profile import delay_envelope
+from repro.utils.checks import require
+
+
+class CyclicCallGraphError(ValueError):
+    """Raised when the call graph contains recursion (unsupported, as in
+    the paper: "provided that their call graph is acyclic")."""
+
+
+@dataclass(frozen=True, slots=True)
+class Function:
+    """One function: a CFG plus its call sites.
+
+    Attributes:
+        name: Function name.
+        cfg: The function's control-flow graph.
+        calls: Mapping from block name (in ``cfg``) to callee function
+            name; the block's own ``[emin, emax]`` covers only the
+            non-call work of the block.
+        iteration_bounds: Loop bounds for ``cfg``'s natural loops.
+    """
+
+    name: str
+    cfg: ControlFlowGraph
+    calls: Mapping[str, str] = None  # type: ignore[assignment]
+    iteration_bounds: Mapping[str, tuple[int, int]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "calls", dict(self.calls or {}))
+        object.__setattr__(
+            self, "iteration_bounds", dict(self.iteration_bounds or {})
+        )
+        for block_name in self.calls:
+            require(
+                block_name in self.cfg.blocks,
+                f"{self.name}: call site {block_name!r} is not a block",
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramAnalysis:
+    """Result of the whole-program bottom-up analysis.
+
+    Attributes:
+        bcet: Best-case end-to-end execution time of the root function.
+        wcet: Worst-case end-to-end execution time of the root function.
+        windows: Execution window of every block, keyed
+            ``"function.block"``, relative to root-task start.
+        delay_function: The task-level ``f_i`` on ``[0, wcet]``.
+    """
+
+    bcet: float
+    wcet: float
+    windows: Mapping[str, ExecutionWindow]
+    delay_function: PreemptionDelayFunction
+
+
+class CallGraph:
+    """A program: functions wired by call sites, with a root function."""
+
+    def __init__(self, functions: list[Function], root: str):
+        names = [f.name for f in functions]
+        require(len(set(names)) == len(names), "duplicate function names")
+        self._functions = {f.name: f for f in functions}
+        require(root in self._functions, f"root function {root!r} not defined")
+        self._root = root
+        for f in functions:
+            for callee in f.calls.values():
+                require(
+                    callee in self._functions,
+                    f"{f.name} calls undefined function {callee!r}",
+                )
+        self._order = self._bottom_up_order()
+
+    @property
+    def root(self) -> str:
+        """Name of the root (task entry) function."""
+        return self._root
+
+    def function(self, name: str) -> Function:
+        """The function called ``name``."""
+        require(name in self._functions, f"no function named {name!r}")
+        return self._functions[name]
+
+    def _bottom_up_order(self) -> list[str]:
+        """Callees before callers; raises on recursion."""
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+        order: list[str] = []
+
+        def visit(name: str, trail: tuple[str, ...]) -> None:
+            if state.get(name) == 1:
+                return
+            if state.get(name) == 0:
+                raise CyclicCallGraphError(
+                    f"recursive call chain: {' -> '.join(trail + (name,))}"
+                )
+            state[name] = 0
+            for callee in sorted(set(self._functions[name].calls.values())):
+                visit(callee, trail + (name,))
+            state[name] = 1
+            order.append(name)
+
+        visit(self._root, ())
+        return order
+
+    # ------------------------------------------------------------------
+    # Whole-program analysis
+    # ------------------------------------------------------------------
+    def analyse(self) -> ProgramAnalysis:
+        """Bottom-up interval analysis of the whole program.
+
+        Returns:
+            A :class:`ProgramAnalysis` with task-level windows and the
+            combined delay function.
+        """
+        totals: dict[str, tuple[float, float]] = {}
+        local_windows: dict[str, dict[str, ExecutionWindow]] = {}
+
+        for name in self._order:
+            fn = self._functions[name]
+            widened: dict[str, BasicBlock] = {}
+            for block_name, callee in fn.calls.items():
+                callee_bcet, callee_wcet = totals[callee]
+                original = fn.cfg.block(block_name)
+                widened[block_name] = BasicBlock(
+                    name=block_name,
+                    emin=original.emin + callee_bcet,
+                    emax=original.emax + callee_wcet,
+                    crpd=original.crpd,
+                )
+            cfg = fn.cfg.with_blocks(widened) if widened else fn.cfg
+            windows, collapsed = windows_with_loops(cfg, fn.iteration_bounds)
+            totals[name] = path_extremes(collapsed.cfg)
+            local_windows[name] = windows
+
+        # Task-level windows: walk down from the root, shifting callee
+        # windows into each call site's window (convex hull across sites).
+        task_windows: dict[str, ExecutionWindow] = {}
+
+        def place(name: str, shift_min: float, shift_max: float) -> None:
+            fn = self._functions[name]
+            for block_name, window in local_windows[name].items():
+                key = f"{name}.{block_name}"
+                candidate = ExecutionWindow(
+                    smin=window.smin + shift_min,
+                    smax=window.smax + shift_max,
+                    emin=window.emin,
+                    emax=window.emax,
+                )
+                existing = task_windows.get(key)
+                if existing is not None:
+                    candidate = ExecutionWindow(
+                        smin=min(existing.smin, candidate.smin),
+                        smax=max(existing.smax, candidate.smax),
+                        emin=window.emin,
+                        emax=window.emax,
+                    )
+                task_windows[key] = candidate
+            for block_name, callee in fn.calls.items():
+                site = local_windows[name][block_name]
+                # The callee body runs somewhere inside the call block: in
+                # the earliest scenario the call is the block's first
+                # action (shift by the site's smin only); in the latest it
+                # follows all of the block's own work (site smax + emax of
+                # the *own* part).  The hull of the two keeps the window a
+                # superset of every real placement, which is the safe
+                # direction for the BB(t) envelope.
+                own = fn.cfg.block(block_name)
+                place(
+                    callee,
+                    shift_min + site.smin,
+                    shift_max + site.smax + own.emax,
+                )
+
+        place(self._root, 0.0, 0.0)
+
+        bcet, wcet = totals[self._root]
+        crpd = {
+            key: self._functions[key.split(".", 1)[0]]
+            .cfg.block(key.split(".", 1)[1])
+            .crpd
+            for key in task_windows
+        }
+        delay = delay_envelope(task_windows, crpd, horizon=wcet)
+        return ProgramAnalysis(
+            bcet=bcet,
+            wcet=wcet,
+            windows=task_windows,
+            delay_function=delay,
+        )

@@ -1,0 +1,121 @@
+"""From execution windows to the preemption-delay function ``f_i``
+(paper, Section IV, final formula: ``f_i(t) = max_{b in BB(t)} CRPD_b``).
+
+``BB(t)`` is the set of basic blocks that may be executing at offset
+``t``; the delay function is the upper envelope of the per-block CRPD
+plateaus over their execution windows.  The construction below is an
+exact sweep over window endpoints, yielding a piecewise-constant
+:class:`~repro.core.PreemptionDelayFunction` with no sampling error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import heapq
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.intervals import ExecutionWindow, path_extremes, windows_with_loops
+from repro.core.delay_function import PreemptionDelayFunction
+from repro.piecewise import step
+from repro.utils.checks import require
+
+
+def blocks_active_at(
+    windows: Mapping[str, ExecutionWindow], t: float
+) -> set[str]:
+    """The paper's ``BB(t)``: blocks whose window contains offset ``t``."""
+    return {name for name, w in windows.items() if w.active_at(t)}
+
+
+def delay_envelope(
+    windows: Mapping[str, ExecutionWindow],
+    crpd: Mapping[str, float],
+    horizon: float,
+) -> PreemptionDelayFunction:
+    """Exact upper envelope ``f(t) = max_{b in BB(t)} crpd[b]`` on ``[0, horizon]``.
+
+    Args:
+        windows: Execution window per block name.
+        crpd: CRPD bound per block name (missing names default to 0).
+        horizon: Right end of the progression axis (the task's WCET).
+
+    Returns:
+        A piecewise-constant preemption-delay function; offsets where no
+        block is active (possible beyond short paths) get value 0.
+    """
+    require(horizon > 0, f"horizon must be positive, got {horizon}")
+    events: list[tuple[float, float, int]] = []  # (time, value, +1/-1)
+    for name, window in windows.items():
+        value = float(crpd.get(name, 0.0))
+        if value <= 0.0:
+            continue
+        lo, hi = window.window
+        lo = max(lo, 0.0)
+        hi = min(hi, horizon)
+        if hi <= lo:
+            continue
+        events.append((lo, value, +1))
+        events.append((hi, value, -1))
+    if not events:
+        return PreemptionDelayFunction.from_constant(0.0, horizon)
+
+    # Sweep: between consecutive event abscissae the active multiset is
+    # constant; track it with a counting heap (lazy deletion).
+    times = sorted({t for t, _, _ in events} | {0.0, horizon})
+    starts: dict[float, list[float]] = {}
+    ends: dict[float, list[float]] = {}
+    for t, v, kind in events:
+        (starts if kind > 0 else ends).setdefault(t, []).append(v)
+
+    active: dict[float, int] = {}
+    heap: list[float] = []
+
+    def current_max() -> float:
+        while heap and active.get(-heap[0], 0) == 0:
+            heapq.heappop(heap)
+        return -heap[0] if heap else 0.0
+
+    bounds: list[float] = []
+    values: list[float] = []
+    previous = times[0]  # always 0.0: the grid includes the origin
+    for t in times:
+        if t > previous:
+            bounds.append(previous)
+            values.append(current_max())
+            previous = t
+        for v in starts.get(t, []):
+            active[v] = active.get(v, 0) + 1
+            heapq.heappush(heap, -v)
+        for v in ends.get(t, []):
+            active[v] = active.get(v, 0) - 1
+    bounds.append(previous)
+    if bounds[-1] < horizon:
+        values.append(current_max())
+        bounds.append(horizon)
+
+    # Merge equal adjacent plateaus for a compact representation.
+    merged_bounds = [bounds[0]]
+    merged_values: list[float] = []
+    for i, v in enumerate(values):
+        if merged_values and merged_values[-1] == v:
+            merged_bounds[-1] = bounds[i + 1]
+        else:
+            merged_values.append(v)
+            merged_bounds.append(bounds[i + 1])
+    return PreemptionDelayFunction(step(merged_bounds, merged_values))
+
+
+def delay_function_from_cfg(
+    cfg: ControlFlowGraph,
+    iteration_bounds: Mapping[str, tuple[int, int]] | None = None,
+) -> PreemptionDelayFunction:
+    """End-to-end Section IV pipeline: CFG (+ loop bounds) -> ``f_i``.
+
+    Uses each block's own ``crpd`` attribute; the progression axis runs to
+    the task's WCET (worst path through the collapsed DAG).
+    """
+    windows, collapsed = windows_with_loops(cfg, iteration_bounds)
+    _, wcet = path_extremes(collapsed.cfg)
+    crpd = {name: cfg.block(name).crpd for name in cfg.blocks}
+    return delay_envelope(windows, crpd, horizon=wcet)

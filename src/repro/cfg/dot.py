@@ -1,0 +1,38 @@
+"""Graphviz DOT export for control-flow graphs (debugging aid)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.intervals import ExecutionWindow
+
+
+def to_dot(
+    cfg: ControlFlowGraph,
+    windows: Mapping[str, ExecutionWindow] | None = None,
+    title: str = "cfg",
+) -> str:
+    """Render the CFG as a DOT digraph string.
+
+    Args:
+        cfg: The graph to render.
+        windows: Optional per-block execution windows to include in labels
+            (as in the paper's Figure 1 right-hand side).
+        title: Graph name.
+    """
+    lines = [f"digraph {title} {{", "  node [shape=box];"]
+    for name in sorted(cfg.blocks):
+        block = cfg.block(name)
+        label = f"{name}\\n[{block.emin:g},{block.emax:g}]"
+        if block.crpd:
+            label += f"\\ncrpd={block.crpd:g}"
+        if windows and name in windows:
+            w = windows[name]
+            label += f"\\ns=[{w.smin:g},{w.smax:g}]"
+        shape = ' style=bold' if name == cfg.entry else ""
+        lines.append(f'  "{name}" [label="{label}"{shape}];')
+    for src, dst in cfg.edges():
+        lines.append(f'  "{src}" -> "{dst}";')
+    lines.append("}")
+    return "\n".join(lines)

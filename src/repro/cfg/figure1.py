@@ -1,0 +1,94 @@
+r"""The paper's Figure 1 example CFG, reconstructed.
+
+Figure 1 shows an 11-block loop-free CFG with per-block execution-time
+intervals (left) and the start offsets computed by Eqs. 1–3 (right).  The
+source text of the paper garbles the block-to-interval association, so
+this module encodes a reconstruction that reproduces the recoverable
+offset values: ``[0,0]``, ``[15,25]`` (twice), ``[30,65]``,
+``[50,95]`` (twice), ``[55,100]`` (twice, plus one more), ``[65,125]``
+and ``[65,175]`` (printed as "[60,175]"/"[65,180]" in the OCR of the
+original figure).  The reconstruction note lives in ``DESIGN.md`` §5.
+
+Shape: a double-diamond followed by a fork whose arms re-join at the
+final block::
+
+        0
+       / \
+      1   2
+       \ /
+        3
+       / \
+      4   9
+     / \   \
+    5   6   10
+     \ /    |
+      7     |
+       \   /
+        8
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+
+#: Execution-time interval ``[emin, emax]`` of every block.
+FIGURE1_EXECUTION_TIMES: dict[str, tuple[float, float]] = {
+    "b0": (15, 25),
+    "b1": (15, 35),
+    "b2": (20, 40),
+    "b3": (20, 30),
+    "b4": (5, 5),
+    "b5": (10, 10),
+    "b6": (15, 25),
+    "b7": (40, 50),
+    "b8": (10, 20),
+    "b9": (5, 5),
+    "b10": (10, 20),
+}
+
+#: Directed edges of the reconstructed CFG.
+FIGURE1_EDGES: list[tuple[str, str]] = [
+    ("b0", "b1"),
+    ("b0", "b2"),
+    ("b1", "b3"),
+    ("b2", "b3"),
+    ("b3", "b4"),
+    ("b3", "b9"),
+    ("b4", "b5"),
+    ("b4", "b6"),
+    ("b5", "b7"),
+    ("b6", "b7"),
+    ("b9", "b10"),
+    ("b7", "b8"),
+    ("b10", "b8"),
+]
+
+#: Expected ``(smin, smax)`` start offsets per Eqs. 1–3.
+FIGURE1_EXPECTED_OFFSETS: dict[str, tuple[float, float]] = {
+    "b0": (0, 0),
+    "b1": (15, 25),
+    "b2": (15, 25),
+    "b3": (30, 65),
+    "b4": (50, 95),
+    "b9": (50, 95),
+    "b5": (55, 100),
+    "b6": (55, 100),
+    "b10": (55, 100),
+    "b7": (65, 125),
+    "b8": (65, 175),
+}
+
+
+def figure1_cfg(crpd: dict[str, float] | None = None) -> ControlFlowGraph:
+    """Build the reconstructed Figure 1 CFG.
+
+    Args:
+        crpd: Optional per-block CRPD bounds (defaults to 0 everywhere,
+            matching the figure, which only discusses intervals).
+    """
+    crpd = crpd or {}
+    blocks = [
+        BasicBlock(name, emin, emax, crpd.get(name, 0.0))
+        for name, (emin, emax) in FIGURE1_EXECUTION_TIMES.items()
+    ]
+    return ControlFlowGraph(blocks, FIGURE1_EDGES, entry="b0")

@@ -1,0 +1,175 @@
+"""Control-flow graph model (paper, Section IV, Figure 1).
+
+A task's code is a set of *basic blocks* — maximal straight-line
+instruction sequences — connected by directed edges representing jumps.
+Each block carries its execution-time interval ``[emin, emax]`` (produced
+by a WCET tool; here either hand-written, generated, or derived from the
+cache substrate) and an upper bound ``crpd`` on the cache-related
+preemption delay paid if the task is preempted while that block may be
+executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Iterable, Mapping
+
+from repro.utils.checks import require
+
+
+@dataclass(frozen=True, slots=True)
+class BasicBlock:
+    """One basic block of a task's control-flow graph.
+
+    Attributes:
+        name: Unique identifier within the CFG.
+        emin: Best-case execution time of the block (>= 0).
+        emax: Worst-case execution time of the block (>= emin).
+        crpd: Upper bound on the preemption delay incurred by a preemption
+            occurring while this block executes (``CRPD_b`` in the paper).
+    """
+
+    name: str
+    emin: float
+    emax: float
+    crpd: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "basic block needs a non-empty name")
+        require(self.emin >= 0, f"block {self.name}: emin must be >= 0, got {self.emin}")
+        require(
+            self.emax >= self.emin,
+            f"block {self.name}: emax ({self.emax}) must be >= emin ({self.emin})",
+        )
+        require(self.crpd >= 0, f"block {self.name}: crpd must be >= 0, got {self.crpd}")
+
+    def with_crpd(self, crpd: float) -> "BasicBlock":
+        """A copy of this block with a different CRPD bound."""
+        return replace(self, crpd=crpd)
+
+
+class ControlFlowGraph:
+    """An immutable CFG: named basic blocks plus directed edges.
+
+    Args:
+        blocks: The basic blocks (names must be unique).
+        edges: Directed edges as ``(source, target)`` name pairs.
+        entry: Name of the unique entry block.
+
+    Raises:
+        ValueError: on duplicate block names, dangling edge endpoints,
+            an unknown entry, or blocks unreachable from the entry.
+    """
+
+    __slots__ = ("_blocks", "_succ", "_pred", "_entry")
+
+    def __init__(
+        self,
+        blocks: Iterable[BasicBlock],
+        edges: Iterable[tuple[str, str]],
+        entry: str,
+    ):
+        block_map: dict[str, BasicBlock] = {}
+        for block in blocks:
+            require(block.name not in block_map, f"duplicate block name {block.name!r}")
+            block_map[block.name] = block
+        require(entry in block_map, f"entry block {entry!r} not among blocks")
+
+        succ: dict[str, list[str]] = {name: [] for name in block_map}
+        pred: dict[str, list[str]] = {name: [] for name in block_map}
+        seen_edges: set[tuple[str, str]] = set()
+        for src, dst in edges:
+            require(src in block_map, f"edge source {src!r} is not a block")
+            require(dst in block_map, f"edge target {dst!r} is not a block")
+            require((src, dst) not in seen_edges, f"duplicate edge {src!r}->{dst!r}")
+            seen_edges.add((src, dst))
+            succ[src].append(dst)
+            pred[dst].append(src)
+
+        self._blocks = block_map
+        self._succ = {k: tuple(v) for k, v in succ.items()}
+        self._pred = {k: tuple(v) for k, v in pred.items()}
+        self._entry = entry
+
+        unreachable = set(block_map) - self.reachable_from_entry()
+        require(
+            not unreachable,
+            f"blocks unreachable from entry: {sorted(unreachable)}",
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> str:
+        """Name of the entry block."""
+        return self._entry
+
+    @property
+    def blocks(self) -> Mapping[str, BasicBlock]:
+        """Mapping from block name to block."""
+        return self._blocks
+
+    def block(self, name: str) -> BasicBlock:
+        """The block called ``name``."""
+        require(name in self._blocks, f"no block named {name!r}")
+        return self._blocks[name]
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        """Direct successors of ``name``."""
+        require(name in self._succ, f"no block named {name!r}")
+        return self._succ[name]
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        """Direct predecessors of ``name`` (paper's ``pred(b)``)."""
+        require(name in self._pred, f"no block named {name!r}")
+        return self._pred[name]
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All edges as (source, target) pairs, sorted for determinism."""
+        return sorted(
+            (src, dst) for src, dsts in self._succ.items() for dst in dsts
+        )
+
+    def exit_blocks(self) -> tuple[str, ...]:
+        """Blocks with no successors, sorted."""
+        return tuple(sorted(n for n, s in self._succ.items() if not s))
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlFlowGraph({len(self._blocks)} blocks, "
+            f"{sum(len(s) for s in self._succ.values())} edges, "
+            f"entry={self._entry!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Basic graph queries
+    # ------------------------------------------------------------------
+    def reachable_from_entry(self) -> set[str]:
+        """Names of all blocks reachable from the entry block."""
+        seen = {self._entry}
+        stack = [self._entry]
+        while stack:
+            node = stack.pop()
+            for nxt in self._succ[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def with_blocks(self, replacements: Mapping[str, BasicBlock]) -> "ControlFlowGraph":
+        """A copy of the CFG with some blocks replaced (same names/edges)."""
+        for name in replacements:
+            require(name in self._blocks, f"no block named {name!r}")
+            require(
+                replacements[name].name == name,
+                f"replacement for {name!r} must keep the name",
+            )
+        blocks = [replacements.get(n, b) for n, b in self._blocks.items()]
+        return ControlFlowGraph(blocks, self.edges(), self._entry)

@@ -1,0 +1,161 @@
+"""Execution-interval analysis (paper, Section IV, Eqs. 1–3, Figure 1).
+
+For loop-free code, every basic block ``b`` gets its earliest and latest
+start offsets by a topological traversal of the CFG::
+
+    smin_entry = smax_entry = 0                                   (Eq. 1)
+    smin_b = min over pred x of (smin_x + emin_x)                  (Eq. 2)
+    smax_b = max over pred x of (smax_x + emax_x)                  (Eq. 3)
+
+The time interval within which ``b`` may execute is then
+``[smin_b, smax_b + emax_b]``.  (The paper prints this as
+``[smin_b, emax_b]`` — its running text uses ``emax_b`` for the latest
+*end* offset; we keep the two notions explicit.)
+
+Loops are handled by first collapsing them to synthetic nodes
+(:mod:`repro.cfg.loops`); blocks swallowed by a loop inherit the whole
+loop node's window, which is sound (a member block may execute at any
+iteration of the loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import CollapseResult, collapse_loops
+from repro.cfg.traversal import topological_order
+from repro.utils.checks import require
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionWindow:
+    """When a basic block may execute, relative to task start.
+
+    Attributes:
+        smin: Earliest start offset.
+        smax: Latest start offset.
+        emin: Minimum execution time of the block.
+        emax: Maximum execution time of the block.
+    """
+
+    smin: float
+    smax: float
+    emin: float
+    emax: float
+
+    @property
+    def earliest_end(self) -> float:
+        """Earliest completion offset (``smin + emin``)."""
+        return self.smin + self.emin
+
+    @property
+    def latest_end(self) -> float:
+        """Latest completion offset (``smax + emax``)."""
+        return self.smax + self.emax
+
+    @property
+    def window(self) -> tuple[float, float]:
+        """The interval ``[smin, smax + emax]`` in which the block may be
+        executing (the paper's ``[smin_b, emax_b]``)."""
+        return self.smin, self.latest_end
+
+    def active_at(self, t: float) -> bool:
+        """Whether the block may be executing at offset ``t``."""
+        lo, hi = self.window
+        return lo <= t <= hi
+
+
+def start_offsets(cfg: ControlFlowGraph) -> dict[str, tuple[float, float]]:
+    """Earliest/latest start offsets of every block of a loop-free CFG.
+
+    Returns:
+        Mapping block name -> ``(smin, smax)`` per Eqs. 1–3.
+
+    Raises:
+        NotADagError: if the CFG still contains loops.
+    """
+    order = topological_order(cfg)
+    smin: dict[str, float] = {}
+    smax: dict[str, float] = {}
+    for name in order:
+        preds = cfg.predecessors(name)
+        if not preds:
+            require(
+                name == cfg.entry,
+                f"block {name!r} has no predecessors but is not the entry",
+            )
+            smin[name] = 0.0
+            smax[name] = 0.0
+        else:
+            smin[name] = min(smin[p] + cfg.block(p).emin for p in preds)
+            smax[name] = max(smax[p] + cfg.block(p).emax for p in preds)
+    return {name: (smin[name], smax[name]) for name in cfg.blocks}
+
+
+def execution_windows(cfg: ControlFlowGraph) -> dict[str, ExecutionWindow]:
+    """Execution window of every block of a loop-free CFG."""
+    offsets = start_offsets(cfg)
+    return {
+        name: ExecutionWindow(
+            smin=offsets[name][0],
+            smax=offsets[name][1],
+            emin=cfg.block(name).emin,
+            emax=cfg.block(name).emax,
+        )
+        for name in cfg.blocks
+    }
+
+
+def path_extremes(cfg: ControlFlowGraph) -> tuple[float, float]:
+    """Best-case and worst-case end-to-end path times of a loop-free CFG.
+
+    Returns:
+        ``(bcet, wcet)`` over all paths from the entry to any exit block.
+    """
+    windows = execution_windows(cfg)
+    exits = cfg.exit_blocks()
+    require(bool(exits), "CFG has no exit block")
+    return (
+        min(windows[e].earliest_end for e in exits),
+        max(windows[e].latest_end for e in exits),
+    )
+
+
+def windows_with_loops(
+    cfg: ControlFlowGraph,
+    iteration_bounds: Mapping[str, tuple[int, int]] | None = None,
+) -> tuple[dict[str, ExecutionWindow], CollapseResult]:
+    """Execution windows for a CFG that may contain natural loops.
+
+    Loops are collapsed first; each original block swallowed by a loop is
+    assigned the *whole* loop node's window (sound: the block may execute
+    in any iteration).
+
+    Args:
+        cfg: The control-flow graph.
+        iteration_bounds: Per-header iteration bounds; may be ``None`` for
+            loop-free CFGs.
+
+    Returns:
+        ``(windows, collapse_result)`` where ``windows`` maps every
+        *original* block name to its window.
+    """
+    result = collapse_loops(cfg, iteration_bounds or {})
+    dag_windows = execution_windows(result.cfg)
+    windows: dict[str, ExecutionWindow] = {}
+    for name in cfg.blocks:
+        container = result.membership.get(name)
+        if container is None:
+            windows[name] = dag_windows[name]
+        else:
+            loop_window = dag_windows[container]
+            block = cfg.block(name)
+            windows[name] = ExecutionWindow(
+                smin=loop_window.smin,
+                smax=loop_window.smax + loop_window.emax - block.emax,
+                emin=block.emin,
+                emax=block.emax,
+            )
+    return windows, result

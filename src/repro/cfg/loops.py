@@ -1,0 +1,295 @@
+"""Natural-loop detection and loop collapsing (paper, Section IV).
+
+The paper's interval analysis (Eqs. 1–3) works on loop-free code; for
+programs with natural loops it prescribes analysing "every loop
+individually, starting with the innermost", after which "a loop can then
+be considered as a single node with known earliest and latest start
+offsets".  :func:`collapse_loops` implements exactly that reduction:
+
+1. find the natural loops via dominators and back edges;
+2. analyse the innermost loop body (with its back edge removed) as a
+   loop-free CFG, giving per-iteration best/worst path times;
+3. replace the whole body by one synthetic block whose execution interval
+   is ``[min_iterations * body_best, max_iterations * body_worst]`` and
+   whose CRPD bound is the maximum over the body (a preemption inside the
+   loop may hit any member block);
+4. repeat until the graph is acyclic.
+
+The returned :class:`LoopSummary` records which original blocks each
+synthetic node swallowed so that execution windows can later be expanded
+back to member blocks (see :mod:`repro.cfg.delay_profile`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.cfg.dominators import dominators
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+from repro.cfg.traversal import NotADagError, is_dag, topological_order
+from repro.utils.checks import require
+
+
+class IrreducibleLoopError(ValueError):
+    """Raised when the CFG contains a cycle with no dominating header."""
+
+
+@dataclass(frozen=True, slots=True)
+class NaturalLoop:
+    """A natural loop: its header and the set of member block names."""
+
+    header: str
+    latches: tuple[str, ...]
+    body: frozenset[str]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.body
+
+
+@dataclass(frozen=True, slots=True)
+class LoopSummary:
+    """Result of collapsing one loop into a synthetic node.
+
+    Attributes:
+        node: Name of the synthetic block that replaced the loop.
+        header: The loop's header block.
+        members: Every original block swallowed by the synthetic node
+            (transitively, if loops were nested).
+        min_iterations: Loop bound used for the best-case path.
+        max_iterations: Loop bound used for the worst-case path.
+        body_best: Per-iteration best-case path time through the body.
+        body_worst: Per-iteration worst-case path time through the body.
+    """
+
+    node: str
+    header: str
+    members: frozenset[str]
+    min_iterations: int
+    max_iterations: int
+    body_best: float
+    body_worst: float
+
+
+@dataclass(frozen=True, slots=True)
+class CollapseResult:
+    """A loop-free CFG plus the record of collapsed loops.
+
+    Attributes:
+        cfg: The acyclic CFG after collapsing every natural loop.
+        summaries: One :class:`LoopSummary` per collapsed loop, innermost
+            first.
+        membership: Mapping from every original block name swallowed by
+            some loop to the name of the synthetic node now representing
+            it in ``cfg``.
+    """
+
+    cfg: ControlFlowGraph
+    summaries: tuple[LoopSummary, ...]
+    membership: Mapping[str, str]
+
+
+def back_edges(cfg: ControlFlowGraph) -> list[tuple[str, str]]:
+    """Edges ``u -> v`` where ``v`` dominates ``u`` (sorted)."""
+    doms = dominators(cfg)
+    return sorted(
+        (src, dst) for src, dst in cfg.edges() if dst in doms[src]
+    )
+
+
+def natural_loops(cfg: ControlFlowGraph) -> list[NaturalLoop]:
+    """All natural loops, one per header (back edges to the same header
+    are merged into a single loop, per the standard definition)."""
+    loops: dict[str, tuple[set[str], set[str]]] = {}
+    for src, header in back_edges(cfg):
+        body, latches = loops.setdefault(header, ({header}, set()))
+        latches.add(src)
+        # Everything that reaches src without passing through header.
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node in body:
+                continue
+            body.add(node)
+            stack.extend(p for p in cfg.predecessors(node) if p not in body)
+    result = [
+        NaturalLoop(header=h, latches=tuple(sorted(l)), body=frozenset(b))
+        for h, (b, l) in loops.items()
+    ]
+    result.sort(key=lambda loop: loop.header)
+    _check_reducible(cfg, result)
+    return result
+
+
+def _check_reducible(cfg: ControlFlowGraph, loops: list[NaturalLoop]) -> None:
+    """A reducible CFG becomes acyclic once all back edges are removed."""
+    removed = set()
+    for loop in loops:
+        for latch in loop.latches:
+            removed.add((latch, loop.header))
+    kept = [e for e in cfg.edges() if e not in removed]
+    probe = ControlFlowGraph(cfg.blocks.values(), kept, cfg.entry)
+    if not is_dag(probe):
+        raise IrreducibleLoopError(
+            "CFG contains an irreducible cycle (no dominating header)"
+        )
+
+
+def _innermost_loop(loops: list[NaturalLoop]) -> NaturalLoop:
+    """A loop whose body contains no other loop's header (exists for
+    reducible CFGs)."""
+    headers = {loop.header for loop in loops}
+    for loop in loops:
+        if not (headers - {loop.header}) & loop.body:
+            return loop
+    raise IrreducibleLoopError("no innermost loop found")  # pragma: no cover
+
+
+def _body_path_extremes(
+    cfg: ControlFlowGraph, loop: NaturalLoop
+) -> tuple[float, float]:
+    """Best/worst-case path time of one iteration header -> latch."""
+    body_blocks = [cfg.block(n) for n in loop.body]
+    body_edges = [
+        (s, d)
+        for s, d in cfg.edges()
+        if s in loop.body and d in loop.body and not (d == loop.header)
+    ]
+    sub = ControlFlowGraph(body_blocks, body_edges, loop.header)
+    try:
+        order = topological_order(sub)
+    except NotADagError as exc:  # pragma: no cover - reducibility checked
+        raise IrreducibleLoopError(str(exc)) from exc
+    best: dict[str, float] = {}
+    worst: dict[str, float] = {}
+    for name in order:
+        block = sub.block(name)
+        preds = sub.predecessors(name)
+        if not preds:
+            best[name] = block.emin
+            worst[name] = block.emax
+        else:
+            best[name] = min(best[p] for p in preds) + block.emin
+            worst[name] = max(worst[p] for p in preds) + block.emax
+    # One iteration ends at a latch (the block jumping back to the header).
+    return (
+        min(best[l] for l in loop.latches),
+        max(worst[l] for l in loop.latches),
+    )
+
+
+def collapse_loops(
+    cfg: ControlFlowGraph,
+    iteration_bounds: Mapping[str, tuple[int, int]],
+) -> CollapseResult:
+    """Collapse every natural loop into a single synthetic block.
+
+    Args:
+        cfg: The (possibly cyclic) control-flow graph.
+        iteration_bounds: Mapping loop header name -> (min, max) iteration
+            count.  Every loop header must be present; ``min >= 0``,
+            ``max >= max(min, 1)``.
+
+    Returns:
+        A :class:`CollapseResult` whose CFG is acyclic.
+
+    Raises:
+        IrreducibleLoopError: when the CFG is irreducible.
+        ValueError: when a loop header has no iteration bound.
+    """
+    summaries: list[LoopSummary] = []
+    membership: dict[str, str] = {}
+    current = cfg
+    synth_counter = 0
+
+    while True:
+        loops = natural_loops(current)
+        if not loops:
+            break
+        loop = _innermost_loop(loops)
+        require(
+            loop.header in iteration_bounds,
+            f"no iteration bound for loop header {loop.header!r}",
+        )
+        min_iters, max_iters = iteration_bounds[loop.header]
+        require(min_iters >= 0, f"min iterations must be >= 0, got {min_iters}")
+        require(
+            max_iters >= max(min_iters, 1),
+            f"max iterations must be >= max(min, 1), got {max_iters}",
+        )
+
+        body_best, body_worst = _body_path_extremes(current, loop)
+        synth_counter += 1
+        synth_name = f"__loop{synth_counter}__{loop.header}"
+        synth = BasicBlock(
+            name=synth_name,
+            emin=min_iters * body_best,
+            emax=max_iters * body_worst,
+            crpd=max(current.block(n).crpd for n in loop.body),
+        )
+
+        # Rewire: edges into the header go to the synthetic node; edges
+        # leaving the body go from the synthetic node.
+        new_blocks = [
+            b for n, b in current.blocks.items() if n not in loop.body
+        ]
+        new_blocks.append(synth)
+        new_edges: set[tuple[str, str]] = set()
+        for src, dst in current.edges():
+            src_in = src in loop.body
+            dst_in = dst in loop.body
+            if src_in and dst_in:
+                continue
+            if not src_in and dst_in:
+                require(
+                    dst == loop.header,
+                    f"edge {src!r}->{dst!r} enters loop body not at header",
+                )
+                new_edges.add((src, synth_name))
+            elif src_in and not dst_in:
+                new_edges.add((synth_name, dst))
+            else:
+                new_edges.add((src, dst))
+        entry = synth_name if cfg_entry_in_body(current, loop) else current.entry
+
+        # Record membership, resolving nested synthetic nodes transitively.
+        members = set()
+        for name in loop.body:
+            members.add(name)
+            members.update(k for k, v in membership.items() if v == name)
+        for name in members:
+            membership[name] = synth_name
+
+        summaries.append(
+            LoopSummary(
+                node=synth_name,
+                header=loop.header,
+                members=frozenset(members),
+                min_iterations=min_iters,
+                max_iterations=max_iters,
+                body_best=body_best,
+                body_worst=body_worst,
+            )
+        )
+        current = ControlFlowGraph(new_blocks, sorted(new_edges), entry)
+
+    # Only original (non-synthetic, non-swallowed) names plus final synth
+    # nodes remain; membership maps originals to their *final* container.
+    final_names = set(current.blocks)
+    resolved = {}
+    for original, container in membership.items():
+        while container not in final_names:
+            container = membership.get(container, container)
+            if container == original:  # pragma: no cover - defensive
+                break
+        resolved[original] = container
+    return CollapseResult(
+        cfg=current,
+        summaries=tuple(summaries),
+        membership=resolved,
+    )
+
+
+def cfg_entry_in_body(cfg: ControlFlowGraph, loop: NaturalLoop) -> bool:
+    """Whether the CFG entry lies inside the loop body."""
+    return cfg.entry in loop.body

@@ -1,0 +1,124 @@
+"""Seeded random structured CFG generation.
+
+Generates reducible CFGs by recursive composition of three constructs —
+sequence, branch (diamond) and natural loop — mirroring how structured
+code compiles.  Used by property tests (interval-analysis invariants hold
+on arbitrary structured CFGs) and by the CFG-pipeline experiment
+(EXT-E in ``DESIGN.md``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+from repro.utils.checks import require
+
+
+@dataclass
+class _Builder:
+    """Accumulates blocks and edges while the generator recurses."""
+
+    rng: random.Random
+    max_exec: float
+    max_crpd: float
+    blocks: list[BasicBlock] = field(default_factory=list)
+    edges: list[tuple[str, str]] = field(default_factory=list)
+    iteration_bounds: dict[str, tuple[int, int]] = field(default_factory=dict)
+    counter: int = 0
+
+    def new_block(self) -> str:
+        name = f"n{self.counter}"
+        self.counter += 1
+        emin = self.rng.uniform(0.0, self.max_exec)
+        emax = emin + self.rng.uniform(0.0, self.max_exec)
+        crpd = self.rng.uniform(0.0, self.max_crpd)
+        self.blocks.append(BasicBlock(name, emin, emax, crpd))
+        return name
+
+    def edge(self, src: str, dst: str) -> None:
+        self.edges.append((src, dst))
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedCfg:
+    """A generated CFG together with its loop iteration bounds."""
+
+    cfg: ControlFlowGraph
+    iteration_bounds: dict[str, tuple[int, int]]
+
+
+def random_cfg(
+    seed: int,
+    depth: int = 3,
+    branch_probability: float = 0.5,
+    loop_probability: float = 0.25,
+    max_exec: float = 20.0,
+    max_crpd: float = 8.0,
+    max_loop_iterations: int = 4,
+) -> GeneratedCfg:
+    """Generate a random reducible CFG.
+
+    Args:
+        seed: RNG seed (same seed -> same CFG).
+        depth: Recursion depth of the structural generator; the number of
+            blocks grows roughly exponentially with it.
+        branch_probability: Probability of a diamond at each step.
+        loop_probability: Probability of wrapping a region in a loop.
+        max_exec: Upper bound for the random execution times.
+        max_crpd: Upper bound for the random CRPD values.
+        max_loop_iterations: Upper bound for random loop bounds.
+
+    Returns:
+        The generated CFG and the iteration bounds of its loops.
+    """
+    require(depth >= 0, f"depth must be >= 0, got {depth}")
+    require(
+        0.0 <= branch_probability <= 1.0 and 0.0 <= loop_probability <= 1.0,
+        "probabilities must lie in [0, 1]",
+    )
+    builder = _Builder(
+        rng=random.Random(seed), max_exec=max_exec, max_crpd=max_crpd
+    )
+
+    def region(level: int) -> tuple[str, str]:
+        """Generate a single-entry/single-exit region; returns (entry, exit)."""
+        rng = builder.rng
+        if level <= 0:
+            name = builder.new_block()
+            return name, name
+        roll = rng.random()
+        if roll < branch_probability:
+            # Diamond: head -> {left, right} -> join.
+            head = builder.new_block()
+            join = builder.new_block()
+            for _ in range(rng.choice([2, 2, 3])):
+                arm_in, arm_out = region(level - 1)
+                builder.edge(head, arm_in)
+                builder.edge(arm_out, join)
+            return head, join
+        # Sequence of two sub-regions.
+        first_in, first_out = region(level - 1)
+        second_in, second_out = region(level - 1)
+        builder.edge(first_out, second_in)
+        entry, exit_ = first_in, second_out
+        if rng.random() < loop_probability:
+            # Wrap the sequence in a natural loop: exit jumps back to the
+            # entry (which becomes the header), then flows to an afterward
+            # block.  The header must not be the global entry, so add a
+            # pre-header.
+            pre = builder.new_block()
+            after = builder.new_block()
+            builder.edge(pre, entry)
+            builder.edge(exit_, entry)  # back edge
+            builder.edge(exit_, after)
+            lo = rng.randint(0, max_loop_iterations)
+            hi = rng.randint(max(lo, 1), max_loop_iterations)
+            builder.iteration_bounds[entry] = (lo, hi)
+            entry, exit_ = pre, after
+        return entry, exit_
+
+    entry, _ = region(depth)
+    cfg = ControlFlowGraph(builder.blocks, builder.edges, entry)
+    return GeneratedCfg(cfg=cfg, iteration_bounds=builder.iteration_bounds)

@@ -1,0 +1,85 @@
+"""Traversal orders over control-flow graphs."""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.utils.checks import require
+
+
+class NotADagError(ValueError):
+    """Raised when an operation requiring an acyclic CFG meets a cycle."""
+
+
+def topological_order(cfg: ControlFlowGraph) -> list[str]:
+    """Kahn topological order of an acyclic CFG.
+
+    Returns:
+        Block names such that every edge goes from an earlier to a later
+        position.  Ties are broken by block name for determinism.
+
+    Raises:
+        NotADagError: if the CFG contains a cycle (collapse loops first,
+            see :mod:`repro.cfg.loops`).
+    """
+    in_degree = {name: len(cfg.predecessors(name)) for name in cfg.blocks}
+    ready = sorted(name for name, deg in in_degree.items() if deg == 0)
+    order: list[str] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        inserted = []
+        for nxt in cfg.successors(node):
+            in_degree[nxt] -= 1
+            if in_degree[nxt] == 0:
+                inserted.append(nxt)
+        if inserted:
+            ready.extend(inserted)
+            ready.sort()
+    if len(order) != len(cfg.blocks):
+        remaining = sorted(set(cfg.blocks) - set(order))
+        raise NotADagError(f"CFG has a cycle through {remaining}")
+    return order
+
+
+def is_dag(cfg: ControlFlowGraph) -> bool:
+    """Whether the CFG is acyclic."""
+    try:
+        topological_order(cfg)
+    except NotADagError:
+        return False
+    return True
+
+
+def reverse_postorder(cfg: ControlFlowGraph) -> list[str]:
+    """Reverse postorder of a DFS from the entry (defined for any CFG).
+
+    This is the canonical iteration order for forward dataflow analyses
+    (dominators, reaching cache blocks): predecessors tend to appear
+    before successors, which speeds up convergence.
+    """
+    visited: set[str] = set()
+    postorder: list[str] = []
+
+    def visit(root: str) -> None:
+        # Iterative DFS with an explicit stack of (node, successor-iterator).
+        stack = [(root, iter(sorted(cfg.successors(root))))]
+        visited.add(root)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, iter(sorted(cfg.successors(nxt)))))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+
+    visit(cfg.entry)
+    require(
+        len(postorder) == len(cfg.blocks),
+        "reverse_postorder requires all blocks reachable from the entry",
+    )
+    return list(reversed(postorder))

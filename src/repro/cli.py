@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's artifacts without writing any code:
+
+* ``fig4``      — sample the three benchmark delay functions.
+* ``fig5``      — the headline Q sweep (Algorithm 1 vs Eq. 4).
+* ``fig2``      — the naive-bound counterexample run.
+* ``validate``  — Theorem 1 fuzzing campaign against the simulator.
+* ``study``     — acceptance-ratio schedulability study.
+
+All commands print ASCII renderings and write CSVs under ``results/``
+(override with ``REPRO_RESULTS_DIR``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments import generate_fig4, line_plot, write_fig4_csv
+
+    data = generate_fig4(samples=args.samples, knots=args.knots)
+    path = write_fig4_csv(data)
+    series = {
+        name: list(zip(data.ts, values))
+        for name, values in data.series.items()
+    }
+    print(line_plot(series, width=72, height=16, title="Figure 4"))
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        generate_fig5,
+        improvement_summary,
+        line_plot,
+        render_table,
+        write_fig5_csv,
+    )
+
+    data = generate_fig5(knots=args.knots)
+    path = write_fig5_csv(data)
+    print(
+        line_plot(
+            data.series(), width=72, height=20, log_y=True, title="Figure 5"
+        )
+    )
+    summary = improvement_summary(data)
+    print(
+        render_table(
+            ["function", "median SOA / Algorithm 1"],
+            [[k, v] for k, v in sorted(summary.items())],
+        )
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.experiments import render_table, run_figure2_demo
+
+    demo = run_figure2_demo(q=args.q)
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["Q", demo.q],
+                ["naive packing 'bound'", demo.naive_bound],
+                ["simulated run delay", demo.simulated_delay],
+                ["Algorithm 1 bound", demo.algorithm1_bound],
+                ["naive violated", demo.naive_is_violated],
+                ["Algorithm 1 safe", demo.algorithm1_is_safe],
+            ],
+        )
+    )
+    return 0 if demo.naive_is_violated and demo.algorithm1_is_safe else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments import fig4_delay_function
+    from repro.sim import validation_campaign
+    from repro.tasks import Task, TaskSet
+
+    f = fig4_delay_function("gaussian2", knots=512)
+    target = Task(
+        "target", 4000.0, 40_000.0, npr_length=args.q, delay_function=f
+    )
+    hp1 = Task("hp1", 40.0, 900.0)
+    hp2 = Task("hp2", 25.0, 2100.0)
+    tasks = TaskSet([target, hp1, hp2]).rate_monotonic()
+    report = validation_campaign(
+        tasks,
+        policy=args.policy,
+        seeds=range(args.seeds),
+        horizon=args.horizon,
+    )
+    print(
+        f"jobs checked: {report.checked_jobs}; "
+        f"max measured/bound: {report.max_tightness:.3f}; "
+        f"passed: {report.passed}"
+    )
+    return 0 if report.passed else 1
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        acceptance_study,
+        line_plot,
+        render_table,
+        study_series,
+    )
+
+    methods = ["oblivious", "busquets", "algorithm1", "eq4"]
+    points = acceptance_study(
+        utilizations=[0.3, 0.5, 0.65, 0.8, 0.9],
+        methods=methods,
+        n_tasks=args.tasks,
+        sets_per_point=args.sets,
+    )
+    rows = [[p.utilization, *(p.ratios[m] for m in methods)] for p in points]
+    print(render_table(["U", *methods], rows))
+    print(
+        line_plot(
+            study_series(points),
+            width=64,
+            height=14,
+            title="Acceptance ratio vs utilization",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's figures and validation runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig4 = sub.add_parser("fig4", help="sample the benchmark f functions")
+    p_fig4.add_argument("--samples", type=int, default=401)
+    p_fig4.add_argument("--knots", type=int, default=2048)
+    p_fig4.set_defaults(run=_cmd_fig4)
+
+    p_fig5 = sub.add_parser("fig5", help="the headline Q sweep")
+    p_fig5.add_argument("--knots", type=int, default=2048)
+    p_fig5.set_defaults(run=_cmd_fig5)
+
+    p_fig2 = sub.add_parser("fig2", help="naive-bound counterexample")
+    p_fig2.add_argument("--q", type=float, default=100.0)
+    p_fig2.set_defaults(run=_cmd_fig2)
+
+    p_val = sub.add_parser("validate", help="Theorem 1 fuzzing campaign")
+    p_val.add_argument("--q", type=float, default=120.0)
+    p_val.add_argument("--policy", choices=["fp", "edf"], default="fp")
+    p_val.add_argument("--seeds", type=int, default=6)
+    p_val.add_argument("--horizon", type=float, default=60_000.0)
+    p_val.set_defaults(run=_cmd_validate)
+
+    p_study = sub.add_parser("study", help="schedulability study")
+    p_study.add_argument("--tasks", type=int, default=5)
+    p_study.add_argument("--sets", type=int, default=25)
+    p_study.set_defaults(run=_cmd_study)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Algorithm 1 of the paper: cumulative preemption-delay bound under
+floating non-preemptive region (FNPR) scheduling.
+
+Under FNPR scheduling a running task executes at least ``Q_i`` wall-clock
+time units between consecutive preemption *opportunities*.  Algorithm 1
+walks the progression axis in windows: starting from progression ``prog``,
+within the next ``Q_i`` wall-clock units the task pays at most
+``delay_max = max f_i`` over ``[prog, p∩]`` and therefore progresses by at
+least ``Q_i - delay_max``.  Here ``p∩`` is the first point where ``f_i``
+meets the descending line ``D(x) = (prog + Q_i) - x``: a preemption beyond
+``p∩`` would leave that point reachable in a later window, so it is
+deferred to the next iteration (paper, Fig. 3 and Theorem 1).
+
+Extensions implemented beyond the paper's pseudo-code:
+
+* a divergence guard — when ``delay_max >= Q_i`` the analysis cannot
+  guarantee forward progress and the bound is reported as infinite
+  (``converged=False``), exactly as Eq. 4 diverges when ``max f >= Q``;
+* an optional cap on the number of preemptions (the paper's future-work
+  item (ii)): when the release pattern of higher-priority tasks can only
+  cause ``k`` preemptions, the bound becomes the sum of the ``k``
+  *largest* window charges.  This is sound because (a) the analysis
+  windows ``[prog_i, prog_{i+1})`` cover the whole progression axis from
+  ``Q`` on, (b) consecutive run-time preemptions are at least
+  ``Q - f(x_j)`` apart in progression while window ``i`` is exactly
+  ``Q - delay_i <= Q - f(x)`` wide for any ``x`` it contains — so no two
+  preemptions share a window — and (c) each window's charge dominates
+  ``f`` everywhere inside it.  (Simply stopping after ``k`` windows would
+  be UNSOUND: it charges the ``k`` earliest windows, while an adversary
+  places its ``k`` preemptions at the worst ones.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.delay_function import PreemptionDelayFunction
+from repro.utils.checks import require, require_positive
+
+#: Default hard cap on iterations; Algorithm 1 performs at most
+#: ``C / (Q - delay_max)`` iterations, so hitting this cap indicates either
+#: a pathological input or near-divergence.
+DEFAULT_MAX_ITERATIONS = 1_000_000
+
+#: Minimum guaranteed progression per window before the analysis declares
+#: divergence, as a fraction of Q.  Guards against float-precision stalls.
+_MIN_PROGRESS_FRACTION = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class WindowStep:
+    """One iteration of Algorithm 1 (one analysis window).
+
+    Attributes:
+        index: 1-based iteration number.
+        prog: Progression at the start of the window (paper's ``prog``).
+        p_cross: The paper's ``p∩`` — end of the range in which the
+            preemption is assumed to happen within this window.
+        p_max: Leftmost argmax of ``f`` on ``[prog, p_cross]`` (the assumed
+            preemption point).
+        delay: ``f(p_max)`` — the delay charged in this window.
+        p_next: Progression at the start of the next window
+            (``prog + Q - delay``).
+    """
+
+    index: int
+    prog: float
+    p_cross: float
+    p_max: float
+    delay: float
+    p_next: float
+
+
+@dataclass(frozen=True, slots=True)
+class FloatingNPRBound:
+    """Result of Algorithm 1.
+
+    Attributes:
+        total_delay: Upper bound on the cumulative preemption delay
+            (``math.inf`` when the analysis diverges).
+        wcet: The task's ``C_i`` (domain of ``f_i``).
+        q: The NPR length ``Q_i`` used.
+        converged: ``False`` when ``delay_max >= Q`` stalled the analysis.
+        preemptions: Number of windows in which a delay was charged.
+        steps: Per-iteration trace (useful for plots and for regenerating
+            the paper's Figure 3 walkthrough).
+    """
+
+    total_delay: float
+    wcet: float
+    q: float
+    converged: bool
+    preemptions: int
+    steps: tuple[WindowStep, ...] = field(repr=False)
+
+    @property
+    def inflated_wcet(self) -> float:
+        """``C'_i = C_i + total_delay`` (paper, Eq. 5)."""
+        return self.wcet + self.total_delay
+
+
+def floating_npr_delay_bound(
+    f: PreemptionDelayFunction,
+    q: float,
+    max_preemptions: int | None = None,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> FloatingNPRBound:
+    """Run Algorithm 1 and return the cumulative preemption-delay bound.
+
+    Args:
+        f: The task's preemption-delay function ``f_i`` on ``[0, C_i]``.
+        q: The floating non-preemptive region length ``Q_i`` (> 0).
+        max_preemptions: Optional upper bound on the number of preemptions
+            the release pattern permits (future-work extension): the
+            result charges only the ``max_preemptions`` largest window
+            delays.  ``None`` reproduces the paper's Algorithm 1 exactly.
+        max_iterations: Hard safety cap on the number of windows.
+
+    Returns:
+        A :class:`FloatingNPRBound` with the bound, a convergence flag and
+        the full per-window trace.
+
+    Raises:
+        ValueError: on invalid ``q``/``max_preemptions`` or if
+            ``max_iterations`` is exhausted while still converging.
+    """
+    require_positive(q, "q")
+    if max_preemptions is not None:
+        require(max_preemptions >= 0, f"max_preemptions must be >= 0, got {max_preemptions}")
+
+    wcet = f.wcet
+    steps: list[WindowStep] = []
+    total_delay = 0.0
+    prog = 0.0
+    p_next = q  # no preemption can occur during the first Q units (line 4)
+
+    iteration = 0
+    while p_next < wcet:
+        iteration += 1
+        if iteration > max_iterations:
+            raise ValueError(
+                f"Algorithm 1 exceeded {max_iterations} iterations "
+                f"(C={wcet}, Q={q}); the bound is close to divergence"
+            )
+        prog = p_next
+        window_end = min(prog + q, wcet)
+        # p∩: first point where f meets D(x) = (prog + q) - x (lines 7-10).
+        p_cross = f.first_meeting_with_descending_line(prog, window_end, prog + q)
+        if p_cross is None:
+            p_cross = window_end
+        delay, p_max = f.max_on(prog, p_cross)
+        if delay >= q - q * _MIN_PROGRESS_FRACTION:
+            # No forward progress can be guaranteed: the bound diverges.
+            return FloatingNPRBound(
+                total_delay=math.inf,
+                wcet=wcet,
+                q=q,
+                converged=False,
+                preemptions=len(steps),
+                steps=tuple(steps),
+            )
+        p_next = prog + q - delay
+        total_delay += delay
+        steps.append(
+            WindowStep(
+                index=iteration,
+                prog=prog,
+                p_cross=p_cross,
+                p_max=p_max,
+                delay=delay,
+                p_next=p_next,
+            )
+        )
+
+    preemptions = len(steps)
+    if max_preemptions is not None and max_preemptions < len(steps):
+        # Release-pattern cap: the adversary gets to pick which windows
+        # its (at most) k preemptions land in, so charge the k largest.
+        largest = sorted((s.delay for s in steps), reverse=True)
+        total_delay = sum(largest[:max_preemptions])
+        preemptions = max_preemptions
+    return FloatingNPRBound(
+        total_delay=total_delay,
+        wcet=wcet,
+        q=q,
+        converged=True,
+        preemptions=preemptions,
+        steps=tuple(steps),
+    )

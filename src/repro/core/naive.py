@@ -1,0 +1,121 @@
+"""The naive — and *unsound* — point-selection bound (paper, Section V, Fig. 2).
+
+A tempting way to bound the cumulative preemption delay is to select the
+set of points ``p_1 < p_2 < ...`` of ``f_i``, pairwise at least ``Q_i``
+apart (and with ``p_1 >= Q_i``), maximising ``sum f_i(p_k)``.  The paper's
+Figure 2 shows why this is wrong: *paying* preemption delay consumes wall
+time without advancing progression, so at run time the preemption points
+can be closer than ``Q_i`` on the progression axis, allowing more
+preemptions than the static packing admits.
+
+We implement the packing exactly for piecewise-constant functions on an
+integer-valued grid (dynamic programming), so the unsoundness can be
+demonstrated programmatically: :mod:`repro.experiments.figure2` constructs
+an ``f`` and a concrete simulated run whose measured delay exceeds this
+"bound".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.delay_function import PreemptionDelayFunction
+from repro.utils.checks import require, require_positive
+
+
+@dataclass(frozen=True, slots=True)
+class NaivePointSelection:
+    """Result of the naive packing.
+
+    Attributes:
+        total_delay: ``sum f(p_k)`` over the selected points (NOT a safe
+            bound — see module docstring).
+        points: The selected preemption points, increasing, pairwise >= Q
+            apart, first one >= Q.
+        q: The spacing constraint used.
+    """
+
+    total_delay: float
+    points: tuple[float, ...]
+    q: float
+
+
+def naive_point_selection_bound(
+    f: PreemptionDelayFunction,
+    q: float,
+    grid_step: float = 1.0,
+) -> NaivePointSelection:
+    """Maximum-weight selection of preemption points pairwise >= ``q`` apart.
+
+    The continuous packing problem is solved on a uniform grid of pitch
+    ``grid_step``; for piecewise-constant ``f`` whose breakpoints and ``q``
+    are integer multiples of ``grid_step`` the grid solution is exact,
+    because an optimal solution can always be shifted onto plateau edges.
+
+    Args:
+        f: The preemption-delay function.
+        q: Minimum spacing between selected points (> 0), also the earliest
+            admissible first point.
+        grid_step: Grid pitch (> 0).
+
+    Returns:
+        The optimal selection and its (unsound) delay total.
+    """
+    require_positive(q, "q")
+    require_positive(grid_step, "grid_step")
+    wcet = f.wcet
+    if q >= wcet:
+        return NaivePointSelection(total_delay=0.0, points=(), q=q)
+
+    # Candidate points: the uniform grid on [q, wcet), open at wcet since a
+    # task that has completed cannot be preempted.
+    n_points = int(math.floor((wcet - q) / grid_step)) + 1
+    xs = [q + k * grid_step for k in range(n_points)]
+    xs = [x for x in xs if x < wcet]
+    if not xs:
+        return NaivePointSelection(total_delay=0.0, points=(), q=q)
+    values = [f.value(x) for x in xs]
+
+    # DP over candidates: best[i] = best total using points up to index i
+    # with i selected; prev[i] = predecessor index or -1.
+    best = [0.0] * len(xs)
+    prev = [-1] * len(xs)
+    # prefix_best[i] = (value, index) of the best selection ending at <= i.
+    prefix_best_value = [0.0] * len(xs)
+    prefix_best_index = [-1] * len(xs)
+    for i, x in enumerate(xs):
+        best[i] = values[i]
+        prev[i] = -1
+        # Find the last candidate at distance >= q to the left.
+        j = int(math.floor((x - q - xs[0]) / grid_step + 1e-9))
+        if j >= 0:
+            j = min(j, i - 1)
+            while j >= 0 and xs[j] > x - q:
+                j -= 1
+            if j >= 0 and prefix_best_value[j] > 0.0:
+                best[i] += prefix_best_value[j]
+                prev[i] = prefix_best_index[j]
+        if i == 0:
+            prefix_best_value[i] = best[i]
+            prefix_best_index[i] = i
+        elif best[i] > prefix_best_value[i - 1]:
+            prefix_best_value[i] = best[i]
+            prefix_best_index[i] = i
+        else:
+            prefix_best_value[i] = prefix_best_value[i - 1]
+            prefix_best_index[i] = prefix_best_index[i - 1]
+
+    end = prefix_best_index[-1]
+    total = prefix_best_value[-1]
+    chosen: list[float] = []
+    i = end
+    while i >= 0:
+        chosen.append(xs[i])
+        i = prev[i]
+    chosen.reverse()
+    require(
+        all(b - a >= q - 1e-9 for a, b in zip(chosen, chosen[1:])),
+        "internal error: selected points violate spacing",
+    )
+    return NaivePointSelection(total_delay=total, points=tuple(chosen), q=q)

@@ -1,0 +1,128 @@
+"""State-of-the-art baseline bound (paper, Eq. 4).
+
+The pre-existing approach the paper compares against charges the *global*
+maximum of the delay function once per possible preemption, and iterates
+because paying delay lengthens the execution, which in turn admits more
+preemptions::
+
+    C'(0) = C
+    C'(k) = C + ceil(C'(k-1) / Q) * max_t f(t)
+
+The fixpoint (when it exists) gives ``total_delay = C' - C``.  The method
+is oblivious to the *shape* of ``f`` — which is exactly the pessimism
+Algorithm 1 removes — so its output is identical for any two functions
+sharing ``C`` and ``max f`` (paper, Section VI).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.delay_function import PreemptionDelayFunction
+from repro.utils.checks import require_non_negative, require_positive
+
+#: Iteration cap; with ``max f < Q`` the recurrence is a contraction on the
+#: integer preemption count so real inputs converge in a handful of steps.
+DEFAULT_MAX_ITERATIONS = 100_000
+
+
+@dataclass(frozen=True, slots=True)
+class StateOfTheArtBound:
+    """Result of the Eq. 4 fixpoint iteration.
+
+    Attributes:
+        total_delay: ``C' - C`` at the fixpoint (``math.inf`` on divergence).
+        wcet: The task WCET ``C``.
+        q: The NPR length ``Q``.
+        max_delay: The global maximum of ``f`` used by the recurrence.
+        converged: Whether the recurrence reached a fixpoint.
+        preemptions: ``ceil(C'/Q)`` at the fixpoint — the number of
+            preemptions the bound charges for.
+        trace: Successive ``C'`` values, starting at ``C``.
+    """
+
+    total_delay: float
+    wcet: float
+    q: float
+    max_delay: float
+    converged: bool
+    preemptions: int
+    trace: tuple[float, ...] = field(repr=False)
+
+    @property
+    def inflated_wcet(self) -> float:
+        """``C' = C + total_delay``."""
+        return self.wcet + self.total_delay
+
+
+def state_of_the_art_delay_bound(
+    f: PreemptionDelayFunction,
+    q: float,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> StateOfTheArtBound:
+    """Compute the Eq. 4 bound for delay function ``f`` and NPR length ``q``.
+
+    Divergence: when ``max f >= q`` each charged preemption admits at least
+    one more, so no fixpoint exists; the bound is reported infinite with
+    ``converged=False`` (the paper's Figure 5 simply starts its Q sweep
+    above that threshold).
+
+    Args:
+        f: Preemption-delay function (only ``C`` and ``max f`` are used).
+        q: Floating-NPR length (> 0).
+        max_iterations: Safety cap on fixpoint iterations.
+
+    Raises:
+        ValueError: if the cap is exhausted before reaching a fixpoint even
+            though ``max f < q`` (cannot happen for finite inputs).
+    """
+    require_positive(q, "q")
+    wcet = f.wcet
+    max_delay = f.max_value()
+    require_non_negative(max_delay, "max f")
+
+    if max_delay == 0.0:
+        return StateOfTheArtBound(
+            total_delay=0.0,
+            wcet=wcet,
+            q=q,
+            max_delay=0.0,
+            converged=True,
+            preemptions=0,
+            trace=(wcet,),
+        )
+    if max_delay >= q:
+        # Each window of Q wall-clock units is fully consumed by the charged
+        # delay: the recurrence grows without bound.
+        return StateOfTheArtBound(
+            total_delay=math.inf,
+            wcet=wcet,
+            q=q,
+            max_delay=max_delay,
+            converged=False,
+            preemptions=0,
+            trace=(wcet,),
+        )
+
+    trace = [wcet]
+    c_prime = wcet
+    for _ in range(max_iterations):
+        preemptions = math.ceil(c_prime / q)
+        updated = wcet + preemptions * max_delay
+        trace.append(updated)
+        if updated == c_prime:
+            return StateOfTheArtBound(
+                total_delay=c_prime - wcet,
+                wcet=wcet,
+                q=q,
+                max_delay=max_delay,
+                converged=True,
+                preemptions=preemptions,
+                trace=tuple(trace),
+            )
+        c_prime = updated
+    raise ValueError(
+        f"Eq. 4 fixpoint did not stabilise within {max_iterations} iterations "
+        f"(C={wcet}, Q={q}, max f={max_delay})"
+    )

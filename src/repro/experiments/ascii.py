@@ -1,0 +1,110 @@
+"""Plain-text rendering: tables and log-scale line plots.
+
+The original figures are matplotlib plots; this reproduction renders the
+same series as ASCII so the benchmark harness can print them on any
+terminal and diff them in CI.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.utils.checks import require
+
+_SYMBOLS = "ox+*#@%&"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], floatfmt: str = ".4g"
+) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    require(bool(headers), "need at least one column")
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            if math.isinf(cell):
+                return "inf" if cell > 0 else "-inf"
+            return format(cell, floatfmt)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Scatter the series onto a character grid (legend included).
+
+    Args:
+        series: Mapping name -> ``(x, y)`` points; non-finite y values
+            are skipped.
+        width: Plot width in characters.
+        height: Plot height in characters.
+        log_y: Use a log10 ordinate (points ``<= 0`` are skipped).
+        title: Optional title line.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    require(width >= 16 and height >= 4, "plot must be at least 16x4")
+    points: list[tuple[float, float, int]] = []
+    names = list(series)
+    for idx, name in enumerate(names):
+        for x, y in series[name]:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            if log_y and y <= 0:
+                continue
+            points.append((x, math.log10(y) if log_y else y, idx))
+    if not points:
+        return f"{title}\n(no finite points to plot)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, idx in points:
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = _SYMBOLS[idx % len(_SYMBOLS)]
+
+    def y_label(value: float) -> str:
+        shown = 10**value if log_y else value
+        return f"{shown:>10.3g} |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row_chars in enumerate(grid):
+        value = y_hi - (y_hi - y_lo) * r / (height - 1)
+        lines.append(y_label(value) + "".join(row_chars))
+    lines.append(" " * 11 + "+" + "-" * (width - 1))
+    lines.append(
+        " " * 11 + f"x: [{x_lo:g} .. {x_hi:g}]"
+        + ("   (log y)" if log_y else "")
+    )
+    legend = "   ".join(
+        f"{_SYMBOLS[i % len(_SYMBOLS)]} = {name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

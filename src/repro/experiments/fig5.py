@@ -1,0 +1,141 @@
+"""FIG5: cumulative preemption-delay bounds versus Q (the paper's
+headline evaluation).
+
+For every Q in the sweep, compute Algorithm 1's bound for each of the
+three benchmark functions plus the Eq. 4 state-of-the-art bound (which is
+identical for all three, since they share ``C`` and ``max f`` — asserted
+here rather than assumed).  The paper plots Q from near the divergence
+threshold (``Q <= max f = 10`` diverges) up to ``C/2 = 2000`` with a
+logarithmic delay axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.bounds import compare_bounds
+from repro.experiments.functions_fig4 import (
+    FIG4_MAX,
+    FIG4_NAMES,
+    FIG4_WCET,
+    fig4_functions,
+)
+from repro.experiments.io import write_csv
+from repro.utils.checks import require
+
+
+@dataclass(frozen=True, slots=True)
+class Fig5Row:
+    """One Q sample of the Figure 5 sweep.
+
+    Attributes:
+        q: The NPR length.
+        algorithm1: Bound per benchmark function name.
+        state_of_the_art: The (shared) Eq. 4 bound.
+    """
+
+    q: float
+    algorithm1: dict[str, float]
+    state_of_the_art: float
+
+
+@dataclass(frozen=True, slots=True)
+class Fig5Data:
+    """The whole sweep."""
+
+    rows: tuple[Fig5Row, ...]
+    interpretation: str
+
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        """Plot-ready series: three Algorithm 1 curves + the SOA curve."""
+        result: dict[str, list[tuple[float, float]]] = {
+            name: [] for name in FIG4_NAMES
+        }
+        result["state_of_the_art"] = []
+        for row in self.rows:
+            for name in FIG4_NAMES:
+                value = row.algorithm1[name]
+                if math.isfinite(value):
+                    result[name].append((row.q, value))
+            if math.isfinite(row.state_of_the_art):
+                result["state_of_the_art"].append(
+                    (row.q, row.state_of_the_art)
+                )
+        return result
+
+    def as_rows(self) -> list[tuple]:
+        """CSV rows: ``q, alg1_gaussian1, alg1_gaussian2, alg1_bimodal, soa``."""
+        return [
+            (
+                row.q,
+                *(row.algorithm1[name] for name in FIG4_NAMES),
+                row.state_of_the_art,
+            )
+            for row in self.rows
+        ]
+
+
+def default_q_grid(
+    q_min: float = FIG4_MAX + 2.0,
+    q_max: float = FIG4_WCET / 2.0,
+    points: int = 40,
+) -> list[float]:
+    """Log-spaced Q grid from just above the divergence threshold to C/2."""
+    require(0 < q_min < q_max, "need 0 < q_min < q_max")
+    require(points >= 2, "need at least two points")
+    ratio = (q_max / q_min) ** (1.0 / (points - 1))
+    return [q_min * ratio**k for k in range(points)]
+
+
+def generate_fig5(
+    qs: list[float] | None = None,
+    interpretation: str = "literal",
+    knots: int = 2048,
+) -> Fig5Data:
+    """Run the Figure 5 sweep.
+
+    Args:
+        qs: NPR lengths to evaluate (default: :func:`default_q_grid`).
+        interpretation: Benchmark-function interpretation.
+        knots: Function resolution.
+
+    Returns:
+        The sweep data; the shape-obliviousness of Eq. 4 (same bound for
+        all three functions) is verified along the way.
+    """
+    qs = qs if qs is not None else default_q_grid()
+    functions = fig4_functions(interpretation, knots)
+    rows: list[Fig5Row] = []
+    for q in qs:
+        alg1: dict[str, float] = {}
+        soa_values: list[float] = []
+        for name, f in functions.items():
+            comparison = compare_bounds(f, q)
+            alg1[name] = comparison.algorithm1.total_delay
+            soa_values.append(comparison.state_of_the_art.total_delay)
+        spread = max(soa_values) - min(soa_values)
+        require(
+            (math.isfinite(spread) and spread < 1e-6)
+            or all(math.isinf(v) for v in soa_values),
+            "Eq. 4 must give the same bound for all three functions "
+            f"(got {soa_values} at Q={q})",
+        )
+        rows.append(
+            Fig5Row(
+                q=q,
+                algorithm1=alg1,
+                state_of_the_art=soa_values[0],
+            )
+        )
+    return Fig5Data(rows=tuple(rows), interpretation=interpretation)
+
+
+def write_fig5_csv(data: Fig5Data, filename: str = "fig5.csv"):
+    """Write the sweep to the results directory."""
+    headers = (
+        "q",
+        *(f"alg1_{name}" for name in FIG4_NAMES),
+        "state_of_the_art",
+    )
+    return write_csv(filename, headers, data.as_rows())

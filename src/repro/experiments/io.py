@@ -1,0 +1,56 @@
+"""CSV output helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import csv
+import os
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.utils.checks import require
+
+#: Environment variable overriding the results directory.
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+
+
+def results_dir() -> Path:
+    """The directory experiment CSVs are written to.
+
+    Defaults to ``./results`` relative to the current working directory;
+    override with the ``REPRO_RESULTS_DIR`` environment variable.  The
+    directory is created on demand.
+    """
+    root = Path(os.environ.get(RESULTS_DIR_ENV, "results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def write_csv(
+    filename: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    directory: Path | None = None,
+) -> Path:
+    """Write rows to ``<results_dir>/<filename>``.
+
+    Args:
+        filename: Target file name (must end in ``.csv``).
+        headers: Column names.
+        rows: Row tuples (same arity as ``headers``).
+        directory: Override the results directory.
+
+    Returns:
+        The written file path.
+    """
+    require(filename.endswith(".csv"), f"expected a .csv filename, got {filename!r}")
+    target = (directory or results_dir()) / filename
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            require(
+                len(row) == len(headers),
+                f"row arity {len(row)} != header arity {len(headers)}",
+            )
+            writer.writerow(row)
+    return target

@@ -1,0 +1,112 @@
+"""One-call regeneration of every paper artifact.
+
+``generate_all()`` is the programmatic equivalent of running the whole
+benchmark harness: it produces the Figure 4/5 CSVs, the Figure 2
+counterexample, the Theorem 1 validation report and the schedulability
+study, returning everything in a single summary object.  The CLI
+(``python -m repro``) exposes the same pieces individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.fig4 import Fig4Data, generate_fig4, write_fig4_csv
+from repro.experiments.fig5 import Fig5Data, generate_fig5, write_fig5_csv
+from repro.experiments.figure2 import Figure2Demo, run_figure2_demo
+from repro.experiments.schedulability_study import (
+    StudyPoint,
+    acceptance_study,
+)
+from repro.sim.validation import ValidationReport, validation_campaign
+from repro.tasks.task import Task, TaskSet
+
+
+@dataclass(frozen=True, slots=True)
+class ReproductionSummary:
+    """Everything ``generate_all`` produced.
+
+    Attributes:
+        fig4: Sampled benchmark functions.
+        fig5: The Q sweep.
+        fig2: The naive-bound counterexample.
+        validation: Theorem 1 fuzzing report.
+        study: Schedulability acceptance curves.
+        csv_paths: Files written under the results directory.
+    """
+
+    fig4: Fig4Data
+    fig5: Fig5Data
+    fig2: Figure2Demo
+    validation: ValidationReport
+    study: list[StudyPoint]
+    csv_paths: tuple[Path, ...]
+
+    @property
+    def healthy(self) -> bool:
+        """All headline checks in one boolean: Theorem 1 held, the naive
+        bound was violated while Algorithm 1 stayed safe, and Algorithm 1
+        never exceeded the Eq. 4 state of the art."""
+        fig5_ok = all(
+            value <= row.state_of_the_art + 1e-9
+            for row in self.fig5.rows
+            for value in row.algorithm1.values()
+        )
+        return (
+            self.validation.passed
+            and self.fig2.naive_is_violated
+            and self.fig2.algorithm1_is_safe
+            and fig5_ok
+        )
+
+
+def _validation_task_set(q: float) -> TaskSet:
+    from repro.experiments.functions_fig4 import fig4_delay_function
+
+    f = fig4_delay_function("gaussian2", knots=512)
+    return TaskSet(
+        [
+            Task("target", 4000.0, 40_000.0, npr_length=q, delay_function=f),
+            Task("hp1", 40.0, 900.0),
+            Task("hp2", 25.0, 2100.0),
+        ]
+    ).rate_monotonic()
+
+
+def generate_all(
+    knots: int = 1024,
+    validation_seeds: int = 4,
+    study_sets_per_point: int = 15,
+) -> ReproductionSummary:
+    """Regenerate every figure and check; returns the combined summary.
+
+    Args:
+        knots: Resolution of the synthetic delay functions (lower = faster).
+        validation_seeds: Fuzzing seeds for the Theorem 1 campaign.
+        study_sets_per_point: Task sets per utilization level.
+    """
+    fig4 = generate_fig4(knots=knots)
+    fig5 = generate_fig5(knots=knots)
+    paths = (write_fig4_csv(fig4), write_fig5_csv(fig5))
+    fig2 = run_figure2_demo()
+    validation = validation_campaign(
+        _validation_task_set(q=120.0),
+        policy="fp",
+        seeds=range(validation_seeds),
+        horizon=50_000.0,
+    )
+    study = acceptance_study(
+        utilizations=[0.3, 0.6, 0.9],
+        methods=["oblivious", "algorithm1", "eq4"],
+        n_tasks=5,
+        sets_per_point=study_sets_per_point,
+    )
+    return ReproductionSummary(
+        fig4=fig4,
+        fig5=fig5,
+        fig2=fig2,
+        validation=validation,
+        study=study,
+        csv_paths=paths,
+    )

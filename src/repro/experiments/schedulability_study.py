@@ -1,0 +1,126 @@
+"""EXT-D: end-to-end schedulability study.
+
+The paper stops at per-task delay bounds; this extension closes the loop:
+generate random task sets, derive NPR lengths, attach synthetic delay
+functions, and measure the acceptance ratio of each delay-aware test as
+utilization grows.  Expected ordering: ``oblivious`` (unsafe, most
+accepting) >= ``algorithm1`` >= ``eq4`` (most pessimistic of the
+inflation tests) — the gap between the last two is the paper's
+contribution expressed as schedulability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.npr.assignment import assign_npr_lengths
+from repro.sched.crpd_rta import delay_aware_rta
+from repro.tasks.generation import gaussian_delay_factory, generate_task_set
+from repro.tasks.task import TaskSet
+from repro.utils.checks import require
+
+
+@dataclass(frozen=True, slots=True)
+class StudyPoint:
+    """Acceptance ratios at one utilization level.
+
+    Attributes:
+        utilization: Target total utilization of the generated sets.
+        ratios: Mapping method name -> fraction of sets accepted.
+        generated: Number of task sets generated at this level.
+    """
+
+    utilization: float
+    ratios: dict[str, float]
+    generated: int
+
+
+def _prepared_task_set(
+    n_tasks: int,
+    utilization: float,
+    seed: int,
+    q_fraction: float,
+    delay_height: float,
+) -> TaskSet | None:
+    """Generate, prioritise and NPR-annotate one task set.
+
+    Returns ``None`` when the set admits no NPR assignment (negative
+    blocking tolerance): every delay-aware test counts it as a rejection.
+    """
+    factory = gaussian_delay_factory(relative_height=delay_height)
+    tasks = generate_task_set(
+        n_tasks,
+        utilization,
+        seed=seed,
+        delay_function_factory=factory,
+    ).rate_monotonic()
+    try:
+        return assign_npr_lengths(tasks, policy="fp", fraction=q_fraction)
+    except ValueError:
+        return None
+
+
+def acceptance_study(
+    utilizations: list[float],
+    methods: list[str],
+    n_tasks: int = 6,
+    sets_per_point: int = 40,
+    q_fraction: float = 0.5,
+    delay_height: float = 0.05,
+    seed: int = 2012,
+) -> list[StudyPoint]:
+    """Acceptance ratio versus utilization for each test method.
+
+    Args:
+        utilizations: Utilization levels to sample.
+        methods: Test methods (see :data:`repro.sched.METHODS`).
+        n_tasks: Tasks per generated set.
+        sets_per_point: Sets generated per utilization level.
+        q_fraction: Fraction of the maximal safe NPR length to assign.
+        delay_height: ``max f_i`` as a fraction of each task's WCET.
+        seed: Base RNG seed.
+
+    Returns:
+        One :class:`StudyPoint` per utilization level.
+    """
+    require(bool(utilizations), "need at least one utilization level")
+    require(sets_per_point > 0, "sets_per_point must be > 0")
+    points: list[StudyPoint] = []
+    for level, utilization in enumerate(utilizations):
+        accepted = {m: 0 for m in methods}
+        for k in range(sets_per_point):
+            task_set = _prepared_task_set(
+                n_tasks,
+                utilization,
+                seed=seed + level * 10_000 + k,
+                q_fraction=q_fraction,
+                delay_height=delay_height,
+            )
+            if task_set is None:
+                continue  # counts as rejection for every method
+            for method in methods:
+                if delay_aware_rta(task_set, method).schedulable:
+                    accepted[method] += 1
+        points.append(
+            StudyPoint(
+                utilization=utilization,
+                ratios={
+                    m: accepted[m] / sets_per_point for m in methods
+                },
+                generated=sets_per_point,
+            )
+        )
+    return points
+
+
+def study_series(
+    points: list[StudyPoint],
+) -> dict[str, list[tuple[float, float]]]:
+    """Plot-ready series: one curve per method."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for point in points:
+        for method, ratio in point.ratios.items():
+            series.setdefault(method, []).append(
+                (point.utilization, ratio)
+            )
+    return series

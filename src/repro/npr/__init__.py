@@ -1,0 +1,33 @@
+"""Non-preemptive-region length determination (substrate S8).
+
+The paper assumes ``Q_i`` "given" per Bertogna & Baruah [2] (EDF) and
+Marinho & Petters [12] / Yao et al. [11] (fixed priority); this package
+computes them, plus the preemption-count bounds for the paper's
+future-work extension (ii).
+"""
+
+from repro.npr.assignment import assign_npr_lengths
+from repro.npr.preemption_count import (
+    higher_priority_tasks,
+    max_preemptions,
+    max_preemptions_release_based,
+    max_preemptions_window_based,
+)
+from repro.npr.qmax_edf import edf_blocking_tolerance, edf_max_npr_lengths
+from repro.npr.qmax_fp import fp_blocking_tolerances, fp_max_npr_lengths
+from repro.npr.tuning import TuningPoint, best_fraction, q_fraction_sweep
+
+__all__ = [
+    "edf_blocking_tolerance",
+    "edf_max_npr_lengths",
+    "fp_blocking_tolerances",
+    "fp_max_npr_lengths",
+    "assign_npr_lengths",
+    "max_preemptions",
+    "max_preemptions_window_based",
+    "max_preemptions_release_based",
+    "higher_priority_tasks",
+    "TuningPoint",
+    "q_fraction_sweep",
+    "best_fraction",
+]

@@ -1,0 +1,81 @@
+"""Bounds on the number of preemptions a job can suffer.
+
+The paper's Algorithm 1 conservatively assumes a preemption every ``Q_i``
+units; its future-work item (ii) observes that the release pattern of
+higher-priority tasks often cannot sustain that rate.  This module
+provides the two classic counts and their combination, which plugs
+directly into :func:`repro.core.floating_npr_delay_bound` via its
+``max_preemptions`` parameter.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tasks.task import Task, TaskSet
+from repro.utils.checks import require, require_positive
+
+
+def max_preemptions_window_based(inflated_wcet: float, q: float) -> int:
+    """Windows of length ``Q`` fitting in the (inflated) execution.
+
+    ``ceil(C' / Q) - 1``: a job executing ``C'`` time units contains at
+    most that many *interior* boundaries between consecutive NPR windows
+    (the count used by Marinho & Petters [12]; the final chunk runs to
+    completion and cannot be preempted at its end).
+    """
+    require_positive(q, "q")
+    require_positive(inflated_wcet, "inflated_wcet")
+    return max(math.ceil(inflated_wcet / q) - 1, 0)
+
+
+def max_preemptions_release_based(
+    task: Task,
+    higher_priority: list[Task],
+    window: float | None = None,
+) -> int:
+    """Higher-priority releases within the job's lifetime window.
+
+    Every preemption needs a fresh higher-priority job release, so the
+    number of releases inside the response window bounds the number of
+    preemptions.
+
+    Args:
+        task: The analysed task.
+        higher_priority: Tasks that can preempt it.
+        window: Window length to count releases in; defaults to the
+            task's deadline (a valid choice for schedulable tasks).
+    """
+    w = window if window is not None else task.deadline
+    require_positive(w, "window")
+    return sum(math.ceil(w / hp.period) for hp in higher_priority)
+
+
+def max_preemptions(
+    task: Task,
+    higher_priority: list[Task],
+    inflated_wcet: float | None = None,
+    window: float | None = None,
+) -> int:
+    """The tighter of the window-based and release-based counts."""
+    require(
+        task.npr_length is not None,
+        f"task {task.name} needs an assigned npr_length",
+    )
+    c_prime = inflated_wcet if inflated_wcet is not None else task.wcet
+    return min(
+        max_preemptions_window_based(c_prime, task.npr_length),
+        max_preemptions_release_based(task, higher_priority, window),
+    )
+
+
+def higher_priority_tasks(tasks: TaskSet, task: Task) -> list[Task]:
+    """Tasks that can preempt ``task`` under fixed priorities."""
+    require(task.priority is not None, f"{task.name} has no priority")
+    return [
+        t
+        for t in tasks
+        if t.name != task.name
+        and t.priority is not None
+        and t.priority < task.priority
+    ]

@@ -1,0 +1,74 @@
+"""Maximum floating-NPR lengths under EDF (Bertogna & Baruah [2]).
+
+Under EDF with limited preemptions, a job of τ_i executing inside a
+non-preemptive region blocks every job with an earlier absolute deadline.
+Bertogna & Baruah bound the tolerable blocking at "deadline level" ``t``
+by the slack of the processor-demand criterion::
+
+    beta(t) = t - dbf(t)
+
+and the largest safe NPR length for τ_k (the paper's ``Q_k``) is the
+minimum slack over all levels that τ_k's NPR could block — i.e. every
+``t`` smaller than ``D_k``::
+
+    Q_k = min { beta(t) : D_min <= t < D_k }
+
+For the task with the smallest relative deadline no level can be blocked,
+so its NPR is bounded only by its own WCET.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sched.dbf import demand_bound_function, testing_points
+from repro.tasks.task import TaskSet
+from repro.utils.checks import require
+
+
+def edf_blocking_tolerance(tasks: TaskSet, level: float) -> float:
+    """Slack ``beta(level) = level - dbf(level)`` of the demand criterion."""
+    return level - demand_bound_function(tasks, level)
+
+
+def edf_max_npr_lengths(
+    tasks: TaskSet,
+    cap_at_wcet: bool = True,
+) -> dict[str, float]:
+    """Largest safe floating-NPR length of every task under EDF.
+
+    Args:
+        tasks: The task set (any order; sorted internally by deadline).
+        cap_at_wcet: Also cap each ``Q_k`` at ``C_k`` — an NPR longer
+            than the task's own execution is meaningless.
+
+    Returns:
+        Mapping task name -> ``Q_k`` (``math.inf`` if unconstrained and
+        ``cap_at_wcet`` is ``False``).
+
+    Raises:
+        ValueError: when the task set is not EDF-schedulable even fully
+            preemptively (some slack is negative), in which case no NPR
+            assignment exists.
+    """
+    ordered = tasks.sorted_by_deadline()
+    deadlines = [t.deadline for t in ordered]
+    d_max = deadlines[-1]
+    points = [p for p in testing_points(tasks, d_max) if p < d_max]
+
+    result: dict[str, float] = {}
+    for task in ordered:
+        relevant = [p for p in points if deadlines[0] <= p < task.deadline]
+        if relevant:
+            q = min(edf_blocking_tolerance(tasks, p) for p in relevant)
+            require(
+                q >= 0,
+                f"task set has negative slack below D_{task.name}: "
+                "not EDF-schedulable even fully preemptively",
+            )
+        else:
+            q = math.inf
+        if cap_at_wcet:
+            q = min(q, task.wcet)
+        result[task.name] = q
+    return result

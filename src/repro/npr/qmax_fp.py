@@ -1,0 +1,103 @@
+"""Maximum floating-NPR lengths under fixed priority (Yao et al. [11]).
+
+The *blocking tolerance* ``beta_i`` of task τ_i is the largest amount of
+lower-priority blocking τ_i can absorb while still meeting its deadline.
+With the level-i workload ``W_i(t) = C_i + sum_{j<i} ceil(t / T_j) C_j``
+and the Lehoczky testing set ``TS_i`` (multiples of higher-priority
+periods up to ``D_i``, plus ``D_i`` itself)::
+
+    beta_i = max { t - W_i(t) : t in TS_i, t <= D_i }
+
+An NPR of τ_i blocks exactly the *higher*-priority tasks, so the largest
+safe NPR length is::
+
+    Q_i = min { beta_j : j higher priority than i }
+
+(the highest-priority task is unconstrained).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tasks.task import TaskSet
+from repro.utils.checks import require
+
+
+def _level_i_workload(tasks: list, i: int, t: float) -> float:
+    """``W_i(t)``: task i's WCET plus higher-priority interference."""
+    total = tasks[i].wcet
+    for j in range(i):
+        total += math.ceil(t / tasks[j].period) * tasks[j].wcet
+    return total
+
+
+def _testing_set(tasks: list, i: int) -> list[float]:
+    """Lehoczky points for level i: ``k * T_j <= D_i`` plus ``D_i``."""
+    deadline = tasks[i].deadline
+    points = {deadline}
+    for j in range(i):
+        period = tasks[j].period
+        k = 1
+        while k * period <= deadline:
+            points.add(k * period)
+            k += 1
+    return sorted(points)
+
+
+def fp_blocking_tolerances(tasks: TaskSet) -> dict[str, float]:
+    """Blocking tolerance ``beta_i`` of every task.
+
+    Args:
+        tasks: Task set with priorities assigned (see
+            :meth:`~repro.tasks.TaskSet.rate_monotonic`).
+
+    Returns:
+        Mapping task name -> ``beta_i``; a negative value means the task
+        misses its deadline even without blocking.
+    """
+    ordered = list(tasks.sorted_by_priority())
+    result: dict[str, float] = {}
+    for i, task in enumerate(ordered):
+        best = -math.inf
+        for t in _testing_set(ordered, i):
+            slack = t - _level_i_workload(ordered, i, t)
+            best = max(best, slack)
+        result[task.name] = best
+    return result
+
+
+def fp_max_npr_lengths(
+    tasks: TaskSet,
+    cap_at_wcet: bool = True,
+) -> dict[str, float]:
+    """Largest safe floating-NPR length of every task under fixed priority.
+
+    Args:
+        tasks: Task set with priorities assigned.
+        cap_at_wcet: Also cap each ``Q_i`` at ``C_i``.
+
+    Returns:
+        Mapping task name -> ``Q_i``.
+
+    Raises:
+        ValueError: when some task has negative blocking tolerance (the
+            set is unschedulable regardless of NPR lengths).
+    """
+    ordered = list(tasks.sorted_by_priority())
+    tolerances = fp_blocking_tolerances(tasks)
+    for name, beta in tolerances.items():
+        require(
+            beta >= 0,
+            f"task {name} has negative blocking tolerance ({beta:.3f}): "
+            "unschedulable under fixed priority even without blocking",
+        )
+    result: dict[str, float] = {}
+    running_min = math.inf
+    for task in ordered:
+        q = running_min  # min tolerance over strictly higher priorities
+        if cap_at_wcet:
+            q = min(q, task.wcet)
+        result[task.name] = q
+        running_min = min(running_min, tolerances[task.name])
+    return result

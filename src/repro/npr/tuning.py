@@ -1,0 +1,98 @@
+"""NPR-length tuning: picking Q along the blocking/delay trade-off.
+
+Longer floating NPRs collate more preemptions (fewer, hence less
+cumulative delay for the preempted task) but block higher-priority tasks
+for longer; shorter NPRs do the opposite.  Schedulability is therefore
+*not* monotone in Q, so this module sweeps candidate fractions of the
+maximal safe lengths and reports, for each, the delay-aware verdict and
+the worst normalized response time — giving a designer the whole
+trade-off curve instead of a single point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.npr.assignment import assign_npr_lengths
+from repro.sched.crpd_rta import delay_aware_rta
+from repro.tasks.task import TaskSet
+from repro.utils.checks import require
+
+
+@dataclass(frozen=True, slots=True)
+class TuningPoint:
+    """Outcome of one Q-fraction candidate.
+
+    Attributes:
+        fraction: Fraction of the maximal safe NPR lengths assigned.
+        schedulable: Verdict of the delay-aware test.
+        worst_slack_ratio: ``min_i (D_i - R_i) / D_i`` over all tasks
+            (negative or ``-inf`` when some task misses).
+    """
+
+    fraction: float
+    schedulable: bool
+    worst_slack_ratio: float
+
+
+def q_fraction_sweep(
+    tasks: TaskSet,
+    fractions: list[float],
+    policy: str = "fp",
+    method: str = "algorithm1",
+) -> list[TuningPoint]:
+    """Evaluate the delay-aware test at several NPR-length fractions.
+
+    Args:
+        tasks: Task set with priorities and delay functions attached.
+        fractions: Candidate fractions in ``(0, 1]``.
+        policy: Q-derivation policy (``"fp"`` or ``"edf"``).
+        method: Delay-aware RTA flavour (see :data:`repro.sched.METHODS`).
+
+    Returns:
+        One :class:`TuningPoint` per candidate fraction (in input order).
+    """
+    require(bool(fractions), "need at least one candidate fraction")
+    points: list[TuningPoint] = []
+    for fraction in fractions:
+        try:
+            assigned = assign_npr_lengths(tasks, policy=policy, fraction=fraction)
+        except ValueError:
+            points.append(
+                TuningPoint(
+                    fraction=fraction,
+                    schedulable=False,
+                    worst_slack_ratio=-math.inf,
+                )
+            )
+            continue
+        result = delay_aware_rta(assigned, method)
+        worst = math.inf
+        for task in assigned:
+            r = result.rta.response_times[task.name]
+            if math.isinf(r):
+                worst = -math.inf
+                break
+            worst = min(worst, (task.deadline - r) / task.deadline)
+        points.append(
+            TuningPoint(
+                fraction=fraction,
+                schedulable=result.schedulable,
+                worst_slack_ratio=worst,
+            )
+        )
+    return points
+
+
+def best_fraction(points: list[TuningPoint]) -> TuningPoint | None:
+    """The schedulable point with the largest worst-case slack ratio.
+
+    Returns:
+        The best tuning point, or ``None`` when no candidate fraction
+        yields a schedulable assignment.
+    """
+    schedulable = [p for p in points if p.schedulable]
+    if not schedulable:
+        return None
+    return max(schedulable, key=lambda p: p.worst_slack_ratio)

@@ -1,0 +1,120 @@
+"""Binary operations on piecewise functions.
+
+The operations work by merging the breakpoint grids of both operands and
+combining the affine pieces exactly on each merged cell.  Jump
+discontinuities are preserved: a cell boundary where either operand jumps
+becomes a boundary of the result.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Callable
+
+from repro.piecewise.function import PiecewiseFunction
+from repro.piecewise.segments import Segment
+from repro.utils.checks import require
+
+_MERGE_TOLERANCE = 1e-12
+
+
+def _merged_grid(f: PiecewiseFunction, g: PiecewiseFunction) -> list[float]:
+    """Union of the breakpoint grids of ``f`` and ``g`` on their common domain."""
+    require(f.domain == g.domain, f"domains differ: {f.domain} vs {g.domain}")
+    points = sorted(set(f.breakpoints()) | set(g.breakpoints()))
+    merged = [points[0]]
+    for p in points[1:]:
+        if p - merged[-1] > _MERGE_TOLERANCE:
+            merged.append(p)
+    # Guard against the last point collapsing onto its predecessor.
+    if merged[-1] != points[-1]:
+        merged[-1] = points[-1]
+    return merged
+
+
+def _segment_on_cell(
+    fn: PiecewiseFunction, starts: list[float], a: float, b: float
+) -> Segment:
+    """The restriction of ``fn`` to the cell ``[a, b]`` as a single segment.
+
+    The cell is contained in one affine piece of ``fn`` by construction of
+    the merged grid; ``starts`` is the precomputed list of piece start
+    abscissae of ``fn`` used for binary search.
+    """
+    mid = 0.5 * (a + b)
+    idx = max(bisect.bisect_right(starts, mid) - 1, 0)
+    seg = fn.segments[idx]
+    if seg.x0 <= mid <= seg.x1:
+        return Segment(a, b, seg.value_at(max(a, seg.x0)), seg.value_at(min(b, seg.x1)))
+    raise AssertionError(f"no segment of {fn!r} contains {mid}")  # pragma: no cover
+
+
+def combine(
+    f: PiecewiseFunction,
+    g: PiecewiseFunction,
+    op: Callable[[float, float], float],
+) -> PiecewiseFunction:
+    """Pointwise combination ``op(f, g)`` on a merged grid.
+
+    ``op`` is applied to segment endpoint values on each merged cell, which
+    is exact for operations that map affine pieces to affine pieces
+    (``+``, ``-``, constant blends).  For ``min``/``max`` use
+    :func:`max_envelope` / :func:`min_envelope`, which split cells at
+    interior crossings.
+    """
+    grid = _merged_grid(f, g)
+    f_starts = [s.x0 for s in f.segments]
+    g_starts = [s.x0 for s in g.segments]
+    segments = []
+    for a, b in zip(grid, grid[1:]):
+        sf = _segment_on_cell(f, f_starts, a, b)
+        sg = _segment_on_cell(g, g_starts, a, b)
+        segments.append(Segment(a, b, op(sf.y0, sg.y0), op(sf.y1, sg.y1)))
+    return PiecewiseFunction(segments)
+
+
+def add(f: PiecewiseFunction, g: PiecewiseFunction) -> PiecewiseFunction:
+    """Exact pointwise sum ``f + g``."""
+    return combine(f, g, lambda a, b: a + b)
+
+
+def subtract(f: PiecewiseFunction, g: PiecewiseFunction) -> PiecewiseFunction:
+    """Exact pointwise difference ``f - g``."""
+    return combine(f, g, lambda a, b: a - b)
+
+
+def _envelope(
+    f: PiecewiseFunction, g: PiecewiseFunction, take_max: bool
+) -> PiecewiseFunction:
+    """Exact pointwise max (or min) envelope, splitting cells at crossings."""
+    grid = _merged_grid(f, g)
+    f_starts = [s.x0 for s in f.segments]
+    g_starts = [s.x0 for s in g.segments]
+    segments: list[Segment] = []
+    for a, b in zip(grid, grid[1:]):
+        sf = _segment_on_cell(f, f_starts, a, b)
+        sg = _segment_on_cell(g, g_starts, a, b)
+        d0 = sf.y0 - sg.y0
+        d1 = sf.y1 - sg.y1
+        pick = (lambda u, v: max(u, v)) if take_max else (lambda u, v: min(u, v))
+        if d0 * d1 < 0:
+            # The two affine pieces cross strictly inside the cell: split.
+            t = d0 / (d0 - d1)
+            x_cross = a + t * (b - a)
+            y_cross = sf.value_at(x_cross) if abs(d0) < abs(d1) else sg.value_at(x_cross)
+            if x_cross - a > _MERGE_TOLERANCE and b - x_cross > _MERGE_TOLERANCE:
+                segments.append(Segment(a, x_cross, pick(sf.y0, sg.y0), y_cross))
+                segments.append(Segment(x_cross, b, y_cross, pick(sf.y1, sg.y1)))
+                continue
+        segments.append(Segment(a, b, pick(sf.y0, sg.y0), pick(sf.y1, sg.y1)))
+    return PiecewiseFunction(segments)
+
+
+def max_envelope(f: PiecewiseFunction, g: PiecewiseFunction) -> PiecewiseFunction:
+    """Exact pointwise maximum ``max(f, g)``."""
+    return _envelope(f, g, take_max=True)
+
+
+def min_envelope(f: PiecewiseFunction, g: PiecewiseFunction) -> PiecewiseFunction:
+    """Exact pointwise minimum ``min(f, g)``."""
+    return _envelope(f, g, take_max=False)

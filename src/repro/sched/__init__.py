@@ -1,0 +1,69 @@
+"""Schedulability analyses (substrate S9).
+
+Demand-bound functions and the EDF processor-demand criterion (with and
+without NPR blocking), fixed-priority response-time analysis with NPR
+blocking, and the family of delay-aware RTA baselines the paper's
+related-work section surveys (Busquets, Petters) next to the Eq. 4 and
+Algorithm 1 inflation tests.
+"""
+
+from repro.sched.crpd_rta import (
+    METHODS,
+    DelayAwareResult,
+    acceptance_ratio,
+    delay_aware_rta,
+)
+from repro.sched.edf_delay_aware import (
+    EDF_METHODS,
+    EdfDelayAwareResult,
+    edf_acceptance_ratio,
+    edf_delay_aware,
+)
+from repro.sched.joint_rta import (
+    JointRtaResult,
+    compare_with_uncapped,
+    joint_rta,
+)
+from repro.sched.dbf import (
+    analysis_horizon,
+    demand_bound_function,
+    edf_schedulable,
+    edf_schedulable_with_blocking,
+    task_demand,
+    testing_points,
+)
+from repro.sched.rta import (
+    ResponseTimeResult,
+    response_time,
+    rta_fixed_priority,
+)
+
+from repro.sched.rta_arbitrary import (
+    ArbitraryDeadlineResult,
+    rta_arbitrary_deadline,
+)
+
+__all__ = [
+    "task_demand",
+    "demand_bound_function",
+    "testing_points",
+    "analysis_horizon",
+    "edf_schedulable",
+    "edf_schedulable_with_blocking",
+    "ResponseTimeResult",
+    "response_time",
+    "rta_fixed_priority",
+    "METHODS",
+    "DelayAwareResult",
+    "delay_aware_rta",
+    "acceptance_ratio",
+    "EDF_METHODS",
+    "EdfDelayAwareResult",
+    "edf_delay_aware",
+    "edf_acceptance_ratio",
+    "JointRtaResult",
+    "joint_rta",
+    "compare_with_uncapped",
+    "ArbitraryDeadlineResult",
+    "rta_arbitrary_deadline",
+]

@@ -1,0 +1,98 @@
+"""Demand bound functions and the EDF processor-demand criterion.
+
+For a sporadic task with parameters ``(C, T, D)`` the demand bound
+function is ``dbf(t) = max(0, floor((t - D) / T) + 1) * C`` — the largest
+cumulative execution of jobs with both release and deadline inside a
+window of length ``t``.  EDF feasibility on a unicore is equivalent to
+``dbf(t) <= t`` for all ``t > 0`` (Baruah et al.), checked on the finite
+testing set of dbf step points up to a bounded horizon.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tasks.task import Task, TaskSet
+from repro.utils.checks import require
+
+
+def task_demand(task: Task, t: float) -> float:
+    """``dbf_i(t)`` of one sporadic task."""
+    if t < task.deadline:
+        return 0.0
+    jobs = math.floor((t - task.deadline) / task.period) + 1
+    return jobs * task.wcet
+
+
+def demand_bound_function(tasks: TaskSet, t: float) -> float:
+    """Total demand ``sum_i dbf_i(t)``."""
+    return sum(task_demand(task, t) for task in tasks)
+
+
+def analysis_horizon(tasks: TaskSet) -> float:
+    """A safe horizon for the processor-demand test.
+
+    For ``U < 1`` the standard bound
+    ``L = max(D_max, U / (1 - U) * max_i (T_i - D_i))`` suffices: beyond
+    it ``dbf(t) <= U * t + const < t``.  For ``U >= 1`` the test is
+    decided within one hyperperiod-scale window; we use
+    ``2 * max(T_i + D_i)`` scaled by the task count as a pragmatic cap
+    (with ``U > 1`` the test fails early anyway).
+    """
+    u = tasks.utilization
+    d_max = max(t.deadline for t in tasks)
+    if u < 1.0:
+        slack_term = max((t.period - t.deadline) for t in tasks)
+        slack_term = max(slack_term, 0.0)
+        return max(d_max, u / (1.0 - u) * slack_term) + 1e-9
+    return 2.0 * max(t.period + t.deadline for t in tasks) * len(tasks)
+
+
+def testing_points(tasks: TaskSet, horizon: float) -> list[float]:
+    """All dbf step points ``k * T_i + D_i`` up to ``horizon`` (sorted)."""
+    require(horizon > 0, f"horizon must be > 0, got {horizon}")
+    points: set[float] = set()
+    for task in tasks:
+        t = task.deadline
+        while t <= horizon:
+            points.add(t)
+            t += task.period
+    return sorted(points)
+
+
+def edf_schedulable(tasks: TaskSet) -> bool:
+    """Processor-demand criterion for fully preemptive EDF."""
+    if tasks.utilization > 1.0 + 1e-12:
+        return False
+    horizon = analysis_horizon(tasks)
+    return all(
+        demand_bound_function(tasks, t) <= t + 1e-9
+        for t in testing_points(tasks, horizon)
+    )
+
+
+def edf_schedulable_with_blocking(tasks: TaskSet) -> bool:
+    """Processor-demand criterion under floating-NPR EDF.
+
+    At demand level ``t`` a job of any task with relative deadline
+    larger than ``t`` may be inside a non-preemptive region, blocking the
+    demand by up to its ``Q``.  The test becomes
+    ``dbf(t) + B(t) <= t`` with ``B(t) = max { Q_i : D_i > t }``.
+
+    Tasks without an assigned ``npr_length`` contribute no blocking.
+    """
+    if tasks.utilization > 1.0 + 1e-12:
+        return False
+    horizon = analysis_horizon(tasks)
+    for t in testing_points(tasks, horizon):
+        blocking = max(
+            (
+                task.npr_length
+                for task in tasks
+                if task.npr_length is not None and task.deadline > t
+            ),
+            default=0.0,
+        )
+        if demand_bound_function(tasks, t) + blocking > t + 1e-9:
+            return False
+    return True

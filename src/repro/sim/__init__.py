@@ -1,0 +1,70 @@
+"""Discrete-event floating-NPR scheduler simulator (substrate S10).
+
+Operational ground truth for the paper's analyses: FP/EDF scheduling
+with preemption-triggered floating non-preemptive regions, progression-
+indexed delay charging via ``f_i``, release-pattern generators (including
+the saturating adversary) and the Theorem 1 validation harness.
+"""
+
+from repro.sim.gantt import gantt, utilization_summary
+from repro.sim.jobs import Job
+from repro.sim.metrics import TaskMetrics, all_task_metrics, task_metrics
+from repro.sim.policies import (
+    EDFPolicy,
+    FixedPriorityPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.sim.release import (
+    Release,
+    periodic_releases,
+    saturating_releases,
+    sporadic_releases,
+)
+from repro.sim.simulator import (
+    DelayModel,
+    ExecutionSegment,
+    FloatingNPRSimulator,
+    SimulationResult,
+    scaled_delay_model,
+    worst_case_delay_model,
+    zero_delay_model,
+)
+from repro.sim.trace import EventKind, TraceEvent, TraceRecorder
+from repro.sim.validation import (
+    JobViolation,
+    ValidationReport,
+    validate_simulation,
+    validation_campaign,
+)
+
+__all__ = [
+    "gantt",
+    "utilization_summary",
+    "Job",
+    "SchedulingPolicy",
+    "FixedPriorityPolicy",
+    "EDFPolicy",
+    "make_policy",
+    "Release",
+    "periodic_releases",
+    "sporadic_releases",
+    "saturating_releases",
+    "FloatingNPRSimulator",
+    "SimulationResult",
+    "ExecutionSegment",
+    "DelayModel",
+    "worst_case_delay_model",
+    "scaled_delay_model",
+    "zero_delay_model",
+    "TaskMetrics",
+    "task_metrics",
+    "all_task_metrics",
+    "JobViolation",
+    "ValidationReport",
+    "validate_simulation",
+    "validation_campaign",
+    "EventKind",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,88 @@
+"""ASCII Gantt rendering of simulation traces.
+
+Turns a :class:`~repro.sim.SimulationResult` into a per-task timeline —
+one row per task, one column per time quantum — so FNPR behaviour
+(regions, collated preemptions, delay payment) can be inspected by eye
+in tests and examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.sim.simulator import SimulationResult
+from repro.utils.checks import require
+
+#: Characters used in the timeline.
+RUN_CHAR = "#"
+IDLE_CHAR = "."
+
+
+def gantt(
+    result: SimulationResult,
+    width: int = 80,
+    start: float = 0.0,
+    end: float | None = None,
+) -> str:
+    """Render the run as one timeline row per task.
+
+    Args:
+        result: The simulation trace.
+        width: Number of character columns for the timeline.
+        start: Left edge of the rendered window.
+        end: Right edge (defaults to the simulation horizon).
+
+    Returns:
+        The rendered multi-line string: header, one row per task, and a
+        release-marker row (``^`` at each job release).
+    """
+    require(width >= 10, "gantt width must be >= 10")
+    end = end if end is not None else result.horizon
+    require(end > start, f"empty gantt window [{start}, {end}]")
+    span = end - start
+    quantum = span / width
+
+    task_names = sorted({j.task.name for j in result.jobs})
+    rows: dict[str, list[str]] = {
+        name: [IDLE_CHAR] * width for name in task_names
+    }
+
+    for segment in result.segments:
+        task_name = segment.job.split("#", 1)[0]
+        first = int((segment.start - start) / quantum)
+        last = int((segment.end - start) / quantum)
+        for col in range(max(first, 0), min(last + 1, width)):
+            col_t0 = start + col * quantum
+            col_t1 = col_t0 + quantum
+            if segment.end <= col_t0 or segment.start >= col_t1:
+                continue
+            rows[task_name][col] = RUN_CHAR
+
+    releases = [IDLE_CHAR] * width
+    for job in result.jobs:
+        if start <= job.release_time < end:
+            col = int((job.release_time - start) / quantum)
+            releases[min(col, width - 1)] = "^"
+
+    label_width = max((len(n) for n in task_names), default=4) + 1
+    lines = [
+        f"{'time':>{label_width}} |{start:g} .. {end:g} "
+        f"({quantum:g} per column)"
+    ]
+    for name in task_names:
+        lines.append(f"{name:>{label_width}} |{''.join(rows[name])}|")
+    lines.append(f"{'rel':>{label_width}} |{''.join(releases)}|")
+    return "\n".join(lines)
+
+
+def utilization_summary(result: SimulationResult) -> Mapping[str, float]:
+    """Fraction of the horizon each task occupied the processor."""
+    by_task: dict[str, float] = {}
+    for segment in result.segments:
+        task_name = segment.job.split("#", 1)[0]
+        by_task[task_name] = by_task.get(task_name, 0.0) + (
+            segment.end - segment.start
+        )
+    return {
+        name: busy / result.horizon for name, busy in sorted(by_task.items())
+    }

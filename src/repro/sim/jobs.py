@@ -1,0 +1,108 @@
+"""Run-time job state for the floating-NPR simulator.
+
+A job tracks its *progression* (useful work completed, the abscissa of
+the paper's ``f_i``) separately from *pending delay* (reload work owed
+because of an earlier preemption).  When a preempted job resumes it first
+pays the pending delay, then continues useful work — exactly the run-time
+behaviour sketched in the paper's Figure 2 bottom plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tasks.task import Task
+from repro.utils.checks import require
+
+
+@dataclass
+class Job:
+    """One job instance inside the simulator.
+
+    Attributes:
+        task: The generating task.
+        release_time: Absolute release instant.
+        absolute_deadline: ``release_time + D_i``.
+        job_id: Sequential id within the simulation (for traceability).
+        progression: Useful work executed so far (0 .. C_i).
+        pending_delay: Reload work owed before useful work can resume.
+        delay_paid: Delay already paid (sum of consumed reload work).
+        delays_charged: Delay charged at each preemption, in order.
+        preemption_progressions: Progression at each preemption.
+        preemption_times: Wall-clock instant of each preemption; under
+            floating-NPR scheduling consecutive entries are at least
+            ``Q_i`` apart (property-tested).
+        completion_time: Set when the job finishes.
+    """
+
+    task: Task
+    release_time: float
+    job_id: int
+    absolute_deadline: float = field(init=False)
+    progression: float = 0.0
+    pending_delay: float = 0.0
+    delay_paid: float = 0.0
+    delays_charged: list[float] = field(default_factory=list)
+    preemption_progressions: list[float] = field(default_factory=list)
+    preemption_times: list[float] = field(default_factory=list)
+    completion_time: float | None = None
+
+    def __post_init__(self) -> None:
+        require(self.release_time >= 0, "release time must be >= 0")
+        self.absolute_deadline = self.release_time + self.task.deadline
+
+    # ------------------------------------------------------------------
+    # Work accounting
+    # ------------------------------------------------------------------
+    @property
+    def remaining_work(self) -> float:
+        """Total processor time still needed (delay first, then useful)."""
+        return self.pending_delay + (self.task.wcet - self.progression)
+
+    @property
+    def finished(self) -> bool:
+        """Whether all useful work and owed delay are done."""
+        return self.completion_time is not None
+
+    @property
+    def total_delay(self) -> float:
+        """Cumulative preemption delay charged to this job."""
+        return sum(self.delays_charged)
+
+    @property
+    def response_time(self) -> float | None:
+        """Completion minus release, if completed."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.release_time
+
+    def execute(self, duration: float) -> None:
+        """Consume ``duration`` of processor time: delay first, then work."""
+        require(duration >= -1e-12, f"negative execution duration {duration}")
+        duration = max(duration, 0.0)
+        pay = min(self.pending_delay, duration)
+        self.pending_delay -= pay
+        self.delay_paid += pay
+        self.progression = min(
+            self.progression + (duration - pay), self.task.wcet
+        )
+
+    def charge_preemption(self, delay: float, now: float) -> None:
+        """Record a preemption at the current progression costing ``delay``.
+
+        Args:
+            delay: The charged reload cost (>= 0).
+            now: Wall-clock instant of the preemption.
+        """
+        require(delay >= 0, f"negative preemption delay {delay}")
+        self.preemption_progressions.append(self.progression)
+        self.preemption_times.append(now)
+        self.delays_charged.append(delay)
+        self.pending_delay += delay
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.task.name}#{self.job_id} rel={self.release_time:g} "
+            f"prog={self.progression:g}/{self.task.wcet:g} "
+            f"owed={self.pending_delay:g})"
+        )

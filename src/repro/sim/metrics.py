@@ -1,0 +1,56 @@
+"""Aggregate metrics over simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.simulator import SimulationResult
+
+
+@dataclass(frozen=True, slots=True)
+class TaskMetrics:
+    """Per-task summary of one simulation run.
+
+    Attributes:
+        task: Task name.
+        jobs: Number of jobs released.
+        completed: Number that finished within the horizon.
+        max_total_delay: Largest cumulative preemption delay of any job.
+        max_preemptions: Largest preemption count of any job.
+        max_response_time: Largest observed response time (completed jobs).
+        deadline_misses: Jobs that missed their deadline.
+    """
+
+    task: str
+    jobs: int
+    completed: int
+    max_total_delay: float
+    max_preemptions: int
+    max_response_time: float
+    deadline_misses: int
+
+
+def task_metrics(result: SimulationResult, task_name: str) -> TaskMetrics:
+    """Summarise one task's behaviour in a run."""
+    jobs = result.jobs_of(task_name)
+    completed = [j for j in jobs if j.finished]
+    misses = [j for j in result.deadline_misses() if j.task.name == task_name]
+    return TaskMetrics(
+        task=task_name,
+        jobs=len(jobs),
+        completed=len(completed),
+        max_total_delay=max((j.total_delay for j in jobs), default=0.0),
+        max_preemptions=max(
+            (len(j.delays_charged) for j in jobs), default=0
+        ),
+        max_response_time=max(
+            (j.response_time for j in completed), default=0.0
+        ),
+        deadline_misses=len(misses),
+    )
+
+
+def all_task_metrics(result: SimulationResult) -> dict[str, TaskMetrics]:
+    """Summaries for every task appearing in the run."""
+    names = {j.task.name for j in result.jobs}
+    return {name: task_metrics(result, name) for name in sorted(names)}

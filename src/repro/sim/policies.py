@@ -1,0 +1,56 @@
+"""Scheduling policies for the floating-NPR simulator.
+
+Both policies supported by the paper's system model (Section III): fixed
+task priority and EDF, each combined with preemption-triggered floating
+non-preemptive regions by the simulator itself.
+"""
+
+from __future__ import annotations
+
+from repro.sim.jobs import Job
+from repro.utils.checks import require
+
+
+class SchedulingPolicy:
+    """Priority order over jobs: smaller key = more urgent."""
+
+    name: str = "abstract"
+
+    def key(self, job: Job) -> tuple:
+        """Total-order key; ties broken by release time then job id."""
+        raise NotImplementedError
+
+    def higher_priority(self, a: Job, b: Job) -> bool:
+        """Whether job ``a`` is strictly more urgent than ``b``."""
+        return self.key(a) < self.key(b)
+
+
+class FixedPriorityPolicy(SchedulingPolicy):
+    """Fixed task priorities (smaller ``task.priority`` = higher)."""
+
+    name = "fixed-priority"
+
+    def key(self, job: Job) -> tuple:
+        require(
+            job.task.priority is not None,
+            f"task {job.task.name} has no priority; assign one first",
+        )
+        return (job.task.priority, job.release_time, job.job_id)
+
+
+class EDFPolicy(SchedulingPolicy):
+    """Earliest deadline first on absolute deadlines."""
+
+    name = "edf"
+
+    def key(self, job: Job) -> tuple:
+        return (job.absolute_deadline, job.release_time, job.job_id)
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Policy factory: ``"fp"`` or ``"edf"``."""
+    if name == "fp":
+        return FixedPriorityPolicy()
+    if name == "edf":
+        return EDFPolicy()
+    raise ValueError(f"unknown policy {name!r}; pick 'fp' or 'edf'")

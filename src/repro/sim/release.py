@@ -1,0 +1,110 @@
+"""Release-pattern generators for the simulator.
+
+A release pattern is simply a sorted list of ``(time, task_name)``
+pairs.  Besides the standard synchronous-periodic and sporadic patterns,
+:func:`saturating_releases` builds the adversarial pattern used to stress
+Theorem 1: interferer jobs arriving densely enough that the target task
+is preempted at (nearly) every NPR boundary.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.tasks.task import TaskSet
+from repro.utils.checks import require, require_positive
+
+Release = tuple[float, str]
+
+
+def periodic_releases(
+    tasks: TaskSet,
+    horizon: float,
+    offsets: dict[str, float] | None = None,
+) -> list[Release]:
+    """Strictly periodic releases (synchronous unless offsets given)."""
+    require_positive(horizon, "horizon")
+    offsets = offsets or {}
+    releases: list[Release] = []
+    for task in tasks:
+        t = offsets.get(task.name, 0.0)
+        require(t >= 0, f"offset of {task.name} must be >= 0")
+        while t < horizon:
+            releases.append((t, task.name))
+            t += task.period
+    releases.sort()
+    return releases
+
+
+def sporadic_releases(
+    tasks: TaskSet,
+    horizon: float,
+    seed: int,
+    max_extra_fraction: float = 0.5,
+) -> list[Release]:
+    """Sporadic releases: inter-arrival = period * (1 + U[0, extra])."""
+    require_positive(horizon, "horizon")
+    require(
+        max_extra_fraction >= 0, "max_extra_fraction must be >= 0"
+    )
+    rng = random.Random(seed)
+    releases: list[Release] = []
+    for task in tasks:
+        t = rng.uniform(0.0, task.period)
+        while t < horizon:
+            releases.append((t, task.name))
+            t += task.period * (1.0 + rng.uniform(0.0, max_extra_fraction))
+    releases.sort()
+    return releases
+
+
+def saturating_releases(
+    target_name: str,
+    interferer_name: str,
+    target_release: float,
+    target_q: float,
+    horizon: float,
+    interferer_cost: float = 0.0,
+    spacing_slack: float = 0.0,
+    first_offset: float = 1e-3,
+) -> list[Release]:
+    """An adversarial pattern preempting the target as often as possible.
+
+    The target is released once; the first interferer arrives just after
+    the target has started (``first_offset`` later), and subsequent ones
+    every ``target_q + interferer_cost + spacing_slack``.  Each arrival
+    triggers a fresh floating NPR of the target, so the target is
+    preempted at (approximately) every ``Q`` boundary — the scenario
+    Algorithm 1 charges for.
+
+    ``interferer_cost`` should cover *only* the interferer's execution
+    time: the worst case has the next arrival land while the target is
+    still paying its reload delay, so that the following NPR window
+    absorbs the payment and the target progresses only ``Q - delay``
+    between preemptions (exactly the recurrence of Algorithm 1).
+
+    Args:
+        target_name: Task to be preempted.
+        interferer_name: Higher-priority task doing the preempting.
+        target_release: When the target job arrives.
+        target_q: The target's NPR length.
+        horizon: End of the release pattern.
+        interferer_cost: Wall time of one preemptor execution.
+        spacing_slack: Extra spacing between interferer arrivals (0 =
+            maximum pressure).
+        first_offset: Gap between the target's release and the first
+            interferer arrival (must let the target get dispatched).
+    """
+    require_positive(target_q, "target_q")
+    require_positive(horizon, "horizon")
+    require(spacing_slack >= 0, "spacing_slack must be >= 0")
+    require(interferer_cost >= 0, "interferer_cost must be >= 0")
+    require_positive(first_offset, "first_offset")
+    releases: list[Release] = [(target_release, target_name)]
+    t = target_release + first_offset
+    step = target_q + interferer_cost + spacing_slack
+    while t < horizon:
+        releases.append((t, interferer_name))
+        t += step
+    releases.sort()
+    return releases

@@ -1,0 +1,339 @@
+"""Discrete-event unicore simulator with floating non-preemptive regions.
+
+Implements the paper's system model (Section III) operationally:
+
+* the highest-priority ready job runs (fixed priority or EDF);
+* when a higher-priority job is released while a lower-priority job is
+  running and no NPR is active, the running job *starts a floating NPR*
+  of its configured length ``Q_i``;
+* further releases during an active NPR do not extend it (preemptions
+  collate at the NPR boundary);
+* when the NPR elapses, the highest-priority ready job is dispatched —
+  if that preempts the NPR's owner, the owner is charged a preemption
+  delay ``delay_model(job, progression)`` (by default its ``f_i`` at the
+  current progression), which it must pay off before doing further
+  useful work after it resumes;
+* a job completing inside its NPR simply ends it.
+
+Time is continuous; the event loop advances directly to the next release,
+NPR expiry or completion, so there is no tick-quantisation error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.sim.jobs import Job
+from repro.sim.policies import SchedulingPolicy, make_policy
+from repro.sim.release import Release
+from repro.sim.trace import EventKind, TraceEvent, TraceRecorder
+from repro.tasks.task import Task, TaskSet
+from repro.utils.checks import require, require_positive
+
+#: A delay model maps (job, progression at preemption) -> charged delay.
+DelayModel = Callable[[Job, float], float]
+
+_TIME_EPS = 1e-9
+
+
+def worst_case_delay_model(job: Job, progression: float) -> float:
+    """Charge the full ``f_i`` value — the bound-validation adversary."""
+    f = job.task.delay_function
+    if f is None:
+        return 0.0
+    return f.value(min(progression, f.wcet))
+
+
+def scaled_delay_model(fraction: float) -> DelayModel:
+    """Charge ``fraction * f_i(progression)`` (randomised-run studies)."""
+    require(0.0 <= fraction <= 1.0, "fraction must lie in [0, 1]")
+
+    def model(job: Job, progression: float) -> float:
+        return fraction * worst_case_delay_model(job, progression)
+
+    return model
+
+
+def zero_delay_model(job: Job, progression: float) -> float:
+    """No preemption cost (ideal-hardware baseline)."""
+    return 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionSegment:
+    """A maximal interval during which one job occupied the processor.
+
+    Attributes:
+        job: Identifier ``task#job_id``.
+        start: Segment start time.
+        end: Segment end time.
+        kind: ``"work"``, ``"delay"`` or ``"mixed"`` (delay then work).
+    """
+
+    job: str
+    start: float
+    end: float
+    kind: str
+
+
+@dataclass
+class SimulationResult:
+    """Everything observable from one simulation run.
+
+    Attributes:
+        jobs: Every job instance, in release order.
+        segments: Processor-occupancy trace.
+        events: Typed scheduler event log (releases, NPR starts/ends,
+            preemptions, dispatches, completions).
+        horizon: Simulated time span.
+        policy_name: The scheduling policy used.
+    """
+
+    jobs: list[Job]
+    segments: list[ExecutionSegment]
+    events: list[TraceEvent]
+    horizon: float
+    policy_name: str
+
+    def events_of(self, kind: EventKind) -> list[TraceEvent]:
+        """All events of one kind, in chronological order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def jobs_of(self, task_name: str) -> list[Job]:
+        """All jobs of one task."""
+        return [j for j in self.jobs if j.task.name == task_name]
+
+    def deadline_misses(self) -> list[Job]:
+        """Completed jobs that finished after their absolute deadline,
+        plus unfinished jobs whose deadline passed within the horizon."""
+        missed = []
+        for job in self.jobs:
+            if job.completion_time is not None:
+                if job.completion_time > job.absolute_deadline + _TIME_EPS:
+                    missed.append(job)
+            elif job.absolute_deadline <= self.horizon:
+                missed.append(job)
+        return missed
+
+    def preemption_count(self, task_name: str | None = None) -> int:
+        """Total preemptions observed (optionally for one task)."""
+        return sum(
+            len(j.delays_charged)
+            for j in self.jobs
+            if task_name is None or j.task.name == task_name
+        )
+
+    def busy_time(self) -> float:
+        """Total processor-busy time."""
+        return sum(s.end - s.start for s in self.segments)
+
+
+class FloatingNPRSimulator:
+    """Event-driven simulator for FP/EDF with floating NPRs.
+
+    Args:
+        tasks: The task set; every task that should enjoy NPR protection
+            needs ``npr_length`` set (``None`` = fully preemptive task).
+        policy: ``"fp"``, ``"edf"`` or a custom
+            :class:`~repro.sim.policies.SchedulingPolicy`.
+        delay_model: Preemption-cost model; defaults to charging the full
+            ``f_i(progression)``.
+    """
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        policy: str | SchedulingPolicy = "fp",
+        delay_model: DelayModel = worst_case_delay_model,
+    ):
+        self.tasks = tasks
+        self.policy = (
+            make_policy(policy) if isinstance(policy, str) else policy
+        )
+        self.delay_model = delay_model
+        self._task_by_name: dict[str, Task] = {t.name: t for t in tasks}
+
+    # ------------------------------------------------------------------
+    def run(self, releases: list[Release], horizon: float) -> SimulationResult:
+        """Simulate the given release pattern until ``horizon``.
+
+        Args:
+            releases: Sorted ``(time, task_name)`` pairs (releases beyond
+                the horizon are ignored).
+            horizon: End of simulated time (> 0).
+
+        Returns:
+            The :class:`SimulationResult` trace.
+        """
+        require_positive(horizon, "horizon")
+        for time, name in releases:
+            require(name in self._task_by_name, f"unknown task {name!r}")
+            require(time >= 0, f"release at negative time {time}")
+        pending = sorted(
+            (t, name) for t, name in releases if t < horizon
+        )
+
+        clock = 0.0
+        release_idx = 0
+        ready: list[Job] = []
+        running: Job | None = None
+        npr_end: float | None = None  # active NPR expiry (for `running`)
+        jobs: list[Job] = []
+        segments: list[ExecutionSegment] = []
+        segment_start: float | None = None
+        recorder = TraceRecorder()
+
+        def job_tag(job: Job) -> str:
+            return f"{job.task.name}#{job.job_id}"
+
+        def close_segment(end: float) -> None:
+            nonlocal segment_start
+            if running is not None and segment_start is not None:
+                if end > segment_start + _TIME_EPS:
+                    segments.append(
+                        ExecutionSegment(
+                            job=f"{running.task.name}#{running.job_id}",
+                            start=segment_start,
+                            end=end,
+                            kind="mixed" if running.delay_paid else "work",
+                        )
+                    )
+            segment_start = None
+
+        def dispatch(now: float) -> None:
+            """Put the most urgent ready job on the processor."""
+            nonlocal running, segment_start, npr_end
+            if not ready:
+                running = None
+                return
+            ready.sort(key=self.policy.key)
+            running = ready.pop(0)
+            segment_start = now
+            npr_end = None
+            recorder.record(now, EventKind.DISPATCH, job_tag(running))
+
+        while True:
+            # ----------------------------------------------------------
+            # Next event time.
+            # ----------------------------------------------------------
+            candidates = [horizon]
+            if release_idx < len(pending):
+                candidates.append(pending[release_idx][0])
+            if running is not None:
+                candidates.append(clock + running.remaining_work)
+                if npr_end is not None:
+                    candidates.append(npr_end)
+            t_next = min(candidates)
+            require(
+                t_next >= clock - _TIME_EPS,
+                f"time went backwards: {clock} -> {t_next}",
+            )
+
+            # ----------------------------------------------------------
+            # Advance the running job to t_next.
+            # ----------------------------------------------------------
+            if running is not None:
+                running.execute(t_next - clock)
+            clock = t_next
+            if clock >= horizon - _TIME_EPS:
+                close_segment(horizon)
+                break
+
+            # ----------------------------------------------------------
+            # 1) Completion.
+            # ----------------------------------------------------------
+            if (
+                running is not None
+                and running.remaining_work <= _TIME_EPS
+            ):
+                running.completion_time = clock
+                recorder.record(clock, EventKind.COMPLETE, job_tag(running))
+                close_segment(clock)
+                running = None
+                npr_end = None
+                dispatch(clock)
+
+            # ----------------------------------------------------------
+            # 2) Releases at this instant.
+            # ----------------------------------------------------------
+            released_now: list[Job] = []
+            while (
+                release_idx < len(pending)
+                and pending[release_idx][0] <= clock + _TIME_EPS
+            ):
+                time, name = pending[release_idx]
+                release_idx += 1
+                job = Job(
+                    task=self._task_by_name[name],
+                    release_time=time,
+                    job_id=len(jobs),
+                )
+                jobs.append(job)
+                released_now.append(job)
+                recorder.record(time, EventKind.RELEASE, job_tag(job))
+            if released_now:
+                ready.extend(released_now)
+                if running is None:
+                    dispatch(clock)
+                else:
+                    urgent = any(
+                        self.policy.higher_priority(j, running)
+                        for j in released_now
+                    )
+                    if urgent and npr_end is None:
+                        q = running.task.npr_length
+                        if q is None:
+                            # Fully preemptive task: immediate preemption.
+                            recorder.record(
+                                clock,
+                                EventKind.PREEMPT,
+                                job_tag(running),
+                                self.delay_model(running, running.progression),
+                            )
+                            self._preempt(running, ready, clock)
+                            close_segment(clock)
+                            dispatch(clock)
+                        else:
+                            npr_end = clock + q
+                            recorder.record(
+                                clock, EventKind.NPR_START, job_tag(running), q
+                            )
+
+            # ----------------------------------------------------------
+            # 3) NPR expiry.
+            # ----------------------------------------------------------
+            if (
+                running is not None
+                and npr_end is not None
+                and clock >= npr_end - _TIME_EPS
+            ):
+                npr_end = None
+                recorder.record(clock, EventKind.NPR_END, job_tag(running))
+                ready.sort(key=self.policy.key)
+                if ready and self.policy.higher_priority(ready[0], running):
+                    recorder.record(
+                        clock,
+                        EventKind.PREEMPT,
+                        job_tag(running),
+                        self.delay_model(running, running.progression),
+                    )
+                    self._preempt(running, ready, clock)
+                    close_segment(clock)
+                    dispatch(clock)
+
+        return SimulationResult(
+            jobs=jobs,
+            segments=segments,
+            events=recorder.events,
+            horizon=horizon,
+            policy_name=self.policy.name,
+        )
+
+    # ------------------------------------------------------------------
+    def _preempt(self, job: Job, ready: list[Job], now: float) -> None:
+        """Charge the delay model and move the job back to the ready queue."""
+        delay = self.delay_model(job, job.progression)
+        require(delay >= 0, f"delay model returned negative delay {delay}")
+        job.charge_preemption(delay, now)
+        ready.append(job)

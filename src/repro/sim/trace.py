@@ -1,0 +1,61 @@
+"""Structured event log for simulation runs.
+
+Beyond the processor-occupancy segments, the simulator can record a
+typed event stream — releases, NPR starts/ends, preemptions, dispatches
+and completions — which makes the floating-NPR protocol itself testable
+(e.g. "an NPR starts exactly when a higher-priority job arrives while a
+lower-priority one runs, and never restarts while active").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class EventKind(Enum):
+    """The observable scheduler events."""
+
+    RELEASE = "release"
+    DISPATCH = "dispatch"
+    NPR_START = "npr_start"
+    NPR_END = "npr_end"
+    PREEMPT = "preempt"
+    COMPLETE = "complete"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One scheduler event.
+
+    Attributes:
+        time: When it happened.
+        kind: The event type.
+        job: ``task#job_id`` of the job concerned.
+        value: Event-specific payload: NPR length for ``NPR_START``,
+            charged delay for ``PREEMPT``, 0 otherwise.
+    """
+
+    time: float
+    kind: EventKind
+    job: str
+    value: float = 0.0
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` objects during a run."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self, time: float, kind: EventKind, job: str, value: float = 0.0
+    ) -> None:
+        """Append one event."""
+        self.events.append(
+            TraceEvent(time=time, kind=kind, job=job, value=value)
+        )
+
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        """All recorded events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]

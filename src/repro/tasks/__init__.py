@@ -1,0 +1,20 @@
+"""Task model and synthetic task-set generation (substrate S7)."""
+
+from repro.tasks.generation import (
+    gaussian_delay_factory,
+    generate_task_set,
+    log_uniform_period,
+    uunifast,
+    uunifast_discard,
+)
+from repro.tasks.task import Task, TaskSet
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "uunifast",
+    "uunifast_discard",
+    "log_uniform_period",
+    "generate_task_set",
+    "gaussian_delay_factory",
+]

@@ -1,0 +1,13 @@
+"""Small shared helpers used across the :mod:`repro` package."""
+
+from repro.utils.checks import require, require_positive, require_non_negative
+from repro.utils.seq import is_strictly_increasing, lcm_many, pairwise
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "is_strictly_increasing",
+    "lcm_many",
+    "pairwise",
+]

@@ -1,0 +1,32 @@
+"""Argument-validation helpers.
+
+All public entry points of the library validate their inputs eagerly and
+raise :class:`ValueError` with a descriptive message, so that misuse fails
+at the call site rather than deep inside an analysis loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    require(
+        isinstance(value, (int, float)) and math.isfinite(value) and value > 0,
+        f"{name} must be a finite positive number, got {value!r}",
+    )
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    require(
+        isinstance(value, (int, float)) and math.isfinite(value) and value >= 0,
+        f"{name} must be a finite non-negative number, got {value!r}",
+    )

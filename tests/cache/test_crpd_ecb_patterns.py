@@ -1,0 +1,143 @@
+"""Tests for ECBs, per-block CRPD bounds and synthetic access patterns."""
+
+import pytest
+
+from repro.cache import (
+    CacheGeometry,
+    annotate_cfg_with_crpd,
+    combined_ecbs,
+    crpd_per_block,
+    delay_function_from_program,
+    evicting_cache_sets,
+    phased_accesses,
+    random_accesses,
+    task_ecbs,
+)
+from repro.cfg import BasicBlock, ControlFlowGraph, random_cfg
+
+
+def linear_cfg():
+    names = ["a", "b", "c"]
+    return ControlFlowGraph(
+        [BasicBlock(n, 2, 3) for n in names],
+        list(zip(names, names[1:])),
+        "a",
+    )
+
+
+class TestEcb:
+    def test_from_flat_iterable(self):
+        g = CacheGeometry(num_sets=4)
+        assert evicting_cache_sets([0, 4, 5], g) == frozenset({0, 1})
+
+    def test_from_access_map(self):
+        g = CacheGeometry(num_sets=4)
+        assert evicting_cache_sets({"a": [2], "b": [6, 3]}, g) == frozenset({2, 3})
+
+    def test_task_ecbs_ignores_unknown_blocks(self):
+        g = CacheGeometry(num_sets=4)
+        cfg = linear_cfg()
+        ecbs = task_ecbs(cfg, {"a": [1], "b": [], "c": [5]}, g)
+        assert ecbs == frozenset({1})
+
+    def test_combined(self):
+        assert combined_ecbs([frozenset({1}), frozenset({2, 3})]) == frozenset(
+            {1, 2, 3}
+        )
+        assert combined_ecbs([]) == frozenset()
+
+
+class TestCrpdPerBlock:
+    def test_reused_block_costs_brt(self):
+        g = CacheGeometry(num_sets=4, block_reload_time=2.5)
+        cfg = linear_cfg()
+        crpd = crpd_per_block(cfg, {"a": [0], "b": [], "c": [0]}, g)
+        # Block b sits between the load and the reuse: m0 useful there.
+        assert crpd["b"] == 2.5
+
+    def test_ecb_filter_removes_unaffected_sets(self):
+        g = CacheGeometry(num_sets=4, block_reload_time=1.0)
+        cfg = linear_cfg()
+        accesses = {"a": [0, 1], "b": [], "c": [0, 1]}
+        unfiltered = crpd_per_block(cfg, accesses, g)
+        filtered = crpd_per_block(cfg, accesses, g, ecb_sets=frozenset({0}))
+        assert unfiltered["b"] == 2.0
+        assert filtered["b"] == 1.0  # only m0's set is under attack
+
+    def test_annotation_round_trip(self):
+        g = CacheGeometry(num_sets=4, block_reload_time=3.0)
+        cfg = linear_cfg()
+        annotated = annotate_cfg_with_crpd(
+            cfg, {"a": [0], "b": [], "c": [0]}, g
+        )
+        assert annotated.block("b").crpd == 3.0
+        assert annotated.block("c").crpd >= 0.0
+
+    def test_lru_geometry_dispatches(self):
+        g = CacheGeometry(num_sets=2, associativity=2, block_reload_time=1.0)
+        cfg = linear_cfg()
+        crpd = crpd_per_block(cfg, {"a": [0, 2], "b": [], "c": [0, 2]}, g)
+        assert crpd["b"] == 2.0
+
+
+class TestPhasedPattern:
+    def test_shape_matches_papers_motivation(self):
+        program = phased_accesses(working_set=16, hot_subset=2)
+        g = CacheGeometry(num_sets=32, block_reload_time=1.0)
+        f = delay_function_from_program(program.cfg, program.accesses, g)
+        # Early (between load and process) the whole working set is
+        # useful; late (during compute) only the hot subset is.
+        early = f.value(f.wcet * 0.15)
+        late = f.value(f.wcet * 0.9)
+        assert early >= 16.0
+        assert late <= 2.0
+        assert f.max_value() >= early
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phased_accesses(working_set=0)
+        with pytest.raises(ValueError):
+            phased_accesses(working_set=4, hot_subset=5)
+        with pytest.raises(ValueError):
+            phased_accesses(compute_blocks=0)
+
+    def test_access_map_covers_all_blocks(self):
+        program = phased_accesses(compute_blocks=3)
+        assert set(program.accesses) == set(program.cfg.blocks)
+
+
+class TestRandomAccesses:
+    def test_deterministic(self):
+        cfg = random_cfg(3, depth=2).cfg
+        a = random_accesses(cfg, seed=9)
+        b = random_accesses(cfg, seed=9)
+        assert a == b
+
+    def test_respects_address_space(self):
+        cfg = random_cfg(3, depth=2).cfg
+        accesses = random_accesses(cfg, seed=1, address_space=10)
+        assert all(0 <= m < 10 for t in accesses.values() for m in t)
+
+    def test_validation(self):
+        cfg = random_cfg(3, depth=1).cfg
+        with pytest.raises(ValueError):
+            random_accesses(cfg, seed=0, address_space=0)
+        with pytest.raises(ValueError):
+            random_accesses(cfg, seed=0, locality=2.0)
+
+
+class TestEndToEndPipeline:
+    def test_delay_function_from_program_on_random_cfg(self):
+        generated = random_cfg(11, depth=3)
+        accesses = random_accesses(generated.cfg, seed=4, address_space=64)
+        g = CacheGeometry(num_sets=16, block_reload_time=1.5)
+        f = delay_function_from_program(
+            generated.cfg,
+            accesses,
+            g,
+            iteration_bounds=generated.iteration_bounds,
+        )
+        assert f.wcet > 0
+        assert f.function.is_non_negative()
+        # CRPD cannot exceed BRT * capacity.
+        assert f.max_value() <= g.capacity_blocks * g.block_reload_time

@@ -1,0 +1,131 @@
+"""Tests for cache geometry and the concrete simulators."""
+
+import pytest
+
+from repro.cache import CacheGeometry, LRUCache, extra_misses_after_preemption
+
+
+class TestGeometry:
+    def test_mapping(self):
+        g = CacheGeometry(num_sets=4)
+        assert g.set_of(0) == 0
+        assert g.set_of(5) == 1
+        assert g.conflicts(1, 5)
+        assert not g.conflicts(1, 2)
+
+    def test_address_to_block(self):
+        g = CacheGeometry(num_sets=4, line_size=32)
+        assert g.block_of_address(0) == 0
+        assert g.block_of_address(31) == 0
+        assert g.block_of_address(32) == 1
+
+    def test_capacity(self):
+        g = CacheGeometry(num_sets=8, associativity=2)
+        assert g.capacity_blocks == 16
+        assert not g.is_direct_mapped
+        assert CacheGeometry(num_sets=8).is_direct_mapped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=0)
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=1, associativity=0)
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=1, line_size=0)
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=1, block_reload_time=-1)
+        g = CacheGeometry(num_sets=4)
+        with pytest.raises(ValueError):
+            g.set_of(-1)
+        with pytest.raises(ValueError):
+            g.block_of_address(-1)
+
+
+class TestDirectMappedBehaviour:
+    def test_miss_then_hit(self):
+        cache = LRUCache(CacheGeometry(num_sets=4))
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+
+    def test_conflict_eviction(self):
+        cache = LRUCache(CacheGeometry(num_sets=4))
+        cache.access(0)
+        cache.access(4)  # same set as 0
+        assert not cache.contains(0)
+        assert cache.contains(4)
+
+    def test_distinct_sets_coexist(self):
+        cache = LRUCache(CacheGeometry(num_sets=4))
+        cache.access(0)
+        cache.access(1)
+        assert cache.contains(0) and cache.contains(1)
+
+
+class TestLRUBehaviour:
+    def test_lru_eviction_order(self):
+        cache = LRUCache(CacheGeometry(num_sets=1, associativity=2))
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)      # 1 becomes the LRU
+        cache.access(2)      # evicts 1
+        assert cache.contains(0)
+        assert not cache.contains(1)
+        assert cache.contains(2)
+
+    def test_run_counts_misses(self):
+        cache = LRUCache(CacheGeometry(num_sets=2, associativity=1))
+        misses = cache.run([0, 1, 0, 1, 2, 0])
+        # 0 miss, 1 miss, 0 hit, 1 hit, 2 miss (evicts 0), 0 miss.
+        assert misses == 4
+
+    def test_evict_sets(self):
+        cache = LRUCache(CacheGeometry(num_sets=4, associativity=2))
+        for b in (0, 1, 2, 3, 4):
+            cache.access(b)
+        evicted = cache.evict_sets({0})
+        assert evicted == {0, 4}
+        assert not cache.contains(0)
+        assert cache.contains(1)
+
+    def test_evict_sets_range_check(self):
+        cache = LRUCache(CacheGeometry(num_sets=4))
+        with pytest.raises(ValueError):
+            cache.evict_sets({4})
+
+    def test_clone_is_independent(self):
+        cache = LRUCache(CacheGeometry(num_sets=2))
+        cache.access(0)
+        copy = cache.clone()
+        copy.access(2)  # evicts 0 in the copy only
+        assert cache.contains(0)
+        assert not copy.contains(0)
+
+    def test_flush(self):
+        cache = LRUCache(CacheGeometry(num_sets=2))
+        cache.access(0)
+        cache.flush()
+        assert cache.contents() == set()
+
+
+class TestExtraMisses:
+    def test_no_eviction_no_extra(self):
+        g = CacheGeometry(num_sets=4)
+        extra = extra_misses_after_preemption(g, [0, 1, 2], [0, 1, 2], set())
+        assert extra == 0
+
+    def test_full_eviction_costs_reused_blocks(self):
+        g = CacheGeometry(num_sets=4)
+        extra = extra_misses_after_preemption(
+            g, [0, 1, 2], [0, 1, 2], {0, 1, 2, 3}
+        )
+        assert extra == 3
+
+    def test_partial_eviction(self):
+        g = CacheGeometry(num_sets=4)
+        extra = extra_misses_after_preemption(g, [0, 1, 2], [0, 1, 2], {1})
+        assert extra == 1
+
+    def test_unused_evictions_cost_nothing(self):
+        g = CacheGeometry(num_sets=4)
+        extra = extra_misses_after_preemption(g, [0, 1], [0], {1, 2, 3})
+        assert extra == 0

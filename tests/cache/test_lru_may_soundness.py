@@ -1,0 +1,91 @@
+"""Property test: the LRU may-analysis over-approximates every concrete
+path's cache content.
+
+For random branchy DAG programs, enumerate all paths from the entry to
+each block, run the concrete LRU simulator along each path, and check
+that every cached memory block appears in the may-set computed at the
+block's entry.  This is the defining soundness property of the
+Ferdinand-style may analysis that backs :func:`repro.cache.lru_may_ucb`.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheGeometry, LRUCache
+from repro.cache.ucb import lru_may_ucb
+from repro.cfg import BasicBlock, ControlFlowGraph
+
+
+def _random_dag_program(rng: random.Random, geometry: CacheGeometry):
+    """A small random series-parallel DAG with per-block accesses."""
+    layers = rng.randint(2, 4)
+    names: list[list[str]] = []
+    blocks: list[BasicBlock] = []
+    edges: list[tuple[str, str]] = []
+    counter = 0
+    previous: list[str] = []
+    for layer in range(layers):
+        width = 1 if layer in (0, layers - 1) else rng.randint(1, 3)
+        current = []
+        for _ in range(width):
+            name = f"n{counter}"
+            counter += 1
+            blocks.append(BasicBlock(name, 1, 1))
+            current.append(name)
+        for src in previous:
+            for dst in current:
+                edges.append((src, dst))
+        previous = current
+        names.append(current)
+    cfg = ControlFlowGraph(blocks, edges, names[0][0])
+    accesses = {
+        b.name: [
+            rng.randrange(geometry.num_sets * (geometry.associativity + 1))
+            for _ in range(rng.randint(0, 4))
+        ]
+        for b in blocks
+    }
+    return cfg, accesses
+
+
+def _paths_to(cfg: ControlFlowGraph, target: str) -> list[list[str]]:
+    """All entry->target paths (small DAGs only)."""
+    paths: list[list[str]] = []
+
+    def walk(node: str, path: list[str]) -> None:
+        if node == target:
+            paths.append(path)
+            return
+        for nxt in cfg.successors(node):
+            walk(nxt, path + [nxt])
+
+    walk(cfg.entry, [cfg.entry])
+    return paths
+
+
+class TestLruMaySoundness:
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        assoc=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_concrete_content_subset_of_may(self, seed, assoc):
+        rng = random.Random(seed)
+        geometry = CacheGeometry(num_sets=2, associativity=assoc)
+        cfg, accesses = _random_dag_program(rng, geometry)
+        analysis = lru_may_ucb(cfg, accesses, geometry)
+
+        for target in cfg.blocks:
+            may_at_entry = analysis.reaching_in[target]
+            for path in _paths_to(cfg, target):
+                cache = LRUCache(geometry)
+                for block_name in path[:-1]:  # up to the target's entry
+                    for m in accesses[block_name]:
+                        cache.access(m)
+                concrete = cache.contents()
+                assert concrete <= set(may_at_entry), (
+                    f"path {path} leaves {concrete - set(may_at_entry)} "
+                    f"outside the may-set at {target} (seed {seed})"
+                )

@@ -1,0 +1,78 @@
+"""Tests for per-preemptor (ECB-filtered) delay functions — the paper's
+future-work item (i)."""
+
+import pytest
+
+from repro.cache import (
+    CacheGeometry,
+    combined_ecbs,
+    delay_function_from_program,
+    per_preemptor_delay_functions,
+    phased_accesses,
+)
+from repro.core import floating_npr_delay_bound
+from repro.piecewise import max_envelope
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    # Cache large enough that the whole working set stays useful during
+    # the process phase — then the heavy preemptor (touching every set)
+    # can do far more damage than the light one (two sets).
+    program = phased_accesses(working_set=16, hot_subset=2)
+    geometry = CacheGeometry(num_sets=32, block_reload_time=1.0)
+    ecbs = {
+        "light": frozenset({0, 1}),
+        "heavy": frozenset(range(32)),
+    }
+    return program, geometry, ecbs
+
+
+class TestPerPreemptorFunctions:
+    def test_each_filtered_below_unfiltered(self, pipeline):
+        program, geometry, ecbs = pipeline
+        unfiltered = delay_function_from_program(
+            program.cfg, program.accesses, geometry
+        )
+        family = per_preemptor_delay_functions(
+            program.cfg, program.accesses, geometry, ecbs
+        )
+        for f in family.values():
+            for k in range(0, 11):
+                t = unfiltered.wcet * k / 10
+                assert f.value(t) <= unfiltered.value(t) + 1e-9
+
+    def test_light_preemptor_cheaper_than_heavy(self, pipeline):
+        program, geometry, ecbs = pipeline
+        family = per_preemptor_delay_functions(
+            program.cfg, program.accesses, geometry, ecbs
+        )
+        assert family["light"].max_value() < family["heavy"].max_value()
+
+    def test_envelope_equals_union_ecbs(self, pipeline):
+        program, geometry, ecbs = pipeline
+        family = per_preemptor_delay_functions(
+            program.cfg, program.accesses, geometry, ecbs
+        )
+        union = delay_function_from_program(
+            program.cfg,
+            program.accesses,
+            geometry,
+            ecb_sets=combined_ecbs(ecbs.values()),
+        )
+        envelope = max_envelope(
+            family["light"].function, family["heavy"].function
+        )
+        for k in range(0, 21):
+            t = union.wcet * k / 20
+            assert envelope.value(t) == pytest.approx(union.value(t))
+
+    def test_tighter_bounds_from_filtering(self, pipeline):
+        program, geometry, ecbs = pipeline
+        family = per_preemptor_delay_functions(
+            program.cfg, program.accesses, geometry, ecbs
+        )
+        q = family["heavy"].wcet / 8
+        light_bound = floating_npr_delay_bound(family["light"], q)
+        heavy_bound = floating_npr_delay_bound(family["heavy"], q)
+        assert light_bound.total_delay <= heavy_bound.total_delay

@@ -1,0 +1,250 @@
+"""Tests for the UCB dataflow analyses, including the simulator-backed
+soundness property: static UCB counts bound measured extra misses."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheGeometry,
+    LRUCache,
+    direct_mapped_ucb,
+    extra_misses_after_preemption,
+    lru_may_ucb,
+)
+from repro.cfg import BasicBlock, ControlFlowGraph
+
+
+def linear(names_and_counts, accesses):
+    names = [n for n, _ in names_and_counts]
+    blocks = [BasicBlock(n, 1, 1) for n in names]
+    edges = list(zip(names, names[1:]))
+    return ControlFlowGraph(blocks, edges, names[0]), accesses
+
+
+class TestDirectMappedBasics:
+    def test_reuse_makes_block_useful(self):
+        # a accesses m0; b re-reads m0: m0 is useful at entry of b.
+        cfg = ControlFlowGraph(
+            [BasicBlock("a", 1, 1), BasicBlock("b", 1, 1)],
+            [("a", "b")],
+            "a",
+        )
+        analysis = direct_mapped_ucb(
+            cfg, {"a": [0], "b": [0]}, CacheGeometry(num_sets=4)
+        )
+        assert 0 in analysis.ucb_at_entry("b")
+        assert analysis.max_ucb_per_block["b"] >= 1
+
+    def test_no_reuse_no_useful_blocks(self):
+        cfg = ControlFlowGraph(
+            [BasicBlock("a", 1, 1), BasicBlock("b", 1, 1)],
+            [("a", "b")],
+            "a",
+        )
+        analysis = direct_mapped_ucb(
+            cfg, {"a": [0], "b": [1]}, CacheGeometry(num_sets=4)
+        )
+        assert analysis.ucb_at_entry("b") == frozenset()
+
+    def test_conflicting_access_kills_usefulness(self):
+        # m0 and m4 share a set (4 sets); b accesses m4 before reusing m0:
+        # at entry of b, m0 will be evicted by m4 anyway -> not useful.
+        cfg = ControlFlowGraph(
+            [BasicBlock("a", 1, 1), BasicBlock("b", 1, 1)],
+            [("a", "b")],
+            "a",
+        )
+        analysis = direct_mapped_ucb(
+            cfg, {"a": [0], "b": [4, 0]}, CacheGeometry(num_sets=4)
+        )
+        assert 0 not in analysis.ucb_at_entry("b")
+        # But m4 itself is useful between its access and m0's? No: m0
+        # evicts m4 immediately after -> nothing useful inside b's middle
+        # point either.
+        assert all(len(p) == 0 for p in analysis.ucb_per_point["b"][:1])
+
+    def test_branchy_reuse_is_may(self):
+        # m0 reused on one arm only: still useful at the fork.
+        cfg = ControlFlowGraph(
+            [
+                BasicBlock("a", 1, 1),
+                BasicBlock("l", 1, 1),
+                BasicBlock("r", 1, 1),
+                BasicBlock("j", 1, 1),
+            ],
+            [("a", "l"), ("a", "r"), ("l", "j"), ("r", "j")],
+            "a",
+        )
+        analysis = direct_mapped_ucb(
+            cfg,
+            {"a": [0], "l": [0], "r": [], "j": []},
+            CacheGeometry(num_sets=4),
+        )
+        assert 0 in analysis.ucb_at_entry("l")
+        # At entry of the right arm m0 may also still be reused? No path
+        # from r reuses it -> not useful there.
+        assert 0 not in analysis.ucb_at_entry("r")
+
+    def test_loop_carried_usefulness(self):
+        # Loop body reuses m0 every iteration: useful at the header.
+        cfg = ControlFlowGraph(
+            [
+                BasicBlock("e", 1, 1),
+                BasicBlock("h", 1, 1),
+                BasicBlock("body", 1, 1),
+                BasicBlock("x", 1, 1),
+            ],
+            [("e", "h"), ("h", "body"), ("body", "h"), ("h", "x")],
+            "e",
+        )
+        analysis = direct_mapped_ucb(
+            cfg,
+            {"e": [], "h": [], "body": [0], "x": []},
+            CacheGeometry(num_sets=4),
+        )
+        assert 0 in analysis.ucb_at_entry("h")
+
+    def test_requires_direct_mapped(self):
+        cfg = ControlFlowGraph([BasicBlock("a", 1, 1)], [], "a")
+        with pytest.raises(ValueError):
+            direct_mapped_ucb(
+                cfg, {"a": []}, CacheGeometry(num_sets=2, associativity=2)
+            )
+
+    def test_unknown_block_in_accesses_rejected(self):
+        cfg = ControlFlowGraph([BasicBlock("a", 1, 1)], [], "a")
+        with pytest.raises(ValueError):
+            direct_mapped_ucb(cfg, {"zz": [0]}, CacheGeometry(num_sets=2))
+
+    def test_negative_memory_block_rejected(self):
+        cfg = ControlFlowGraph([BasicBlock("a", 1, 1)], [], "a")
+        with pytest.raises(ValueError):
+            direct_mapped_ucb(cfg, {"a": [-1]}, CacheGeometry(num_sets=2))
+
+
+class TestLRUMayAnalysis:
+    def test_fits_in_ways_stays_useful(self):
+        cfg = ControlFlowGraph(
+            [BasicBlock("a", 1, 1), BasicBlock("b", 1, 1)],
+            [("a", "b")],
+            "a",
+        )
+        # Two blocks in the same set of a 2-way cache: both may be cached.
+        g = CacheGeometry(num_sets=1, associativity=2)
+        analysis = lru_may_ucb(cfg, {"a": [0, 1], "b": [0, 1]}, g)
+        assert analysis.ucb_at_entry("b") == frozenset({0, 1})
+
+    def test_capacity_eviction(self):
+        cfg = ControlFlowGraph(
+            [BasicBlock("a", 1, 1), BasicBlock("b", 1, 1)],
+            [("a", "b")],
+            "a",
+        )
+        g = CacheGeometry(num_sets=1, associativity=2)
+        # Three distinct blocks through a 2-way set: the oldest is out.
+        analysis = lru_may_ucb(cfg, {"a": [0, 1, 2], "b": [0, 1, 2]}, g)
+        assert 0 not in analysis.ucb_at_entry("b")
+        assert {1, 2} <= analysis.ucb_at_entry("b")
+
+    def test_lru_at_least_as_pessimistic_as_direct_mapped_truth(self):
+        # The conservative LRU analysis on a 1-way cache must dominate
+        # the exact direct-mapped UCB sets.
+        cfg = ControlFlowGraph(
+            [BasicBlock("a", 1, 1), BasicBlock("b", 1, 1)],
+            [("a", "b")],
+            "a",
+        )
+        g = CacheGeometry(num_sets=2, associativity=1)
+        accesses = {"a": [0, 1, 2], "b": [2, 0]}
+        exact = direct_mapped_ucb(cfg, accesses, g)
+        conservative = lru_may_ucb(cfg, accesses, g)
+        for name in cfg.blocks:
+            for p_exact, p_cons in zip(
+                exact.ucb_per_point[name], conservative.ucb_per_point[name]
+            ):
+                assert p_exact <= p_cons
+
+
+def _random_linear_program(rng: random.Random, geometry: CacheGeometry):
+    """A random straight-line program (so the concrete path is unique)."""
+    n_blocks = rng.randint(2, 5)
+    names = [f"n{i}" for i in range(n_blocks)]
+    cfg = ControlFlowGraph(
+        [BasicBlock(n, 1, 1) for n in names],
+        list(zip(names, names[1:])),
+        names[0],
+    )
+    accesses = {
+        n: [rng.randrange(geometry.num_sets * 3) for _ in range(rng.randint(0, 6))]
+        for n in names
+    }
+    return cfg, names, accesses
+
+
+class TestSoundnessAgainstSimulator:
+    """The central guarantee: for straight-line code, the measured extra
+    misses after an arbitrary preemption never exceed the static UCB
+    count at the preemption point."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=20_000),
+        num_sets=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_direct_mapped_ucb_bounds_measured_crpd(self, seed, num_sets):
+        rng = random.Random(seed)
+        geometry = CacheGeometry(num_sets=num_sets)
+        cfg, names, accesses = _random_linear_program(rng, geometry)
+        analysis = direct_mapped_ucb(cfg, accesses, geometry)
+
+        # Preempt at every block boundary and at every in-block point.
+        flat: list[tuple[str, int]] = []  # (block, index within block)
+        for n in names:
+            for i in range(len(accesses[n]) + 1):
+                flat.append((n, i))
+
+        for block_name, point_idx in flat:
+            prefix: list[int] = []
+            for n in names:
+                if n == block_name:
+                    prefix.extend(accesses[n][:point_idx])
+                    break
+                prefix.extend(accesses[n])
+            suffix: list[int] = []
+            started = False
+            for n in names:
+                if n == block_name:
+                    suffix.extend(accesses[n][point_idx:])
+                    started = True
+                elif started:
+                    suffix.extend(accesses[n])
+            measured = extra_misses_after_preemption(
+                geometry, prefix, suffix, set(range(num_sets))
+            )
+            static_bound = len(analysis.ucb_per_point[block_name][point_idx])
+            assert measured <= static_bound, (
+                f"preemption at {block_name}[{point_idx}] cost {measured} "
+                f"misses but UCB bound is {static_bound}"
+            )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=20_000),
+        assoc=st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lru_ucb_bounds_measured_crpd_at_entries(self, seed, assoc):
+        rng = random.Random(seed)
+        geometry = CacheGeometry(num_sets=2, associativity=assoc)
+        cfg, names, accesses = _random_linear_program(rng, geometry)
+        analysis = lru_may_ucb(cfg, accesses, geometry)
+        for idx, block_name in enumerate(names):
+            prefix = [b for n in names[:idx] for b in accesses[n]]
+            suffix = [b for n in names[idx:] for b in accesses[n]]
+            measured = extra_misses_after_preemption(
+                geometry, prefix, suffix, set(range(geometry.num_sets))
+            )
+            static_bound = len(analysis.ucb_per_point[block_name][0])
+            assert measured <= static_bound

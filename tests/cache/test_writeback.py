@@ -1,0 +1,136 @@
+"""Tests for the write-back cache model and its preemption-cost split."""
+
+import pytest
+
+from repro.cache import (
+    CacheGeometry,
+    WritebackLRUCache,
+    extra_misses_after_preemption,
+    preemption_cost_with_writebacks,
+)
+
+
+def g(num_sets=4, assoc=1):
+    return CacheGeometry(num_sets=num_sets, associativity=assoc)
+
+
+class TestWritebackSemantics:
+    def test_read_miss_then_hit(self):
+        cache = WritebackLRUCache(g())
+        hit, wb = cache.access(0, write=False)
+        assert (hit, wb) == (False, 0)
+        hit, wb = cache.access(0, write=False)
+        assert (hit, wb) == (True, 0)
+
+    def test_write_marks_dirty(self):
+        cache = WritebackLRUCache(g())
+        cache.access(0, write=True)
+        assert cache.dirty_blocks() == {0}
+
+    def test_read_after_write_keeps_dirty(self):
+        cache = WritebackLRUCache(g())
+        cache.access(0, write=True)
+        cache.access(0, write=False)
+        assert cache.dirty_blocks() == {0}
+
+    def test_clean_eviction_costs_nothing(self):
+        cache = WritebackLRUCache(g())
+        cache.access(0, write=False)
+        hit, wb = cache.access(4, write=False)  # evicts clean 0
+        assert (hit, wb) == (False, 0)
+
+    def test_dirty_eviction_writes_back(self):
+        cache = WritebackLRUCache(g())
+        cache.access(0, write=True)
+        hit, wb = cache.access(4, write=False)  # evicts dirty 0
+        assert (hit, wb) == (False, 1)
+
+    def test_run_accumulates(self):
+        cache = WritebackLRUCache(g())
+        costs = cache.run([(0, True), (4, False), (0, False)])
+        # 0 miss (write), 4 miss + wb of 0, 0 miss again.
+        assert costs.misses == 3
+        assert costs.writebacks == 1
+
+    def test_total_cost_weighting(self):
+        geometry = CacheGeometry(num_sets=4, block_reload_time=2.0)
+        cache = WritebackLRUCache(geometry)
+        costs = cache.run([(0, True), (4, False)])
+        assert costs.total(geometry, writeback_time=3.0) == pytest.approx(
+            2 * 2.0 + 1 * 3.0
+        )
+
+    def test_evict_sets_flushes_dirty(self):
+        cache = WritebackLRUCache(g())
+        cache.access(0, write=True)
+        cache.access(1, write=False)
+        flush = cache.evict_sets({0, 1})
+        assert flush.writebacks == 1
+        assert cache.contents() == set()
+
+    def test_evict_sets_range_checked(self):
+        cache = WritebackLRUCache(g())
+        with pytest.raises(ValueError):
+            cache.evict_sets({9})
+
+    def test_clone_independent(self):
+        cache = WritebackLRUCache(g())
+        cache.access(0, write=True)
+        copy = cache.clone()
+        copy.evict_sets({0})
+        assert cache.dirty_blocks() == {0}
+        assert copy.dirty_blocks() == set()
+
+    def test_lru_order_respected(self):
+        cache = WritebackLRUCache(g(num_sets=1, assoc=2))
+        cache.access(0, write=True)
+        cache.access(1, write=False)
+        cache.access(0, write=False)   # 1 is now LRU
+        hit, wb = cache.access(2, write=False)  # evicts clean 1
+        assert (hit, wb) == (False, 0)
+        assert cache.dirty_blocks() == {0}
+
+
+class TestPreemptionCostSplit:
+    def test_read_only_workload_has_no_writeback_cost(self):
+        geometry = g()
+        trace = [(b, False) for b in (0, 1, 2)]
+        reload_cost, wb_cost = preemption_cost_with_writebacks(
+            geometry, trace, trace, {0, 1, 2, 3}, writeback_time=5.0
+        )
+        assert reload_cost == 3 * geometry.block_reload_time
+        assert wb_cost == 0.0
+
+    def test_dirty_working_set_adds_writeback_cost(self):
+        geometry = g()
+        warm = [(b, True) for b in (0, 1, 2)]
+        resume = [(b, False) for b in (0, 1, 2)]
+        reload_cost, wb_cost = preemption_cost_with_writebacks(
+            geometry, warm, resume, {0, 1, 2, 3}, writeback_time=5.0
+        )
+        assert reload_cost == 3 * geometry.block_reload_time
+        # The preemption flushes three dirty lines immediately.
+        assert wb_cost == pytest.approx(3 * 5.0)
+
+    def test_reload_component_matches_plain_model(self):
+        """With writeback_time = 0 the cost reduces to the paper's CRPD."""
+        geometry = g()
+        warm_rw = [(0, True), (1, False), (2, True)]
+        resume_rw = [(0, False), (2, False)]
+        reload_cost, wb_cost = preemption_cost_with_writebacks(
+            geometry, warm_rw, resume_rw, {0, 1, 2, 3}, writeback_time=0.0
+        )
+        plain = extra_misses_after_preemption(
+            geometry,
+            [b for b, _ in warm_rw],
+            [b for b, _ in resume_rw],
+            {0, 1, 2, 3},
+        )
+        assert reload_cost == plain * geometry.block_reload_time
+        assert wb_cost == 0.0
+
+    def test_negative_writeback_time_rejected(self):
+        with pytest.raises(ValueError):
+            preemption_cost_with_writebacks(
+                g(), [], [], set(), writeback_time=-1.0
+            )

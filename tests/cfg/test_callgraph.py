@@ -1,0 +1,125 @@
+"""Tests for the acyclic call-graph analysis."""
+
+import pytest
+
+from repro.cfg import (
+    BasicBlock,
+    CallGraph,
+    ControlFlowGraph,
+    CyclicCallGraphError,
+    Function,
+)
+
+
+def linear_cfg(prefix, times, crpd=None):
+    crpd = crpd or {}
+    names = [f"{prefix}{i}" for i in range(len(times))]
+    blocks = [
+        BasicBlock(n, lo, hi, crpd.get(n, 0.0))
+        for n, (lo, hi) in zip(names, times)
+    ]
+    edges = list(zip(names, names[1:]))
+    return ControlFlowGraph(blocks, edges, names[0])
+
+
+def leaf_function(name="leaf", crpd_value=4.0):
+    cfg = linear_cfg("L", [(2, 3), (1, 2)], crpd={"L0": crpd_value})
+    return Function(name=name, cfg=cfg)
+
+
+class TestConstruction:
+    def test_root_must_exist(self):
+        with pytest.raises(ValueError):
+            CallGraph([leaf_function()], root="missing")
+
+    def test_undefined_callee_rejected(self):
+        cfg = linear_cfg("M", [(1, 1)])
+        f = Function(name="main", cfg=cfg, calls={"M0": "ghost"})
+        with pytest.raises(ValueError):
+            CallGraph([f, leaf_function()], root="main")
+
+    def test_call_site_must_be_block(self):
+        cfg = linear_cfg("M", [(1, 1)])
+        with pytest.raises(ValueError):
+            Function(name="main", cfg=cfg, calls={"nope": "leaf"})
+
+    def test_recursion_rejected(self):
+        cfg_a = linear_cfg("A", [(1, 1)])
+        cfg_b = linear_cfg("B", [(1, 1)])
+        fa = Function(name="a", cfg=cfg_a, calls={"A0": "b"})
+        fb = Function(name="b", cfg=cfg_b, calls={"B0": "a"})
+        with pytest.raises(CyclicCallGraphError):
+            CallGraph([fa, fb], root="a")
+
+    def test_duplicate_function_names_rejected(self):
+        with pytest.raises(ValueError):
+            CallGraph([leaf_function(), leaf_function()], root="leaf")
+
+
+class TestAnalysis:
+    def test_leaf_only(self):
+        graph = CallGraph([leaf_function()], root="leaf")
+        analysis = graph.analyse()
+        assert analysis.bcet == 3
+        assert analysis.wcet == 5
+        assert analysis.delay_function.wcet == 5
+
+    def test_caller_widened_by_callee(self):
+        # main: M0(1..1, calls leaf) -> M1(2..2); leaf: 3..5.
+        main_cfg = linear_cfg("M", [(1, 1), (2, 2)])
+        main = Function(name="main", cfg=main_cfg, calls={"M0": "leaf"})
+        graph = CallGraph([main, leaf_function()], root="main")
+        analysis = graph.analyse()
+        assert analysis.bcet == 1 + 3 + 2
+        assert analysis.wcet == 1 + 5 + 2
+
+    def test_callee_windows_shifted_into_call_site(self):
+        main_cfg = linear_cfg("M", [(1, 1), (2, 2)])
+        main = Function(name="main", cfg=main_cfg, calls={"M1": "leaf"})
+        graph = CallGraph([main, leaf_function()], root="main")
+        analysis = graph.analyse()
+        # Call site M1 starts at [1, 1]; callee block L0 may start with
+        # the call (shift >= 1) or after M1's own work (<= 1 + 2).
+        w = analysis.windows["leaf.L0"]
+        assert w.smin == pytest.approx(1)
+        assert w.smax == pytest.approx(1 + 2)
+
+    def test_delay_function_sees_callee_crpd(self):
+        main_cfg = linear_cfg("M", [(1, 1), (2, 2)])
+        main = Function(name="main", cfg=main_cfg, calls={"M0": "leaf"})
+        graph = CallGraph([main, leaf_function(crpd_value=7.0)], root="main")
+        analysis = graph.analyse()
+        assert analysis.delay_function.max_value() == 7.0
+
+    def test_two_call_sites_hull(self):
+        # leaf called twice; its windows must cover both placements.
+        main_cfg = linear_cfg("M", [(1, 1), (10, 10), (1, 1)])
+        main = Function(
+            name="main", cfg=main_cfg, calls={"M0": "leaf", "M2": "leaf"}
+        )
+        graph = CallGraph([main, leaf_function()], root="main")
+        analysis = graph.analyse()
+        w = analysis.windows["leaf.L0"]
+        # First placement: starts >= 0; second: starts <= far right.
+        assert w.smin == pytest.approx(0)
+        assert w.smax >= 10
+
+    def test_diamond_call_graph_shared_leaf(self):
+        leaf = leaf_function()
+        mid_a = Function(
+            name="mid_a",
+            cfg=linear_cfg("P", [(1, 1)]),
+            calls={"P0": "leaf"},
+        )
+        mid_b = Function(
+            name="mid_b",
+            cfg=linear_cfg("R", [(2, 2)]),
+            calls={"R0": "leaf"},
+        )
+        main_cfg = linear_cfg("M", [(1, 1), (1, 1)])
+        main = Function(
+            name="main", cfg=main_cfg, calls={"M0": "mid_a", "M1": "mid_b"}
+        )
+        graph = CallGraph([main, mid_a, mid_b, leaf], root="main")
+        analysis = graph.analyse()
+        assert analysis.wcet == pytest.approx(1 + (1 + 5) + 1 + (2 + 5))

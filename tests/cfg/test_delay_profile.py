@@ -1,0 +1,161 @@
+"""Tests for the BB(t) envelope and delay-function construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    ExecutionWindow,
+    blocks_active_at,
+    delay_envelope,
+    delay_function_from_cfg,
+    figure1_cfg,
+    random_cfg,
+    windows_with_loops,
+)
+from repro.cfg.intervals import path_extremes
+from repro.cfg.loops import collapse_loops
+
+
+def window(smin, smax, emin, emax):
+    return ExecutionWindow(smin=smin, smax=smax, emin=emin, emax=emax)
+
+
+class TestBlocksActiveAt:
+    def test_basic(self):
+        windows = {
+            "a": window(0, 0, 2, 4),    # active on [0, 4]
+            "b": window(2, 4, 1, 3),    # active on [2, 7]
+        }
+        assert blocks_active_at(windows, 1.0) == {"a"}
+        assert blocks_active_at(windows, 3.0) == {"a", "b"}
+        assert blocks_active_at(windows, 6.0) == {"b"}
+
+
+class TestDelayEnvelope:
+    def test_single_window(self):
+        windows = {"a": window(2, 3, 1, 4)}  # active [2, 7]
+        f = delay_envelope(windows, {"a": 5.0}, horizon=10.0)
+        assert f.value(0.0) == 0.0
+        assert f.value(4.0) == 5.0
+        assert f.value(8.0) == 0.0
+        assert f.wcet == 10.0
+
+    def test_overlap_takes_max(self):
+        windows = {
+            "a": window(0, 0, 0, 6),    # [0, 6] crpd 2
+            "b": window(4, 4, 0, 6),    # [4, 10] crpd 9
+        }
+        f = delay_envelope(windows, {"a": 2.0, "b": 9.0}, horizon=12.0)
+        assert f.value(2.0) == 2.0
+        assert f.value(5.0) == 9.0
+        assert f.value(11.0) == 0.0
+
+    def test_zero_crpd_blocks_ignored(self):
+        windows = {"a": window(0, 0, 0, 5)}
+        f = delay_envelope(windows, {"a": 0.0}, horizon=5.0)
+        assert f.max_value() == 0.0
+
+    def test_window_clipped_to_horizon(self):
+        windows = {"a": window(0, 8, 0, 6)}  # nominal end 14 > horizon
+        f = delay_envelope(windows, {"a": 3.0}, horizon=10.0)
+        assert f.value(9.5) == 3.0
+        assert f.wcet == 10.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            delay_envelope({}, {}, horizon=0.0)
+
+    def test_envelope_matches_bruteforce(self):
+        windows = {
+            "a": window(0, 2, 1, 3),
+            "b": window(3, 5, 2, 4),
+            "c": window(1, 7, 0, 2),
+        }
+        crpd = {"a": 4.0, "b": 7.0, "c": 1.0}
+        f = delay_envelope(windows, crpd, horizon=12.0)
+        for k in range(0, 121):
+            t = k / 10.0
+            active = blocks_active_at(windows, t)
+            expected = max((crpd[b] for b in active), default=0.0)
+            assert f.value(t) >= expected - 1e-9
+            # Envelope is tight except exactly at window endpoints where
+            # the upper convention may keep the higher plateau.
+            if all(
+                abs(t - edge) > 1e-9
+                for w in windows.values()
+                for edge in w.window
+            ):
+                assert f.value(t) == pytest.approx(expected)
+
+
+class TestDelayFunctionFromCfg:
+    def test_figure1_pipeline(self):
+        crpd = {"b3": 6.0, "b7": 9.0}
+        cfg = figure1_cfg(crpd=crpd)
+        f = delay_function_from_cfg(cfg)
+        assert f.wcet == 195
+        # b3 window [30, 95]; b7 window [65, 175].
+        assert f.value(50.0) == 6.0
+        assert f.value(100.0) == 9.0
+        assert f.value(190.0) == 0.0
+        # In the overlap the max rules.
+        assert f.value(80.0) == 9.0
+
+    def test_loop_blocks_contribute_over_whole_loop_window(self):
+        blocks = [
+            BasicBlock("entry", 2, 2),
+            BasicBlock("h", 1, 1),
+            BasicBlock("body", 3, 3, crpd=8.0),
+            BasicBlock("exit", 1, 1),
+        ]
+        edges = [
+            ("entry", "h"),
+            ("h", "body"),
+            ("body", "h"),
+            ("h", "exit"),
+        ]
+        cfg = ControlFlowGraph(blocks, edges, "entry")
+        f = delay_function_from_cfg(cfg, {"h": (2, 3)})
+        # Loop window [2, 14]: the body's crpd applies throughout.
+        assert f.value(3.0) == 8.0
+        assert f.value(13.0) == 8.0
+        assert f.value(1.0) == 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_envelope_bounded_by_max_crpd(self, seed):
+        generated = random_cfg(seed, depth=3)
+        f = delay_function_from_cfg(generated.cfg, generated.iteration_bounds)
+        max_crpd = max(b.crpd for b in generated.cfg.blocks.values())
+        assert f.max_value() <= max_crpd + 1e-9
+        assert f.function.is_non_negative()
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_domain_is_wcet(self, seed):
+        generated = random_cfg(seed, depth=2)
+        collapsed = collapse_loops(generated.cfg, generated.iteration_bounds)
+        _, wcet = path_extremes(collapsed.cfg)
+        f = delay_function_from_cfg(generated.cfg, generated.iteration_bounds)
+        assert f.wcet == pytest.approx(wcet)
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_pointwise_dominates_active_blocks(self, seed):
+        generated = random_cfg(seed, depth=2)
+        windows, _ = windows_with_loops(
+            generated.cfg, generated.iteration_bounds
+        )
+        f = delay_function_from_cfg(generated.cfg, generated.iteration_bounds)
+        crpd = {n: generated.cfg.block(n).crpd for n in generated.cfg.blocks}
+        for k in range(0, 11):
+            t = f.wcet * k / 10.0
+            active = blocks_active_at(windows, t)
+            expected = max((crpd[b] for b in active), default=0.0)
+            # Blocks windows are clipped at the horizon; active_at may
+            # extend beyond, so only the dominance direction holds.
+            if t < f.wcet:
+                assert f.value(t) >= expected - 1e-9 or t >= f.wcet

@@ -1,0 +1,98 @@
+"""Tests for the CFG data model."""
+
+import pytest
+
+from repro.cfg import BasicBlock, ControlFlowGraph
+
+
+def diamond() -> ControlFlowGraph:
+    blocks = [
+        BasicBlock("a", 1, 2),
+        BasicBlock("b", 3, 4),
+        BasicBlock("c", 5, 6),
+        BasicBlock("d", 7, 8),
+    ]
+    edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    return ControlFlowGraph(blocks, edges, entry="a")
+
+
+class TestBasicBlock:
+    def test_valid(self):
+        b = BasicBlock("x", 1.0, 2.0, 0.5)
+        assert b.emin == 1.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock("", 0, 1)
+
+    def test_negative_emin_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock("x", -1, 1)
+
+    def test_emax_below_emin_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock("x", 2, 1)
+
+    def test_negative_crpd_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock("x", 0, 1, crpd=-0.1)
+
+    def test_with_crpd(self):
+        b = BasicBlock("x", 1, 2).with_crpd(9.0)
+        assert b.crpd == 9.0
+        assert b.name == "x"
+
+
+class TestControlFlowGraph:
+    def test_accessors(self):
+        cfg = diamond()
+        assert cfg.entry == "a"
+        assert set(cfg.successors("a")) == {"b", "c"}
+        assert set(cfg.predecessors("d")) == {"b", "c"}
+        assert cfg.exit_blocks() == ("d",)
+        assert len(cfg) == 4
+        assert "a" in cfg and "z" not in cfg
+
+    def test_duplicate_block_rejected(self):
+        with pytest.raises(ValueError):
+            ControlFlowGraph(
+                [BasicBlock("a", 0, 1), BasicBlock("a", 0, 1)], [], "a"
+            )
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(ValueError):
+            ControlFlowGraph([BasicBlock("a", 0, 1)], [("a", "b")], "a")
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(ValueError):
+            ControlFlowGraph([BasicBlock("a", 0, 1)], [], "z")
+
+    def test_unreachable_block_rejected(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            ControlFlowGraph(
+                [BasicBlock("a", 0, 1), BasicBlock("b", 0, 1)], [], "a"
+            )
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError):
+            ControlFlowGraph(
+                [BasicBlock("a", 0, 1), BasicBlock("b", 0, 1)],
+                [("a", "b"), ("a", "b")],
+                "a",
+            )
+
+    def test_with_blocks_replaces(self):
+        cfg = diamond()
+        updated = cfg.with_blocks({"b": BasicBlock("b", 3, 4, crpd=7.0)})
+        assert updated.block("b").crpd == 7.0
+        assert updated.block("a").crpd == 0.0
+        assert updated.edges() == cfg.edges()
+
+    def test_with_blocks_name_mismatch_rejected(self):
+        cfg = diamond()
+        with pytest.raises(ValueError):
+            cfg.with_blocks({"b": BasicBlock("zz", 3, 4)})
+
+    def test_reachability(self):
+        cfg = diamond()
+        assert cfg.reachable_from_entry() == {"a", "b", "c", "d"}

@@ -1,0 +1,162 @@
+"""Tests for the execution-interval analysis (Eqs. 1-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    execution_windows,
+    path_extremes,
+    random_cfg,
+    start_offsets,
+    topological_order,
+    windows_with_loops,
+)
+
+
+def make(blocks, edges, entry):
+    return ControlFlowGraph(
+        [BasicBlock(n, lo, hi) for n, lo, hi in blocks], edges, entry
+    )
+
+
+class TestStartOffsets:
+    def test_entry_is_zero(self):
+        cfg = make([("a", 1, 2)], [], "a")
+        assert start_offsets(cfg) == {"a": (0.0, 0.0)}
+
+    def test_chain_accumulates(self):
+        cfg = make(
+            [("a", 1, 2), ("b", 3, 4), ("c", 5, 6)],
+            [("a", "b"), ("b", "c")],
+            "a",
+        )
+        offsets = start_offsets(cfg)
+        assert offsets["b"] == (1, 2)
+        assert offsets["c"] == (1 + 3, 2 + 4)
+
+    def test_diamond_min_max(self):
+        cfg = make(
+            [("a", 10, 10), ("b", 1, 2), ("c", 5, 9), ("d", 1, 1)],
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+            "a",
+        )
+        offsets = start_offsets(cfg)
+        assert offsets["d"] == (10 + 1, 10 + 9)
+
+    def test_windows(self):
+        cfg = make(
+            [("a", 1, 2), ("b", 3, 4)],
+            [("a", "b")],
+            "a",
+        )
+        windows = execution_windows(cfg)
+        assert windows["b"].window == (1, 2 + 4)
+        assert windows["b"].earliest_end == 1 + 3
+
+    def test_active_at(self):
+        cfg = make([("a", 2, 4)], [], "a")
+        w = execution_windows(cfg)["a"]
+        assert w.active_at(0)
+        assert w.active_at(4)
+        assert not w.active_at(4.5)
+
+
+class TestPathExtremes:
+    def test_single_block(self):
+        cfg = make([("a", 3, 7)], [], "a")
+        assert path_extremes(cfg) == (3, 7)
+
+    def test_diamond(self):
+        cfg = make(
+            [("a", 1, 1), ("b", 10, 10), ("c", 2, 2), ("d", 1, 1)],
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+            "a",
+        )
+        bcet, wcet = path_extremes(cfg)
+        assert bcet == 1 + 2 + 1
+        assert wcet == 1 + 10 + 1
+
+    def test_multiple_exits(self):
+        cfg = make(
+            [("a", 1, 1), ("b", 5, 5), ("c", 9, 9)],
+            [("a", "b"), ("a", "c")],
+            "a",
+        )
+        assert path_extremes(cfg) == (6, 10)
+
+
+class TestWindowsWithLoops:
+    def test_member_blocks_get_loop_window(self):
+        blocks = [
+            BasicBlock("entry", 2, 2),
+            BasicBlock("h", 1, 1),
+            BasicBlock("body", 3, 3),
+            BasicBlock("exit", 1, 1),
+        ]
+        edges = [
+            ("entry", "h"),
+            ("h", "body"),
+            ("body", "h"),
+            ("h", "exit"),
+        ]
+        cfg = ControlFlowGraph(blocks, edges, "entry")
+        windows, result = windows_with_loops(cfg, {"h": (2, 3)})
+        # Loop node: one iteration = 4, bounds (2,3) -> [8, 12];
+        # starts at [2, 2]; loop window = [2, 2 + 12] = [2, 14].
+        node = result.summaries[0].node
+        assert windows["h"].window == (2, 14)
+        assert windows["body"].window == (2, 14)
+        # Non-member windows unchanged semantics.
+        assert windows["entry"].window == (0, 2)
+        assert windows["exit"].smin == 2 + 8
+        del node
+
+    def test_loop_free_matches_plain_analysis(self):
+        cfg = make(
+            [("a", 1, 2), ("b", 3, 4)],
+            [("a", "b")],
+            "a",
+        )
+        windows, _ = windows_with_loops(cfg, None)
+        plain = execution_windows(cfg)
+        assert windows.keys() == plain.keys()
+        for k in windows:
+            assert windows[k].window == plain[k].window
+
+
+class TestPropertyOnRandomCfgs:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_interval_invariants(self, seed):
+        generated = random_cfg(seed, depth=3)
+        windows, result = windows_with_loops(
+            generated.cfg, generated.iteration_bounds
+        )
+        bcet, wcet = path_extremes(result.cfg)
+        assert 0 <= bcet <= wcet
+        for name, w in windows.items():
+            assert w.smin <= w.smax + 1e-9, name
+            assert w.window[0] >= 0
+            # No block may still be executing after the task's WCET.
+            assert w.window[1] <= wcet + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_topological_consistency(self, seed):
+        generated = random_cfg(seed, depth=3, loop_probability=0.0)
+        cfg = generated.cfg
+        order = topological_order(cfg)
+        offsets = start_offsets(cfg)
+        position = {n: i for i, n in enumerate(order)}
+        for src, dst in cfg.edges():
+            assert position[src] < position[dst]
+            # Eqs. 2-3: the successor's earliest start is the *minimum*
+            # over predecessors (so at most this path's value), and its
+            # latest start is the *maximum* (so at least this path's).
+            src_min, src_max = offsets[src]
+            block = cfg.block(src)
+            assert offsets[dst][0] <= src_min + block.emin + 1e-9
+            assert offsets[dst][1] >= src_max + block.emax - 1e-9

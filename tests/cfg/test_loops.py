@@ -1,0 +1,169 @@
+"""Tests for natural-loop detection and collapsing."""
+
+import pytest
+
+from repro.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    back_edges,
+    collapse_loops,
+    is_dag,
+    natural_loops,
+    path_extremes,
+)
+
+
+def simple_loop_cfg():
+    """entry -> header -> body -> header (back edge); header -> exit."""
+    blocks = [
+        BasicBlock("entry", 2, 3),
+        BasicBlock("header", 1, 1),
+        BasicBlock("body", 4, 5, crpd=6.0),
+        BasicBlock("exit", 2, 2),
+    ]
+    edges = [
+        ("entry", "header"),
+        ("header", "body"),
+        ("body", "header"),
+        ("header", "exit"),
+    ]
+    return ControlFlowGraph(blocks, edges, "entry")
+
+
+def nested_loop_cfg():
+    blocks = [
+        BasicBlock("entry", 1, 1),
+        BasicBlock("h1", 1, 1),
+        BasicBlock("h2", 1, 1),
+        BasicBlock("inner", 2, 2, crpd=3.0),
+        BasicBlock("after2", 1, 1),
+        BasicBlock("exit", 1, 1),
+    ]
+    edges = [
+        ("entry", "h1"),
+        ("h1", "h2"),
+        ("h2", "inner"),
+        ("inner", "h2"),       # inner back edge
+        ("inner", "after2"),
+        ("after2", "h1"),      # outer back edge
+        ("after2", "exit"),
+    ]
+    return ControlFlowGraph(blocks, edges, "entry")
+
+
+class TestDetection:
+    def test_back_edge_found(self):
+        cfg = simple_loop_cfg()
+        assert back_edges(cfg) == [("body", "header")]
+
+    def test_loop_body(self):
+        cfg = simple_loop_cfg()
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        assert loops[0].header == "header"
+        assert loops[0].body == {"header", "body"}
+        assert loops[0].latches == ("body",)
+
+    def test_nested_loops_found(self):
+        cfg = nested_loop_cfg()
+        loops = natural_loops(cfg)
+        headers = {l.header for l in loops}
+        assert headers == {"h1", "h2"}
+        inner = next(l for l in loops if l.header == "h2")
+        outer = next(l for l in loops if l.header == "h1")
+        assert inner.body < outer.body
+
+    def test_dag_has_no_loops(self):
+        cfg = ControlFlowGraph(
+            [BasicBlock("a", 1, 1), BasicBlock("b", 1, 1)],
+            [("a", "b")],
+            "a",
+        )
+        assert natural_loops(cfg) == []
+
+
+class TestCollapse:
+    def test_missing_bound_rejected(self):
+        with pytest.raises(ValueError, match="iteration bound"):
+            collapse_loops(simple_loop_cfg(), {})
+
+    def test_collapse_produces_dag(self):
+        result = collapse_loops(simple_loop_cfg(), {"header": (2, 5)})
+        assert is_dag(result.cfg)
+        assert len(result.summaries) == 1
+
+    def test_loop_node_execution_interval(self):
+        result = collapse_loops(simple_loop_cfg(), {"header": (2, 5)})
+        summary = result.summaries[0]
+        # One iteration header->body: best 1+4=5, worst 1+5=6.
+        assert summary.body_best == 5
+        assert summary.body_worst == 6
+        node = result.cfg.block(summary.node)
+        assert node.emin == 2 * 5
+        assert node.emax == 5 * 6
+
+    def test_loop_node_inherits_max_crpd(self):
+        result = collapse_loops(simple_loop_cfg(), {"header": (1, 2)})
+        node = result.cfg.block(result.summaries[0].node)
+        assert node.crpd == 6.0
+
+    def test_membership_maps_body_blocks(self):
+        result = collapse_loops(simple_loop_cfg(), {"header": (1, 2)})
+        node = result.summaries[0].node
+        assert result.membership == {"header": node, "body": node}
+
+    def test_path_extremes_after_collapse(self):
+        result = collapse_loops(simple_loop_cfg(), {"header": (2, 5)})
+        bcet, wcet = path_extremes(result.cfg)
+        # entry(2..3) + loop(10..30) + exit(2..2)
+        assert bcet == 2 + 10 + 2
+        assert wcet == 3 + 30 + 2
+
+    def test_nested_collapse(self):
+        result = collapse_loops(
+            nested_loop_cfg(), {"h1": (1, 3), "h2": (2, 4)}
+        )
+        assert is_dag(result.cfg)
+        assert len(result.summaries) == 2
+        # Inner collapsed first.
+        assert result.summaries[0].header == "h2"
+        assert result.summaries[1].header == "h1"
+        # All swallowed blocks map to the OUTER synthetic node.
+        outer_node = result.summaries[1].node
+        for name in ("h1", "h2", "inner", "after2"):
+            assert result.membership[name] == outer_node
+
+    def test_nested_interval_arithmetic(self):
+        result = collapse_loops(
+            nested_loop_cfg(), {"h1": (1, 3), "h2": (2, 4)}
+        )
+        inner, outer = result.summaries
+        # Inner iteration: h2 + inner = 3..3; bounds (2,4) -> node 6..12.
+        assert inner.body_best == 3 and inner.body_worst == 3
+        # Outer iteration: h1 + innerNode + after2 = 1+6+1 .. 1+12+1.
+        assert outer.body_best == 8 and outer.body_worst == 14
+        node = result.cfg.block(outer.node)
+        assert node.emin == 1 * 8
+        assert node.emax == 3 * 14
+
+    def test_zero_min_iterations(self):
+        result = collapse_loops(simple_loop_cfg(), {"header": (0, 3)})
+        node = result.cfg.block(result.summaries[0].node)
+        assert node.emin == 0
+        assert node.emax == 3 * 6
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            collapse_loops(simple_loop_cfg(), {"header": (-1, 2)})
+        with pytest.raises(ValueError):
+            collapse_loops(simple_loop_cfg(), {"header": (3, 2)})
+
+    def test_loop_free_cfg_untouched(self):
+        cfg = ControlFlowGraph(
+            [BasicBlock("a", 1, 1), BasicBlock("b", 1, 1)],
+            [("a", "b")],
+            "a",
+        )
+        result = collapse_loops(cfg, {})
+        assert result.cfg.blocks.keys() == cfg.blocks.keys()
+        assert result.summaries == ()

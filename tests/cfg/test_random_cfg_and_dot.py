@@ -1,0 +1,79 @@
+"""Tests for the random CFG generator and DOT export."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import (
+    IrreducibleLoopError,
+    execution_windows,
+    figure1_cfg,
+    natural_loops,
+    random_cfg,
+    start_offsets,
+    to_dot,
+)
+
+
+class TestRandomCfg:
+    def test_deterministic_per_seed(self):
+        a = random_cfg(42, depth=3)
+        b = random_cfg(42, depth=3)
+        assert sorted(a.cfg.blocks) == sorted(b.cfg.blocks)
+        assert a.cfg.edges() == b.cfg.edges()
+        assert a.iteration_bounds == b.iteration_bounds
+
+    def test_different_seeds_differ(self):
+        a = random_cfg(1, depth=3)
+        b = random_cfg(2, depth=3)
+        assert (
+            sorted(a.cfg.blocks) != sorted(b.cfg.blocks)
+            or a.cfg.edges() != b.cfg.edges()
+        )
+
+    def test_every_loop_has_bounds(self):
+        generated = random_cfg(7, depth=4, loop_probability=0.6)
+        loops = natural_loops(generated.cfg)
+        for loop in loops:
+            assert loop.header in generated.iteration_bounds
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_cfg(0, depth=-1)
+        with pytest.raises(ValueError):
+            random_cfg(0, branch_probability=1.5)
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_cfgs_are_reducible(self, seed):
+        generated = random_cfg(seed, depth=3, loop_probability=0.5)
+        # natural_loops raises IrreducibleLoopError on irreducible CFGs.
+        try:
+            natural_loops(generated.cfg)
+        except IrreducibleLoopError:  # pragma: no cover
+            pytest.fail("generator produced an irreducible CFG")
+
+
+class TestDot:
+    def test_contains_all_blocks_and_edges(self):
+        cfg = figure1_cfg()
+        dot = to_dot(cfg)
+        for name in cfg.blocks:
+            assert f'"{name}"' in dot
+        assert '"b0" -> "b1";' in dot
+        assert dot.startswith("digraph cfg {")
+        assert dot.endswith("}")
+
+    def test_windows_in_labels(self):
+        cfg = figure1_cfg()
+        dot = to_dot(cfg, windows=execution_windows(cfg))
+        assert "s=[30,65]" in dot
+
+    def test_crpd_in_labels(self):
+        cfg = figure1_cfg(crpd={"b3": 5.0})
+        assert "crpd=5" in to_dot(cfg)
+
+    def test_offsets_function_used(self):
+        cfg = figure1_cfg()
+        offsets = start_offsets(cfg)
+        assert offsets["b3"] == (30, 65)

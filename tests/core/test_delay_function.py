@@ -1,0 +1,62 @@
+"""Tests for the PreemptionDelayFunction wrapper."""
+
+import pytest
+
+from repro.core import PreemptionDelayFunction
+from repro.piecewise import constant, from_points
+
+
+class TestValidation:
+    def test_domain_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            PreemptionDelayFunction(constant(1.0, 1.0, 2.0))
+
+    def test_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            PreemptionDelayFunction(from_points([0.0, 1.0], [1.0, -0.5]))
+
+    def test_wcet_is_domain_end(self):
+        f = PreemptionDelayFunction.from_constant(2.0, 40.0)
+        assert f.wcet == 40.0
+
+
+class TestConstructors:
+    def test_from_constant(self):
+        f = PreemptionDelayFunction.from_constant(3.0, 10.0)
+        assert f.value(5.0) == 3.0
+        assert f.max_value() == 3.0
+
+    def test_from_points(self):
+        f = PreemptionDelayFunction.from_points([0.0, 10.0], [0.0, 10.0])
+        assert f(4.0) == pytest.approx(4.0)
+
+    def test_from_step(self):
+        f = PreemptionDelayFunction.from_step([0.0, 5.0, 10.0], [1.0, 2.0])
+        assert f(7.0) == 2.0
+
+    def test_from_callable_upper(self):
+        f = PreemptionDelayFunction.from_callable_upper(
+            lambda t: 4.0, wcet=10.0, knots=8
+        )
+        assert f.max_value() == pytest.approx(4.0)
+
+    def test_invalid_wcet_rejected(self):
+        with pytest.raises(ValueError):
+            PreemptionDelayFunction.from_constant(1.0, 0.0)
+
+
+class TestQueries:
+    def test_max_on_clips_to_domain(self):
+        f = PreemptionDelayFunction.from_points([0.0, 10.0], [0.0, 10.0])
+        value, arg = f.max_on(-5.0, 50.0)
+        assert value == pytest.approx(10.0)
+        assert arg == pytest.approx(10.0)
+
+    def test_meeting_clips_to_domain(self):
+        f = PreemptionDelayFunction.from_constant(5.0, 10.0)
+        meeting = f.first_meeting_with_descending_line(-1.0, 100.0, 3.0)
+        assert meeting == 0.0
+
+    def test_repr_mentions_wcet(self):
+        f = PreemptionDelayFunction.from_constant(1.0, 10.0)
+        assert "C=10" in repr(f)

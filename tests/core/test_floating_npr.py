@@ -1,0 +1,226 @@
+"""Tests for Algorithm 1 (floating-NPR cumulative delay bound)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PreemptionDelayFunction, floating_npr_delay_bound
+from tests.conftest import delay_functions
+
+
+class TestZeroAndTrivialCases:
+    def test_zero_delay_function(self):
+        f = PreemptionDelayFunction.from_constant(0.0, 100.0)
+        bound = floating_npr_delay_bound(f, q=10.0)
+        assert bound.total_delay == 0.0
+        assert bound.converged
+        # Windows still advance by Q each; delay stays zero.
+        assert bound.inflated_wcet == 100.0
+
+    def test_q_at_least_wcet_means_no_preemption(self):
+        f = PreemptionDelayFunction.from_constant(5.0, 100.0)
+        bound = floating_npr_delay_bound(f, q=100.0)
+        assert bound.total_delay == 0.0
+        assert bound.preemptions == 0
+
+    def test_q_just_below_wcet_one_preemption(self):
+        f = PreemptionDelayFunction.from_constant(5.0, 100.0)
+        bound = floating_npr_delay_bound(f, q=99.0)
+        assert bound.preemptions == 1
+        assert bound.total_delay == 5.0
+
+    def test_invalid_q_rejected(self):
+        f = PreemptionDelayFunction.from_constant(1.0, 10.0)
+        with pytest.raises(ValueError):
+            floating_npr_delay_bound(f, q=0.0)
+        with pytest.raises(ValueError):
+            floating_npr_delay_bound(f, q=-1.0)
+
+
+class TestHandComputedConstant:
+    """For constant f = d (< Q) the recurrence is exact: each window after
+    the first progresses Q - d and pays d, starting from progression Q."""
+
+    def test_constant_delay_count(self):
+        f = PreemptionDelayFunction.from_constant(2.0, 100.0)
+        bound = floating_npr_delay_bound(f, q=10.0)
+        # Progressions: 10, 18, 26, ... step 8; preemptions while < 100:
+        # 10 + 8k < 100  =>  k < 11.25  =>  k = 0..11  => 12 windows.
+        assert bound.preemptions == 12
+        assert bound.total_delay == pytest.approx(24.0)
+
+    def test_trace_consistency(self):
+        f = PreemptionDelayFunction.from_constant(2.0, 100.0)
+        bound = floating_npr_delay_bound(f, q=10.0)
+        for step_ in bound.steps:
+            assert step_.p_next == pytest.approx(step_.prog + 10.0 - step_.delay)
+            assert step_.prog <= step_.p_max <= step_.p_cross
+        # Consecutive windows start where the previous ended.
+        for a, b in zip(bound.steps, bound.steps[1:]):
+            assert b.prog == pytest.approx(a.p_next)
+        assert bound.total_delay == pytest.approx(
+            sum(s.delay for s in bound.steps)
+        )
+
+
+class TestCrossingPointBehaviour:
+    def test_descending_line_limits_window(self):
+        # f: 0 on [0, 18), tall plateau 8 on [18, 20), 0 on [20, 40].
+        # Window 1 starts at prog=10 with Q=10: D(x) = 20 - x; at x=18 the
+        # plateau value 8 >= D(18) = 2, so p_cross = 18 and the charged
+        # delay is max f on [10, 18] = 8 (attained at 18).
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 18.0, 20.0, 40.0], [0.0, 8.0, 0.0]
+        )
+        bound = floating_npr_delay_bound(f, q=10.0)
+        first = bound.steps[0]
+        assert first.prog == 10.0
+        assert first.p_cross == pytest.approx(18.0)
+        assert first.p_max == pytest.approx(18.0)
+        assert first.delay == 8.0
+        assert first.p_next == pytest.approx(12.0)
+
+    def test_peak_beyond_crossing_is_deferred_not_lost(self):
+        # A peak just beyond p_cross must be accounted in a later window.
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 18.0, 20.0, 22.0, 40.0], [0.0, 4.0, 9.0, 0.0]
+        )
+        bound = floating_npr_delay_bound(f, q=10.0)
+        # The 9-plateau on [20, 22) must contribute to the total: the
+        # algorithm cannot skip it silently.
+        assert any(s.delay == 9.0 for s in bound.steps)
+
+
+class TestDivergence:
+    def test_delay_as_large_as_q_diverges(self):
+        f = PreemptionDelayFunction.from_constant(10.0, 100.0)
+        bound = floating_npr_delay_bound(f, q=10.0)
+        assert not bound.converged
+        assert math.isinf(bound.total_delay)
+
+    def test_delay_larger_than_q_diverges(self):
+        f = PreemptionDelayFunction.from_constant(20.0, 100.0)
+        bound = floating_npr_delay_bound(f, q=10.0)
+        assert not bound.converged
+
+    def test_local_tall_peak_does_not_diverge_if_window_progresses(self):
+        # Peak of 50 > Q = 10 located late; windows before the peak are
+        # fine, and the window reaching the peak cannot progress => the
+        # analysis must report divergence (the peak exceeds Q).
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 80.0, 90.0, 100.0], [0.0, 50.0, 0.0]
+        )
+        bound = floating_npr_delay_bound(f, q=10.0)
+        assert not bound.converged
+
+
+class TestPreemptionCap:
+    def test_cap_zero_means_no_delay(self):
+        f = PreemptionDelayFunction.from_constant(5.0, 100.0)
+        bound = floating_npr_delay_bound(f, q=10.0, max_preemptions=0)
+        assert bound.total_delay == 0.0
+        assert bound.preemptions == 0
+
+    def test_cap_limits_charged_windows(self):
+        f = PreemptionDelayFunction.from_constant(5.0, 100.0)
+        unlimited = floating_npr_delay_bound(f, q=10.0)
+        capped = floating_npr_delay_bound(f, q=10.0, max_preemptions=3)
+        assert capped.preemptions == 3
+        assert capped.total_delay == pytest.approx(15.0)
+        assert capped.total_delay <= unlimited.total_delay
+
+    def test_cap_larger_than_needed_is_noop(self):
+        f = PreemptionDelayFunction.from_constant(5.0, 100.0)
+        unlimited = floating_npr_delay_bound(f, q=10.0)
+        capped = floating_npr_delay_bound(f, q=10.0, max_preemptions=10_000)
+        assert capped.total_delay == unlimited.total_delay
+
+    def test_negative_cap_rejected(self):
+        f = PreemptionDelayFunction.from_constant(5.0, 100.0)
+        with pytest.raises(ValueError):
+            floating_npr_delay_bound(f, q=10.0, max_preemptions=-1)
+
+    def test_cap_charges_worst_windows_not_first(self):
+        """Regression: a single admissible preemption can hit the late
+        peak, so the capped bound must cover it — charging only the
+        first window (f = 0 there) would be unsound."""
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 80.0, 90.0, 100.0], [0.0, 8.0, 0.0]
+        )
+        capped = floating_npr_delay_bound(f, q=10.0, max_preemptions=1)
+        assert capped.total_delay == pytest.approx(8.0)
+
+    def test_cap_sum_of_k_largest(self):
+        # Windows see delays 0, ..., 0, then the 6-plateau repeatedly.
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 40.0, 70.0, 100.0], [0.0, 6.0, 2.0]
+        )
+        full = floating_npr_delay_bound(f, q=10.0)
+        window_delays = sorted(
+            (s.delay for s in full.steps), reverse=True
+        )
+        for k in (1, 2, 3, 5):
+            capped = floating_npr_delay_bound(f, q=10.0, max_preemptions=k)
+            assert capped.total_delay == pytest.approx(
+                sum(window_delays[:k])
+            )
+
+
+class TestMonotonicityAndScaling:
+    def test_scaling_f_scales_bound_direction(self):
+        base = PreemptionDelayFunction.from_points(
+            [0.0, 50.0, 100.0], [0.0, 6.0, 0.0]
+        )
+        small = floating_npr_delay_bound(base, q=20.0)
+        larger_f = PreemptionDelayFunction(base.function.scaled(1.5))
+        big = floating_npr_delay_bound(larger_f, q=20.0)
+        assert big.total_delay >= small.total_delay
+
+    def test_larger_wcet_does_not_decrease_bound(self):
+        f_short = PreemptionDelayFunction.from_constant(2.0, 50.0)
+        f_long = PreemptionDelayFunction.from_constant(2.0, 100.0)
+        b_short = floating_npr_delay_bound(f_short, q=10.0)
+        b_long = floating_npr_delay_bound(f_long, q=10.0)
+        assert b_long.total_delay >= b_short.total_delay
+
+
+class TestPropertyBased:
+    @given(f=delay_functions(), q_scale=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_bound_dominates_greedy_run(self, f, q_scale):
+        """A concrete greedy adversary (preempt at every opportunity, paying
+        f at the current progression) never accumulates more delay than
+        Algorithm 1's bound — an executable shadow of Theorem 1."""
+        wcet = f.wcet
+        q = max(wcet / (4 * q_scale), 1e-3)
+        bound = floating_npr_delay_bound(f, q=q)
+        if not bound.converged:
+            return
+        # Simulate: preemptions as early as allowed.  Progression advances
+        # q - (delay paid in the window); delay at preemption = f(prog).
+        prog = q
+        total = 0.0
+        guard = 0
+        while prog < wcet:
+            guard += 1
+            assert guard < 100_000
+            delta = f.value(prog)
+            total += delta
+            advance = q - delta
+            if advance <= 0:
+                break  # adversary stalls; bound diverged would be needed
+            prog += advance
+        assert total <= bound.total_delay + 1e-6
+
+    @given(f=delay_functions())
+    @settings(max_examples=40, deadline=None)
+    def test_iterations_charge_at_most_max_f(self, f):
+        q = f.wcet / 3 + 1.0
+        bound = floating_npr_delay_bound(f, q=q)
+        if not bound.converged:
+            return
+        fmax = f.max_value()
+        for step_ in bound.steps:
+            assert step_.delay <= fmax + 1e-9

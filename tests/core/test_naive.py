@@ -1,0 +1,80 @@
+"""Tests for the naive (unsound) point-selection packing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PreemptionDelayFunction,
+    naive_point_selection_bound,
+)
+
+
+class TestPacking:
+    def test_no_points_when_q_covers_wcet(self):
+        f = PreemptionDelayFunction.from_constant(5.0, 50.0)
+        result = naive_point_selection_bound(f, q=50.0)
+        assert result.total_delay == 0.0
+        assert result.points == ()
+
+    def test_constant_function_packs_every_q(self):
+        f = PreemptionDelayFunction.from_constant(5.0, 100.0)
+        result = naive_point_selection_bound(f, q=10.0, grid_step=1.0)
+        # Points at 10, 20, ..., 90: nine points (100 excluded: completed).
+        assert len(result.points) == 9
+        assert result.total_delay == pytest.approx(45.0)
+
+    def test_spacing_respected(self):
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 30.0, 35.0, 60.0, 65.0, 100.0],
+            [0.0, 10.0, 0.0, 10.0, 0.0],
+        )
+        result = naive_point_selection_bound(f, q=25.0, grid_step=1.0)
+        for a, b in zip(result.points, result.points[1:]):
+            assert b - a >= 25.0 - 1e-9
+
+    def test_first_point_at_least_q(self):
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 5.0, 100.0], [10.0, 0.0]
+        )
+        result = naive_point_selection_bound(f, q=20.0, grid_step=1.0)
+        assert all(p >= 20.0 for p in result.points)
+
+    def test_picks_both_separated_peaks(self):
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 20.0, 22.0, 60.0, 62.0, 100.0],
+            [0.0, 7.0, 0.0, 9.0, 0.0],
+        )
+        result = naive_point_selection_bound(f, q=10.0, grid_step=1.0)
+        assert result.total_delay == pytest.approx(16.0)
+
+    def test_close_peaks_forces_choice(self):
+        # Two peaks 5 apart with Q = 10: only one can be selected.
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 50.0, 51.0, 55.0, 56.0, 100.0],
+            [0.0, 7.0, 0.0, 9.0, 0.0],
+        )
+        result = naive_point_selection_bound(f, q=10.0, grid_step=1.0)
+        assert result.total_delay == pytest.approx(9.0)
+
+    def test_invalid_arguments(self):
+        f = PreemptionDelayFunction.from_constant(1.0, 10.0)
+        with pytest.raises(ValueError):
+            naive_point_selection_bound(f, q=0.0)
+        with pytest.raises(ValueError):
+            naive_point_selection_bound(f, q=5.0, grid_step=0.0)
+
+    @given(
+        peak_value=st.integers(min_value=1, max_value=20),
+        q=st.integers(min_value=5, max_value=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_total_equals_sum_of_point_values(self, peak_value, q):
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 25.0, 30.0, 75.0, 80.0, 120.0],
+            [0.0, float(peak_value), 0.0, float(peak_value), 0.0],
+        )
+        result = naive_point_selection_bound(f, q=float(q), grid_step=1.0)
+        assert result.total_delay == pytest.approx(
+            sum(f.value(p) for p in result.points)
+        )

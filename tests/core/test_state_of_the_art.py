@@ -1,0 +1,108 @@
+"""Tests for the Eq. 4 state-of-the-art bound."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PreemptionDelayFunction,
+    state_of_the_art_delay_bound,
+)
+from tests.conftest import delay_functions
+
+
+class TestClosedFormCases:
+    def test_zero_max_delay(self):
+        f = PreemptionDelayFunction.from_constant(0.0, 100.0)
+        bound = state_of_the_art_delay_bound(f, q=10.0)
+        assert bound.total_delay == 0.0
+        assert bound.converged
+        assert bound.preemptions == 0
+
+    def test_single_iteration_fixpoint(self):
+        # C = 100, Q = 60, max = 5: ceil(100/60) = 2 -> C' = 110;
+        # ceil(110/60) = 2 -> stable.  Delay = 10.
+        f = PreemptionDelayFunction.from_constant(5.0, 100.0)
+        bound = state_of_the_art_delay_bound(f, q=60.0)
+        assert bound.total_delay == pytest.approx(10.0)
+        assert bound.preemptions == 2
+
+    def test_growth_then_fixpoint(self):
+        # C = 100, Q = 10, max = 5: 10 preemptions -> C' = 150 ->
+        # 15 preemptions -> C' = 175 -> 18 -> 190 -> 19 -> 195 -> 20 ->
+        # 200 -> 20 -> stable.  Delay = 100.
+        f = PreemptionDelayFunction.from_constant(5.0, 100.0)
+        bound = state_of_the_art_delay_bound(f, q=10.0)
+        assert bound.total_delay == pytest.approx(100.0)
+        assert bound.preemptions == 20
+
+    def test_divergence_when_max_equals_q(self):
+        f = PreemptionDelayFunction.from_constant(10.0, 100.0)
+        bound = state_of_the_art_delay_bound(f, q=10.0)
+        assert not bound.converged
+        assert math.isinf(bound.total_delay)
+
+    def test_divergence_when_max_exceeds_q(self):
+        f = PreemptionDelayFunction.from_constant(11.0, 100.0)
+        bound = state_of_the_art_delay_bound(f, q=10.0)
+        assert not bound.converged
+
+    def test_invalid_q(self):
+        f = PreemptionDelayFunction.from_constant(1.0, 10.0)
+        with pytest.raises(ValueError):
+            state_of_the_art_delay_bound(f, q=0.0)
+
+
+class TestShapeObliviousness:
+    """Eq. 4 only sees C and max f: two functions sharing both must get
+    exactly the same bound (this is the paper's Section VI remark)."""
+
+    def test_same_c_and_max_same_bound(self):
+        f1 = PreemptionDelayFunction.from_points(
+            [0.0, 2000.0, 4000.0], [0.0, 10.0, 0.0]
+        )
+        f2 = PreemptionDelayFunction.from_step(
+            [0.0, 100.0, 4000.0], [10.0, 0.0]
+        )
+        b1 = state_of_the_art_delay_bound(f1, q=100.0)
+        b2 = state_of_the_art_delay_bound(f2, q=100.0)
+        assert b1.total_delay == b2.total_delay
+        assert b1.preemptions == b2.preemptions
+
+
+class TestTraceAndFixpoint:
+    def test_trace_monotone_nondecreasing(self):
+        f = PreemptionDelayFunction.from_constant(5.0, 100.0)
+        bound = state_of_the_art_delay_bound(f, q=10.0)
+        for a, b in zip(bound.trace, bound.trace[1:]):
+            assert b >= a
+
+    def test_fixpoint_satisfies_equation(self):
+        f = PreemptionDelayFunction.from_constant(3.0, 97.0)
+        bound = state_of_the_art_delay_bound(f, q=13.0)
+        c_prime = bound.inflated_wcet
+        assert c_prime == pytest.approx(
+            97.0 + math.ceil(c_prime / 13.0) * 3.0
+        )
+
+    @given(f=delay_functions(), q_extra=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_fixpoint_property(self, f, q_extra):
+        q = f.max_value() + q_extra  # guarantees convergence
+        bound = state_of_the_art_delay_bound(f, q=q)
+        assert bound.converged
+        c_prime = bound.inflated_wcet
+        assert c_prime == pytest.approx(
+            f.wcet + math.ceil(c_prime / q) * f.max_value()
+        )
+
+    @given(f=delay_functions())
+    @settings(max_examples=40, deadline=None)
+    def test_bound_at_least_simple_product(self, f):
+        """The fixpoint dominates the non-iterated ceil(C/Q) * max f."""
+        q = f.max_value() + 5.0
+        bound = state_of_the_art_delay_bound(f, q=q)
+        simple = math.ceil(f.wcet / q) * f.max_value()
+        assert bound.total_delay >= simple - 1e-9

@@ -1,0 +1,92 @@
+"""Tests for the Figure 4 benchmark functions."""
+
+import pytest
+
+from repro.experiments import (
+    FIG4_MAX,
+    FIG4_NAMES,
+    FIG4_WCET,
+    INTERPRETATIONS,
+    fig4_delay_function,
+    fig4_functions,
+    gaussian,
+)
+
+
+class TestGaussianClosedForm:
+    def test_peak_value(self):
+        g = gaussian(mu=10.0, sigma2=4.0, amplitude=7.0)
+        assert g(10.0) == pytest.approx(7.0)
+
+    def test_offset(self):
+        g = gaussian(mu=0.0, sigma2=1.0, amplitude=1.0, offset=3.0)
+        assert g(100.0) == pytest.approx(3.0)
+
+    def test_symmetry(self):
+        g = gaussian(mu=5.0, sigma2=2.0, amplitude=1.0)
+        assert g(3.0) == pytest.approx(g(7.0))
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian(0.0, 0.0, 1.0)
+
+
+class TestFig4Functions:
+    def test_all_share_c_and_max(self):
+        functions = fig4_functions(knots=512)
+        assert set(functions) == set(FIG4_NAMES)
+        for f in functions.values():
+            assert f.wcet == FIG4_WCET
+            assert f.max_value() == pytest.approx(FIG4_MAX)
+
+    def test_gaussian1_narrower_than_gaussian2(self):
+        g1 = fig4_delay_function("gaussian1", knots=1024)
+        g2 = fig4_delay_function("gaussian2", knots=1024)
+        # Integral (mass) grows with variance.
+        assert g1.function.integral() < g2.function.integral()
+
+    def test_bimodal_has_two_separated_peaks(self):
+        f = fig4_delay_function("bimodal", knots=1024)
+        left = f.value(0.3 * FIG4_WCET)
+        middle = f.value(0.5 * FIG4_WCET)
+        right = f.value(0.7 * FIG4_WCET)
+        assert left == pytest.approx(FIG4_MAX, rel=1e-3)
+        assert right == pytest.approx(0.8 * FIG4_MAX, rel=1e-3)
+        assert middle < min(left, right)
+
+    def test_interpretations_differ(self):
+        literal = fig4_delay_function("gaussian1", "literal", knots=512)
+        sigma = fig4_delay_function("gaussian1", "sigma", knots=512)
+        offset = fig4_delay_function("gaussian1", "offset10", knots=512)
+        # The sigma reading is much wider (sigma = 300, so the bell still
+        # has weight 600 away from the mean); the offset reading has a
+        # floor everywhere, including far from the mean.
+        assert literal.value(1400.0) < 1e-6
+        assert sigma.value(1400.0) > 1.0
+        assert offset.value(100.0) >= FIG4_MAX / 2 - 1e-9
+
+    def test_offset10_max_still_ten(self):
+        f = fig4_delay_function("gaussian1", "offset10", knots=512)
+        assert f.max_value() == pytest.approx(FIG4_MAX)
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            fig4_delay_function("nope")
+        with pytest.raises(ValueError):
+            fig4_delay_function("gaussian1", interpretation="nope")
+
+    def test_upper_bound_property(self):
+        """The PWC construction dominates the closed form everywhere."""
+        from repro.experiments.functions_fig4 import gaussian as g
+
+        f = fig4_delay_function("gaussian2", knots=512)
+        closed = g(FIG4_WCET / 2, 3000.0, FIG4_MAX)
+        for k in range(0, 401):
+            t = FIG4_WCET * k / 400
+            assert f.value(t) >= closed(t) - 1e-9
+
+    def test_all_interpretations_build(self):
+        for interp in INTERPRETATIONS:
+            for name in FIG4_NAMES:
+                f = fig4_delay_function(name, interp, knots=128)
+                assert f.function.is_non_negative()

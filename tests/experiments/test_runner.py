@@ -1,0 +1,43 @@
+"""Integration test: the one-call reproduction runner."""
+
+import pytest
+
+from repro.experiments.runner import generate_all
+
+
+class TestGenerateAll:
+    @pytest.fixture(scope="class")
+    def summary(self, tmp_path_factory):
+        import os
+
+        os.environ["REPRO_RESULTS_DIR"] = str(
+            tmp_path_factory.mktemp("results")
+        )
+        try:
+            return generate_all(
+                knots=256, validation_seeds=2, study_sets_per_point=6
+            )
+        finally:
+            del os.environ["REPRO_RESULTS_DIR"]
+
+    def test_healthy(self, summary):
+        assert summary.healthy
+
+    def test_artifacts_written(self, summary):
+        for path in summary.csv_paths:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_fig5_rows_populated(self, summary):
+        assert len(summary.fig5.rows) >= 10
+
+    def test_validation_checked_jobs(self, summary):
+        assert summary.validation.checked_jobs > 0
+
+    def test_study_ordering(self, summary):
+        for point in summary.study:
+            assert (
+                point.ratios["oblivious"]
+                >= point.ratios["algorithm1"]
+                >= point.ratios["eq4"]
+            )

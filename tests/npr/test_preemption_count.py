@@ -1,0 +1,85 @@
+"""Tests for preemption-count bounds."""
+
+import pytest
+
+from repro.core import PreemptionDelayFunction, floating_npr_delay_bound
+from repro.npr import (
+    higher_priority_tasks,
+    max_preemptions,
+    max_preemptions_release_based,
+    max_preemptions_window_based,
+)
+from repro.tasks import Task, TaskSet
+
+
+class TestWindowBased:
+    def test_exact_division(self):
+        # C' = 100, Q = 25: 4 windows, 3 interior boundaries.
+        assert max_preemptions_window_based(100.0, 25.0) == 3
+
+    def test_remainder(self):
+        assert max_preemptions_window_based(101.0, 25.0) == 4
+
+    def test_single_window(self):
+        assert max_preemptions_window_based(10.0, 25.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_preemptions_window_based(10.0, 0.0)
+        with pytest.raises(ValueError):
+            max_preemptions_window_based(0.0, 5.0)
+
+
+class TestReleaseBased:
+    def test_counts_releases_in_deadline_window(self):
+        task = Task("low", 10.0, 100.0)
+        hp = [Task("a", 1.0, 7.0), Task("b", 1.0, 13.0)]
+        # ceil(100/7) + ceil(100/13) = 15 + 8 = 23.
+        assert max_preemptions_release_based(task, hp) == 23
+
+    def test_explicit_window(self):
+        task = Task("low", 10.0, 100.0)
+        hp = [Task("a", 1.0, 7.0)]
+        assert max_preemptions_release_based(task, hp, window=14.0) == 2
+
+    def test_no_preemptors(self):
+        task = Task("low", 10.0, 100.0)
+        assert max_preemptions_release_based(task, []) == 0
+
+
+class TestCombined:
+    def test_min_of_both(self):
+        task = Task("low", 10.0, 100.0, npr_length=1.0)
+        hp = [Task("a", 0.5, 50.0)]
+        # Window-based: ceil(10/1) - 1 = 9; release-based: ceil(100/50)=2.
+        assert max_preemptions(task, hp) == 2
+
+    def test_requires_npr_length(self):
+        task = Task("low", 10.0, 100.0)
+        with pytest.raises(ValueError):
+            max_preemptions(task, [])
+
+    def test_cap_tightens_algorithm1(self):
+        f = PreemptionDelayFunction.from_constant(0.5, 10.0)
+        task = Task("low", 10.0, 100.0, npr_length=1.0, delay_function=f)
+        hp = [Task("a", 0.5, 50.0)]
+        cap = max_preemptions(task, hp)
+        unlimited = floating_npr_delay_bound(f, 1.0)
+        capped = floating_npr_delay_bound(f, 1.0, max_preemptions=cap)
+        assert capped.total_delay <= unlimited.total_delay
+        assert capped.preemptions <= cap
+
+
+class TestHigherPriorityTasks:
+    def test_filters_strictly_higher(self):
+        ts = TaskSet(
+            [Task("a", 1.0, 4.0), Task("b", 1.0, 8.0), Task("c", 1.0, 16.0)]
+        ).rate_monotonic()
+        c = ts.task("c")
+        hp = higher_priority_tasks(ts, c)
+        assert {t.name for t in hp} == {"a", "b"}
+
+    def test_requires_priority(self):
+        ts = TaskSet([Task("a", 1.0, 4.0)])
+        with pytest.raises(ValueError):
+            higher_priority_tasks(ts, ts.task("a"))

@@ -1,0 +1,132 @@
+"""Tests for NPR-length determination (EDF and FP)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npr import (
+    assign_npr_lengths,
+    edf_blocking_tolerance,
+    edf_max_npr_lengths,
+    fp_blocking_tolerances,
+    fp_max_npr_lengths,
+)
+from repro.sched import edf_schedulable_with_blocking
+from repro.tasks import Task, TaskSet, generate_task_set
+
+
+def implicit(parameters):
+    return TaskSet([Task(n, c, t) for n, c, t in parameters])
+
+
+class TestEdfBlockingTolerance:
+    def test_slack_definition(self):
+        ts = implicit([("a", 1.0, 4.0), ("b", 2.0, 8.0)])
+        # dbf(4) = 1 -> beta = 3; dbf(8) = 1*2 + 2 = 4 -> beta = 4.
+        assert edf_blocking_tolerance(ts, 4.0) == pytest.approx(3.0)
+        assert edf_blocking_tolerance(ts, 8.0) == pytest.approx(4.0)
+
+
+class TestEdfMaxNpr:
+    def test_shortest_deadline_unconstrained(self):
+        ts = implicit([("a", 1.0, 4.0), ("b", 2.0, 8.0)])
+        q = edf_max_npr_lengths(ts, cap_at_wcet=False)
+        assert q["a"] == math.inf
+        # b's NPR is limited by the slack at t = 4 (the only level < 8).
+        assert q["b"] == pytest.approx(3.0)
+
+    def test_cap_at_wcet(self):
+        ts = implicit([("a", 1.0, 4.0), ("b", 2.0, 8.0)])
+        q = edf_max_npr_lengths(ts)
+        assert q["a"] == 1.0
+        assert q["b"] == 2.0  # min(3, C_b)
+
+    def test_unschedulable_rejected(self):
+        ts = TaskSet(
+            [
+                Task("a", 3.0, 10.0, deadline=2.0),
+                Task("b", 1.0, 10.0, deadline=9.0),
+            ]
+        )
+        with pytest.raises(ValueError, match="negative slack"):
+            edf_max_npr_lengths(ts)
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_assigned_lengths_keep_edf_schedulable(self, seed):
+        ts = generate_task_set(4, 0.7, seed=seed)
+        assigned = assign_npr_lengths(ts, policy="edf")
+        assert edf_schedulable_with_blocking(assigned)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        fraction=st.sampled_from([0.25, 0.5, 1.0]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fractional_assignment_scales(self, seed, fraction):
+        ts = generate_task_set(4, 0.6, seed=seed)
+        full = assign_npr_lengths(ts, policy="edf", fraction=1.0)
+        part = assign_npr_lengths(ts, policy="edf", fraction=fraction)
+        for t_full, t_part in zip(full, part):
+            assert t_part.npr_length == pytest.approx(
+                t_full.npr_length * fraction
+            )
+
+
+class TestFpTolerances:
+    def test_highest_priority_tolerance(self):
+        ts = implicit([("a", 1.0, 4.0), ("b", 2.0, 8.0)]).rate_monotonic()
+        beta = fp_blocking_tolerances(ts)
+        # Level a: max slack at t in {4}: 4 - 1 = 3.
+        assert beta["a"] == pytest.approx(3.0)
+        # Level b: t in {4, 8}: at 4: 4 - (2 + 1) = 1; at 8: 8 - (2+2) = 4.
+        assert beta["b"] == pytest.approx(4.0)
+
+    def test_max_npr_uses_higher_priority_tolerances(self):
+        ts = implicit([("a", 1.0, 4.0), ("b", 2.0, 8.0)]).rate_monotonic()
+        q = fp_max_npr_lengths(ts, cap_at_wcet=False)
+        assert q["a"] == math.inf  # nothing above to block
+        assert q["b"] == pytest.approx(3.0)  # a's tolerance
+
+    def test_cap(self):
+        ts = implicit([("a", 1.0, 4.0), ("b", 2.0, 8.0)]).rate_monotonic()
+        q = fp_max_npr_lengths(ts)
+        assert q["a"] == 1.0
+        assert q["b"] == 2.0
+
+    def test_negative_tolerance_rejected(self):
+        ts = implicit([("a", 3.0, 4.0), ("b", 3.0, 6.0)]).rate_monotonic()
+        with pytest.raises(ValueError, match="blocking tolerance"):
+            fp_max_npr_lengths(ts)
+
+    def test_three_levels_running_minimum(self):
+        ts = implicit(
+            [("a", 1.0, 4.0), ("b", 1.0, 8.0), ("c", 2.0, 16.0)]
+        ).rate_monotonic()
+        beta = fp_blocking_tolerances(ts)
+        q = fp_max_npr_lengths(ts, cap_at_wcet=False)
+        assert q["b"] == pytest.approx(beta["a"])
+        assert q["c"] == pytest.approx(min(beta["a"], beta["b"]))
+
+
+class TestAssignment:
+    def test_unknown_policy(self):
+        ts = implicit([("a", 1.0, 4.0)])
+        with pytest.raises(ValueError):
+            assign_npr_lengths(ts, policy="weird")
+
+    def test_bad_fraction(self):
+        ts = implicit([("a", 1.0, 4.0)])
+        with pytest.raises(ValueError):
+            assign_npr_lengths(ts, fraction=0.0)
+        with pytest.raises(ValueError):
+            assign_npr_lengths(ts, fraction=1.5)
+
+    def test_fp_policy_requires_priorities(self):
+        ts = implicit([("a", 1.0, 4.0), ("b", 1.0, 8.0)])
+        with pytest.raises(ValueError):
+            assign_npr_lengths(ts, policy="fp")
+        assigned = assign_npr_lengths(ts.rate_monotonic(), policy="fp")
+        assert all(t.npr_length is not None for t in assigned)

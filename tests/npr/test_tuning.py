@@ -1,0 +1,70 @@
+"""Tests for the NPR-length tuning sweep."""
+
+import math
+
+import pytest
+
+from repro.core import PreemptionDelayFunction
+from repro.npr import best_fraction, q_fraction_sweep
+from repro.tasks import Task, TaskSet
+
+
+def make_task_set(height: float = 0.3) -> TaskSet:
+    def bell(wcet):
+        return PreemptionDelayFunction.from_points(
+            [0.0, wcet / 2, wcet], [0.0, height * wcet, 0.0]
+        )
+
+    tasks = [
+        Task("a", 1.0, 8.0),
+        Task("b", 2.0, 16.0, delay_function=bell(2.0)),
+        Task("c", 5.0, 40.0, delay_function=bell(5.0)),
+    ]
+    return TaskSet(tasks).rate_monotonic()
+
+
+class TestQFractionSweep:
+    def test_one_point_per_fraction(self):
+        points = q_fraction_sweep(make_task_set(), [0.25, 0.5, 1.0])
+        assert [p.fraction for p in points] == [0.25, 0.5, 1.0]
+
+    def test_schedulable_low_height(self):
+        points = q_fraction_sweep(make_task_set(height=0.05), [0.5, 1.0])
+        assert all(p.schedulable for p in points)
+        assert all(p.worst_slack_ratio > 0 for p in points)
+
+    def test_slack_ratio_bounded(self):
+        points = q_fraction_sweep(make_task_set(height=0.05), [1.0])
+        assert points[0].worst_slack_ratio <= 1.0
+
+    def test_unassignable_counts_as_unschedulable(self):
+        # An over-utilized set (U > 1) has negative blocking tolerances.
+        ts = TaskSet(
+            [Task("a", 5.0, 8.0), Task("b", 8.0, 16.0)]
+        ).rate_monotonic()
+        points = q_fraction_sweep(ts, [0.5])
+        assert not points[0].schedulable
+        assert points[0].worst_slack_ratio == -math.inf
+
+    def test_empty_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            q_fraction_sweep(make_task_set(), [])
+
+
+class TestBestFraction:
+    def test_picks_max_slack(self):
+        points = q_fraction_sweep(
+            make_task_set(height=0.05), [0.25, 0.5, 0.75, 1.0]
+        )
+        best = best_fraction(points)
+        assert best is not None
+        assert best.worst_slack_ratio == max(
+            p.worst_slack_ratio for p in points if p.schedulable
+        )
+
+    def test_none_when_nothing_schedulable(self):
+        ts = TaskSet(
+            [Task("a", 5.0, 8.0), Task("b", 8.0, 16.0)]
+        ).rate_monotonic()
+        points = q_fraction_sweep(ts, [0.5, 1.0])
+        assert best_fraction(points) is None

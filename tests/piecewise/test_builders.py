@@ -1,0 +1,95 @@
+"""Tests for piecewise function builders."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.piecewise import (
+    constant,
+    from_points,
+    step,
+    unimodal_upper_step,
+    upper_step_from_callable,
+)
+
+
+class TestExactBuilders:
+    def test_constant(self):
+        f = constant(2.5, 0.0, 4.0)
+        assert len(f) == 1
+        assert f.max_value() == 2.5
+
+    def test_constant_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            constant(1.0, 3.0, 3.0)
+
+    def test_from_points_lengths_must_match(self):
+        with pytest.raises(ValueError):
+            from_points([0.0, 1.0], [0.0])
+
+    def test_from_points_needs_two(self):
+        with pytest.raises(ValueError):
+            from_points([0.0], [0.0])
+
+    def test_from_points_must_increase(self):
+        with pytest.raises(ValueError):
+            from_points([0.0, 0.0, 1.0], [0.0, 1.0, 2.0])
+
+    def test_step_shape(self):
+        f = step([0.0, 1.0, 3.0], [4.0, 2.0])
+        assert f.value(0.5) == 4.0
+        assert f.value(2.0) == 2.0
+
+    def test_step_bounds_values_mismatch(self):
+        with pytest.raises(ValueError):
+            step([0.0, 1.0], [1.0, 2.0])
+
+
+def _gaussian(mu: float, sigma2: float, amplitude: float):
+    return lambda t: amplitude * math.exp(-((t - mu) ** 2) / (2.0 * sigma2))
+
+
+class TestUpperSamplers:
+    def test_upper_step_dominates_samples(self):
+        g = _gaussian(50.0, 100.0, 10.0)
+        f = upper_step_from_callable(g, 0.0, 100.0, knots=64, oversample=8)
+        for k in range(0, 1001):
+            x = k / 10.0
+            assert f.value(x) >= g(x) - 1e-6
+
+    def test_unimodal_upper_step_exactly_dominates(self):
+        g = _gaussian(42.0, 37.0, 9.0)
+        f = unimodal_upper_step(g, peak=42.0, lo=0.0, hi=100.0, knots=97)
+        for k in range(0, 2001):
+            x = k / 20.0
+            assert f.value(x) >= g(x) - 1e-12
+
+    def test_unimodal_peak_value_preserved(self):
+        g = _gaussian(42.0, 37.0, 9.0)
+        f = unimodal_upper_step(g, peak=42.0, lo=0.0, hi=100.0, knots=100)
+        assert f.max_value() == pytest.approx(9.0)
+
+    @given(
+        mu=st.floats(min_value=10, max_value=90, allow_nan=False),
+        sigma2=st.floats(min_value=1, max_value=500, allow_nan=False),
+        knots=st.integers(min_value=1, max_value=64),
+    )
+    def test_unimodal_upper_step_property(self, mu, sigma2, knots):
+        g = _gaussian(mu, sigma2, 10.0)
+        f = unimodal_upper_step(g, peak=mu, lo=0.0, hi=100.0, knots=knots)
+        for k in range(0, 101):
+            x = float(k)
+            assert f.value(x) >= g(x) - 1e-9
+
+    def test_invalid_arguments(self):
+        g = _gaussian(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            upper_step_from_callable(g, 0.0, 0.0, knots=4)
+        with pytest.raises(ValueError):
+            upper_step_from_callable(g, 0.0, 1.0, knots=0)
+        with pytest.raises(ValueError):
+            upper_step_from_callable(g, 0.0, 1.0, knots=4, oversample=0)
+        with pytest.raises(ValueError):
+            unimodal_upper_step(g, peak=0.0, lo=0.0, hi=1.0, knots=0)

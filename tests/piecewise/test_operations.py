@@ -1,0 +1,104 @@
+"""Tests for binary operations on piecewise functions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.piecewise import (
+    add,
+    constant,
+    from_points,
+    max_envelope,
+    min_envelope,
+    step,
+    subtract,
+)
+from tests.conftest import continuous_pwl, step_function
+
+
+def _same_domain(f, g):
+    return f.domain == g.domain
+
+
+class TestAddSubtract:
+    def test_add_constants(self):
+        f = constant(2.0, 0.0, 10.0)
+        g = constant(3.0, 0.0, 10.0)
+        assert add(f, g).value(5.0) == 5.0
+
+    def test_subtract(self):
+        f = from_points([0.0, 10.0], [0.0, 10.0])
+        g = constant(1.0, 0.0, 10.0)
+        assert subtract(f, g).value(5.0) == pytest.approx(4.0)
+
+    def test_mismatched_domains_rejected(self):
+        with pytest.raises(ValueError):
+            add(constant(0.0, 0.0, 1.0), constant(0.0, 0.0, 2.0))
+
+    def test_grids_merge(self):
+        f = step([0.0, 3.0, 10.0], [1.0, 2.0])
+        g = step([0.0, 7.0, 10.0], [10.0, 20.0])
+        h = add(f, g)
+        assert h.value(1.0) == 11.0
+        assert h.value(5.0) == 12.0
+        assert h.value(8.5) == 22.0
+
+
+class TestEnvelopes:
+    def test_max_of_crossing_lines(self):
+        f = from_points([0.0, 10.0], [0.0, 10.0])
+        g = from_points([0.0, 10.0], [10.0, 0.0])
+        h = max_envelope(f, g)
+        assert h.value(0.0) == 10.0
+        assert h.value(10.0) == 10.0
+        assert h.value(5.0) == pytest.approx(5.0)
+        assert h.value(2.0) == pytest.approx(8.0)
+
+    def test_min_of_crossing_lines(self):
+        f = from_points([0.0, 10.0], [0.0, 10.0])
+        g = from_points([0.0, 10.0], [10.0, 0.0])
+        h = min_envelope(f, g)
+        assert h.value(5.0) == pytest.approx(5.0)
+        assert h.value(2.0) == pytest.approx(2.0)
+
+    def test_max_of_steps(self):
+        f = step([0.0, 5.0, 10.0], [1.0, 9.0])
+        g = step([0.0, 2.0, 10.0], [7.0, 3.0])
+        h = max_envelope(f, g)
+        assert h.value(1.0) == 7.0
+        assert h.value(3.0) == 3.0
+        assert h.value(7.0) == 9.0
+
+    @given(f=continuous_pwl(), g=continuous_pwl())
+    def test_max_envelope_dominates_both(self, f, g):
+        if not _same_domain(f, g):
+            lo = max(f.domain_start, g.domain_start)
+            hi = min(f.domain_end, g.domain_end)
+            if hi - lo < 1.0:
+                return
+            f = f.restricted(lo, hi)
+            g = g.restricted(lo, hi)
+        h = max_envelope(f, g)
+        lo, hi = f.domain
+        for k in range(21):
+            x = lo + (hi - lo) * k / 20
+            expected = max(f.value(x), g.value(x))
+            assert h.value(x) >= expected - 1e-6
+            assert h.value(x) <= expected + 1e-6
+
+    @given(f=step_function(), g=step_function())
+    def test_add_is_pointwise_sum(self, f, g):
+        if not _same_domain(f, g):
+            lo = max(f.domain_start, g.domain_start)
+            hi = min(f.domain_end, g.domain_end)
+            if hi - lo < 1.0:
+                return
+            f = f.restricted(lo, hi)
+            g = g.restricted(lo, hi)
+        h = add(f, g)
+        lo, hi = f.domain
+        for k in range(1, 20):  # interior points avoid jump-side ambiguity
+            x = lo + (hi - lo) * k / 20
+            if any(abs(x - b) < 1e-9 for b in h.breakpoints()):
+                continue
+            assert h.value(x) == pytest.approx(f.value(x) + g.value(x))

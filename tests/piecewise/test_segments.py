@@ -1,0 +1,150 @@
+"""Unit tests for the affine segment primitive."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.piecewise import Segment
+
+
+class TestConstruction:
+    def test_valid_segment(self):
+        seg = Segment(0.0, 2.0, 1.0, 3.0)
+        assert seg.slope == 1.0
+        assert seg.width == 2.0
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(1.0, 1.0, 0.0, 0.0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(2.0, 1.0, 0.0, 0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(0.0, 1.0, math.nan, 0.0)
+
+    def test_infinite_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(0.0, math.inf, 0.0, 0.0)
+
+
+class TestEvaluation:
+    def test_endpoints_exact(self):
+        seg = Segment(1.0, 3.0, 10.0, 20.0)
+        assert seg.value_at(1.0) == 10.0
+        assert seg.value_at(3.0) == 20.0
+
+    def test_midpoint(self):
+        seg = Segment(0.0, 4.0, 0.0, 8.0)
+        assert seg.value_at(2.0) == pytest.approx(4.0)
+
+    def test_outside_raises(self):
+        seg = Segment(0.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            seg.value_at(1.5)
+
+    def test_constant_segment(self):
+        seg = Segment(0.0, 5.0, 7.0, 7.0)
+        assert seg.slope == 0.0
+        assert seg.value_at(2.5) == 7.0
+
+
+class TestMaxMin:
+    def test_increasing_max_at_right(self):
+        seg = Segment(0.0, 10.0, 0.0, 5.0)
+        value, arg = seg.max_on(2.0, 6.0)
+        assert value == pytest.approx(3.0)
+        assert arg == 6.0
+
+    def test_decreasing_max_at_left(self):
+        seg = Segment(0.0, 10.0, 5.0, 0.0)
+        value, arg = seg.max_on(2.0, 6.0)
+        assert value == pytest.approx(4.0)
+        assert arg == 2.0
+
+    def test_flat_max_leftmost(self):
+        seg = Segment(0.0, 10.0, 3.0, 3.0)
+        value, arg = seg.max_on(4.0, 8.0)
+        assert value == 3.0
+        assert arg == 4.0
+
+    def test_min_mirrors_max(self):
+        seg = Segment(0.0, 10.0, 0.0, 5.0)
+        value, arg = seg.min_on(2.0, 6.0)
+        assert value == pytest.approx(1.0)
+        assert arg == 2.0
+
+    def test_empty_intersection_raises(self):
+        seg = Segment(0.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            seg.max_on(2.0, 3.0)
+
+
+class TestDescendingLineMeeting:
+    def test_meets_at_left_end_when_already_above(self):
+        seg = Segment(0.0, 10.0, 8.0, 8.0)
+        # D(x) = 5 - x is below 8 everywhere on [0, 10].
+        assert seg.first_point_at_or_above_descending_line(0.0, 10.0, 5.0) == 0.0
+
+    def test_no_meeting_when_strictly_below(self):
+        seg = Segment(0.0, 4.0, 0.0, 0.0)
+        # D(x) = 10 - x >= 6 > 0 on [0, 4].
+        assert seg.first_point_at_or_above_descending_line(0.0, 4.0, 10.0) is None
+
+    def test_interior_crossing_exact(self):
+        # f(x) = x on [0, 10]; D(x) = 10 - x; crossing at x = 5.
+        seg = Segment(0.0, 10.0, 0.0, 10.0)
+        meeting = seg.first_point_at_or_above_descending_line(0.0, 10.0, 10.0)
+        assert meeting == pytest.approx(5.0)
+
+    def test_meeting_exactly_at_right_end(self):
+        # f(x) = 0; D(x) = 4 - x hits 0 at x = 4.
+        seg = Segment(0.0, 4.0, 0.0, 0.0)
+        meeting = seg.first_point_at_or_above_descending_line(0.0, 4.0, 4.0)
+        assert meeting == pytest.approx(4.0)
+
+    def test_clipped_interval_respected(self):
+        seg = Segment(0.0, 10.0, 0.0, 10.0)
+        # Restrict to [6, 10]: f already above D there, leftmost is 6.
+        meeting = seg.first_point_at_or_above_descending_line(6.0, 10.0, 10.0)
+        assert meeting == 6.0
+
+    @given(
+        c=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        y0=st.floats(min_value=0, max_value=50, allow_nan=False),
+        y1=st.floats(min_value=0, max_value=50, allow_nan=False),
+    )
+    def test_meeting_point_satisfies_inequality(self, c, y0, y1):
+        seg = Segment(0.0, 10.0, y0, y1)
+        meeting = seg.first_point_at_or_above_descending_line(0.0, 10.0, c)
+        if meeting is not None:
+            assert seg.value_at(meeting) >= (c - meeting) - 1e-6
+            # Points strictly before the meeting stay below the line.
+            for frac in (0.25, 0.5, 0.75):
+                x = meeting * frac
+                if x < meeting - 1e-9:
+                    assert seg.value_at(x) < (c - x) + 1e-6
+
+
+class TestTransforms:
+    def test_shift(self):
+        seg = Segment(0.0, 1.0, 2.0, 3.0).shifted(10.0, -1.0)
+        assert (seg.x0, seg.x1, seg.y0, seg.y1) == (10.0, 11.0, 1.0, 2.0)
+
+    def test_scale(self):
+        seg = Segment(0.0, 1.0, 2.0, 4.0).scaled(0.5)
+        assert (seg.y0, seg.y1) == (1.0, 2.0)
+
+    def test_clip(self):
+        seg = Segment(0.0, 10.0, 0.0, 10.0).clipped(2.0, 4.0)
+        assert (seg.x0, seg.x1) == (2.0, 4.0)
+        assert seg.y0 == pytest.approx(2.0)
+        assert seg.y1 == pytest.approx(4.0)
+
+    def test_clip_to_nothing_raises(self):
+        with pytest.raises(ValueError):
+            Segment(0.0, 1.0, 0.0, 1.0).clipped(5.0, 6.0)

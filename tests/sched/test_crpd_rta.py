@@ -1,0 +1,114 @@
+"""Tests for the delay-aware RTA family."""
+
+import pytest
+
+from repro.core import PreemptionDelayFunction
+from repro.sched import METHODS, acceptance_ratio, delay_aware_rta
+from repro.tasks import Task, TaskSet
+
+
+def peaked_delay(wcet: float, height: float) -> PreemptionDelayFunction:
+    """Delay concentrated in the first fifth of the execution."""
+    return PreemptionDelayFunction.from_step(
+        [0.0, wcet / 5, wcet], [height, 0.0]
+    )
+
+
+def make_task_set(height: float = 0.4, q: float = 1.0) -> TaskSet:
+    tasks = [
+        Task("hi", 1.0, 5.0),
+        Task(
+            "mid",
+            2.0,
+            10.0,
+            npr_length=q,
+            delay_function=peaked_delay(2.0, height),
+        ),
+        Task(
+            "lo",
+            4.0,
+            20.0,
+            npr_length=q,
+            delay_function=peaked_delay(4.0, height),
+        ),
+    ]
+    return TaskSet(tasks).rate_monotonic()
+
+
+class TestMethods:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            delay_aware_rta(make_task_set(), "nonsense")
+
+    def test_oblivious_uses_raw_wcets(self):
+        result = delay_aware_rta(make_task_set(), "oblivious")
+        assert result.inflated_wcets == {"hi": 1.0, "mid": 2.0, "lo": 4.0}
+        assert result.schedulable
+
+    def test_algorithm1_inflates_less_than_eq4(self):
+        ts = make_task_set(height=0.4, q=0.8)
+        alg1 = delay_aware_rta(ts, "algorithm1")
+        eq4 = delay_aware_rta(ts, "eq4")
+        for name in ("mid", "lo"):
+            assert alg1.inflated_wcets[name] <= eq4.inflated_wcets[name]
+        # And both inflate relative to the oblivious test.
+        assert alg1.inflated_wcets["lo"] > 4.0
+
+    def test_tasks_without_f_or_q_not_inflated(self):
+        ts = make_task_set()
+        result = delay_aware_rta(ts, "algorithm1")
+        assert result.inflated_wcets["hi"] == 1.0
+
+    def test_busquets_charges_per_arrival(self):
+        ts = make_task_set(height=0.4)
+        oblivious = delay_aware_rta(ts, "oblivious")
+        busquets = delay_aware_rta(ts, "busquets")
+        assert (
+            busquets.rta.response_times["lo"]
+            > oblivious.rta.response_times["lo"]
+        )
+
+    def test_petters_with_damage_matrix_dominated_by_busquets(self):
+        ts = make_task_set(height=0.4)
+        damage = {
+            "mid": {"hi": 0.1},
+            "lo": {"hi": 0.1, "mid": 0.2},
+        }
+        busquets = delay_aware_rta(ts, "busquets")
+        petters = delay_aware_rta(ts, "petters", damage_matrix=damage)
+        for name in ("mid", "lo"):
+            assert (
+                petters.rta.response_times[name]
+                <= busquets.rta.response_times[name]
+            )
+
+    def test_petters_defaults_to_max_crpd(self):
+        ts = make_task_set(height=0.4)
+        busquets = delay_aware_rta(ts, "busquets")
+        petters = delay_aware_rta(ts, "petters")
+        assert petters.rta.response_times == busquets.rta.response_times
+
+
+class TestAcceptanceOrdering:
+    def test_acceptance_monotone_in_pessimism(self):
+        """More pessimistic tests accept fewer sets: oblivious >=
+        algorithm1 >= eq4 on a stress batch."""
+        batch = [
+            make_task_set(height=h, q=q)
+            for h in (0.2, 0.4, 0.6)
+            for q in (0.6, 1.0)
+        ]
+        r_obl = acceptance_ratio(batch, "oblivious")
+        r_alg = acceptance_ratio(batch, "algorithm1")
+        r_eq4 = acceptance_ratio(batch, "eq4")
+        assert r_obl >= r_alg >= r_eq4
+
+    def test_acceptance_ratio_bounds(self):
+        batch = [make_task_set()]
+        for method in METHODS:
+            r = acceptance_ratio(batch, method)
+            assert 0.0 <= r <= 1.0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            acceptance_ratio([], "oblivious")

@@ -1,0 +1,126 @@
+"""Tests for demand bound functions and EDF criteria."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import (
+    analysis_horizon,
+    demand_bound_function,
+    edf_schedulable,
+    edf_schedulable_with_blocking,
+    task_demand,
+)
+from repro.sched import testing_points as dbf_testing_points
+from repro.tasks import Task, TaskSet, generate_task_set
+
+
+class TestTaskDemand:
+    def test_zero_before_deadline(self):
+        t = Task("a", wcet=2.0, period=10.0, deadline=5.0)
+        assert task_demand(t, 4.999) == 0.0
+
+    def test_one_job_at_deadline(self):
+        t = Task("a", wcet=2.0, period=10.0, deadline=5.0)
+        assert task_demand(t, 5.0) == 2.0
+
+    def test_staircase(self):
+        t = Task("a", wcet=2.0, period=10.0, deadline=5.0)
+        assert task_demand(t, 14.999) == 2.0
+        assert task_demand(t, 15.0) == 4.0
+        assert task_demand(t, 25.0) == 6.0
+
+    @given(
+        t=st.floats(min_value=0, max_value=500),
+        c=st.floats(min_value=0.1, max_value=5),
+        period=st.floats(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dbf_below_utilization_line_plus_c(self, t, c, period):
+        task = Task("a", wcet=c, period=period)
+        assert task_demand(task, t) <= (c / period) * t + c + 1e-9
+
+
+class TestTestingPoints:
+    def test_step_points(self):
+        ts = TaskSet([Task("a", 1.0, 10.0, deadline=4.0)])
+        assert dbf_testing_points(ts, 30.0) == [4.0, 14.0, 24.0]
+
+    def test_horizon_validation(self):
+        ts = TaskSet([Task("a", 1.0, 10.0)])
+        with pytest.raises(ValueError):
+            dbf_testing_points(ts, 0.0)
+
+
+class TestEdfSchedulability:
+    def test_underloaded_implicit_deadlines(self):
+        ts = TaskSet([Task("a", 1.0, 4.0), Task("b", 1.0, 8.0)])
+        assert edf_schedulable(ts)
+
+    def test_overloaded_rejected(self):
+        ts = TaskSet([Task("a", 5.0, 4.0)])
+        assert not edf_schedulable(ts)
+
+    def test_tight_constrained_deadline(self):
+        # Two tasks with tight deadlines that no schedule can satisfy:
+        # total demand at t=2 is 1+2 > 2.
+        ts = TaskSet(
+            [
+                Task("a", 1.0, 10.0, deadline=2.0),
+                Task("b", 2.0, 10.0, deadline=2.0),
+            ]
+        )
+        assert not edf_schedulable(ts)
+
+    def test_full_utilization_implicit(self):
+        ts = TaskSet([Task("a", 2.0, 4.0), Task("b", 2.0, 4.0)])
+        assert edf_schedulable(ts)
+
+    @given(seed=st.integers(min_value=0, max_value=3000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_sets_below_unit_utilization_implicit(self, seed):
+        ts = generate_task_set(5, 0.8, seed=seed)
+        # Implicit-deadline EDF: U <= 1 is sufficient.
+        assert edf_schedulable(ts)
+
+
+class TestEdfWithBlocking:
+    def test_blocking_can_break_schedulability(self):
+        tasks = TaskSet(
+            [
+                Task("urgent", 1.0, 4.0, deadline=2.0),
+                Task("bulk", 2.0, 10.0, deadline=10.0),
+            ]
+        )
+        assert edf_schedulable(tasks)
+        # Give bulk an NPR longer than urgent's slack at t = 2.
+        blocked = tasks.map(
+            lambda t: t.with_npr_length(1.5) if t.name == "bulk" else t
+        )
+        assert not edf_schedulable_with_blocking(blocked)
+
+    def test_small_npr_keeps_schedulability(self):
+        tasks = TaskSet(
+            [
+                Task("urgent", 1.0, 4.0, deadline=2.0),
+                Task("bulk", 2.0, 10.0, deadline=10.0),
+            ]
+        )
+        small = tasks.map(
+            lambda t: t.with_npr_length(0.5) if t.name == "bulk" else t
+        )
+        assert edf_schedulable_with_blocking(small)
+
+    def test_no_npr_equals_plain_test(self):
+        ts = generate_task_set(4, 0.7, seed=11)
+        assert edf_schedulable_with_blocking(ts) == edf_schedulable(ts)
+
+
+class TestHorizon:
+    def test_horizon_positive(self):
+        ts = generate_task_set(4, 0.5, seed=0)
+        assert analysis_horizon(ts) > 0
+
+    def test_overloaded_horizon_finite(self):
+        ts = TaskSet([Task("a", 5.0, 4.0)])
+        assert analysis_horizon(ts) < float("inf")

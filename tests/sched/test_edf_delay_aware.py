@@ -1,0 +1,113 @@
+"""Tests for the delay-aware EDF schedulability tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PreemptionDelayFunction
+from repro.npr import assign_npr_lengths
+from repro.sched import (
+    EDF_METHODS,
+    edf_acceptance_ratio,
+    edf_delay_aware,
+    edf_schedulable_with_blocking,
+)
+from repro.tasks import Task, TaskSet, gaussian_delay_factory, generate_task_set
+
+
+def front_loaded(wcet: float, height: float) -> PreemptionDelayFunction:
+    return PreemptionDelayFunction.from_step(
+        [0.0, wcet / 4, wcet], [height, 0.0]
+    )
+
+
+def make_task_set(height: float = 0.3, q: float = 1.0) -> TaskSet:
+    return TaskSet(
+        [
+            Task("a", 1.0, 6.0),
+            Task(
+                "b",
+                2.0,
+                12.0,
+                npr_length=q,
+                delay_function=front_loaded(2.0, height),
+            ),
+            Task(
+                "c",
+                4.0,
+                24.0,
+                npr_length=q,
+                delay_function=front_loaded(4.0, height),
+            ),
+        ]
+    )
+
+
+class TestEdfDelayAware:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            edf_delay_aware(make_task_set(), "nope")
+
+    def test_oblivious_matches_plain_blocking_test(self):
+        ts = make_task_set()
+        result = edf_delay_aware(ts, "oblivious")
+        assert result.schedulable == edf_schedulable_with_blocking(ts)
+        assert result.inflated_wcets == {"a": 1.0, "b": 2.0, "c": 4.0}
+
+    def test_algorithm1_inflates_less_than_eq4(self):
+        # Q smaller than the front-loaded region so Algorithm 1's first
+        # window actually sees nonzero delay (with Q beyond the region,
+        # Algorithm 1 correctly charges nothing at all).
+        ts = make_task_set(height=0.2, q=0.3)
+        alg1 = edf_delay_aware(ts, "algorithm1")
+        eq4 = edf_delay_aware(ts, "eq4")
+        for name in ("b", "c"):
+            assert alg1.inflated_wcets[name] <= eq4.inflated_wcets[name]
+            assert alg1.inflated_wcets[name] > ts.task(name).wcet
+
+    def test_q_beyond_front_region_charges_nothing(self):
+        # First preemption can only occur after Q units of progression;
+        # if the whole delay mass lies before Q, the bound is zero.
+        ts = make_task_set(height=0.4, q=0.8)
+        alg1 = edf_delay_aware(ts, "algorithm1")
+        assert alg1.inflated_wcets["b"] == ts.task("b").wcet
+
+    def test_divergent_inflation_rejects(self):
+        # max f >= Q: inflation diverges -> not schedulable.
+        ts = make_task_set(height=2.0, q=1.0)
+        result = edf_delay_aware(ts, "eq4")
+        assert not result.schedulable
+
+    def test_acceptance_ordering(self):
+        batch = [
+            make_task_set(height=h, q=q)
+            for h in (0.2, 0.4, 0.8)
+            for q in (0.5, 1.0)
+        ]
+        r_obl = edf_acceptance_ratio(batch, "oblivious")
+        r_alg = edf_acceptance_ratio(batch, "algorithm1")
+        r_eq4 = edf_acceptance_ratio(batch, "eq4")
+        assert r_obl >= r_alg >= r_eq4
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            edf_acceptance_ratio([], "oblivious")
+
+    def test_all_methods_run(self):
+        ts = make_task_set()
+        for method in EDF_METHODS:
+            result = edf_delay_aware(ts, method)
+            assert isinstance(result.schedulable, bool)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_sets_accept_under_low_load(self, seed):
+        factory = gaussian_delay_factory(relative_height=0.02)
+        ts = generate_task_set(
+            4, 0.4, seed=seed, delay_function_factory=factory
+        )
+        assigned = assign_npr_lengths(ts, policy="edf", fraction=0.5)
+        # Low utilization + tiny delay functions: Algorithm 1 keeps the
+        # set schedulable.
+        result = edf_delay_aware(assigned, "algorithm1")
+        assert result.schedulable

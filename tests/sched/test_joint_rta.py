@@ -1,0 +1,129 @@
+"""Tests for the joint response-time / preemption-cap fixpoint."""
+
+import math
+
+import pytest
+
+from repro.core import PreemptionDelayFunction, floating_npr_delay_bound
+from repro.sched import compare_with_uncapped, joint_rta, rta_fixed_priority
+from repro.tasks import Task, TaskSet
+
+
+def constant_delay(wcet: float, value: float) -> PreemptionDelayFunction:
+    return PreemptionDelayFunction.from_constant(value, wcet)
+
+
+def make_task_set(delay: float = 0.5, q: float = 2.0) -> TaskSet:
+    return TaskSet(
+        [
+            Task("hi", 1.0, 20.0),
+            Task(
+                "lo",
+                8.0,
+                80.0,
+                npr_length=q,
+                delay_function=constant_delay(8.0, delay),
+            ),
+        ]
+    ).rate_monotonic()
+
+
+class TestJointRta:
+    def test_tasks_without_f_behave_like_plain_rta(self):
+        ts = TaskSet([Task("a", 1.0, 4.0), Task("b", 2.0, 8.0)]).rate_monotonic()
+        joint = joint_rta(ts)
+        plain = rta_fixed_priority(ts)
+        assert joint.response_times == plain.response_times
+        assert joint.preemption_caps == {"a": None, "b": None}
+
+    def test_cap_tightens_inflation(self):
+        # Uncapped Algorithm 1 assumes a preemption every Q - delay;
+        # only ceil(D / T_hi) = 4 releases fit in lo's deadline window.
+        ts = make_task_set(delay=0.5, q=2.0)
+        joint = joint_rta(ts)
+        lo = ts.task("lo")
+        uncapped = floating_npr_delay_bound(
+            lo.delay_function, lo.npr_length
+        )
+        assert joint.preemption_caps["lo"] is not None
+        assert joint.preemption_caps["lo"] < uncapped.preemptions
+        assert joint.inflated_wcets["lo"] < uncapped.inflated_wcet
+
+    def test_cap_shrinks_with_response_time(self):
+        ts = make_task_set(delay=0.5, q=2.0)
+        joint = joint_rta(ts)
+        r = joint.response_times["lo"]
+        assert r <= ts.task("lo").deadline
+        # The final cap counts releases within R, not within D.
+        assert joint.preemption_caps["lo"] == math.ceil(r / 20.0)
+
+    def test_schedulable_verdict(self):
+        joint = joint_rta(make_task_set())
+        assert joint.schedulable
+
+    def test_overload_detected(self):
+        # U = 0.5 + 25/40 > 1: no cap can save this set.
+        ts = TaskSet(
+            [
+                Task("hi", 10.0, 20.0),
+                Task(
+                    "lo",
+                    25.0,
+                    40.0,
+                    npr_length=2.0,
+                    delay_function=constant_delay(25.0, 0.5),
+                ),
+            ]
+        ).rate_monotonic()
+        joint = joint_rta(ts)
+        assert not joint.schedulable
+        assert math.isinf(joint.response_times["lo"])
+
+    def test_divergent_delay_function(self):
+        # delay >= Q: Algorithm 1 diverges; joint must report a miss.
+        ts = make_task_set(delay=3.0, q=2.0)
+        joint = joint_rta(ts)
+        assert not joint.schedulable
+
+    def test_compare_with_uncapped_never_loses(self):
+        ts = make_task_set(delay=0.5, q=2.0)
+        pairs = compare_with_uncapped(ts)
+        uncapped, joint = pairs["lo"]
+        assert joint <= uncapped + 1e-9
+
+    def test_blocking_toggle(self):
+        # Adding a third, lower-priority task with an NPR blocks "lo".
+        blocked_set = TaskSet(
+            [
+                Task("hi", 1.0, 20.0),
+                Task(
+                    "lo",
+                    8.0,
+                    80.0,
+                    npr_length=2.0,
+                    delay_function=constant_delay(8.0, 0.5),
+                ),
+                Task("bg", 20.0, 400.0, npr_length=5.0),
+            ]
+        ).rate_monotonic()
+        with_blocking = joint_rta(blocked_set, include_npr_blocking=True)
+        without_blocking = joint_rta(blocked_set, include_npr_blocking=False)
+        assert (
+            with_blocking.response_times["lo"]
+            >= without_blocking.response_times["lo"]
+        )
+
+    def test_joint_dominates_plain_inflated_rta(self):
+        """The joint fixpoint response time never exceeds the plain
+        Algorithm 1 inflation's response time."""
+        ts = make_task_set(delay=0.5, q=2.0)
+        joint = joint_rta(ts)
+        lo = ts.task("lo")
+        plain_c = floating_npr_delay_bound(
+            lo.delay_function, lo.npr_length
+        ).inflated_wcet
+        plain = rta_fixed_priority(ts, execution_times={"lo": plain_c})
+        assert (
+            joint.response_times["lo"]
+            <= plain.response_times["lo"] + 1e-9
+        )

@@ -1,0 +1,108 @@
+"""Tests for response-time analysis."""
+
+import math
+
+import pytest
+
+from repro.sched import response_time, rta_fixed_priority
+from repro.tasks import Task, TaskSet
+
+
+def prio(tasks):
+    return TaskSet(tasks).rate_monotonic()
+
+
+class TestResponseTime:
+    def test_highest_priority_alone(self):
+        t = Task("a", 2.0, 10.0)
+        assert response_time(t, []) == 2.0
+
+    def test_textbook_example(self):
+        # Classic RM example: C=(1,2,3), T=(4,6,12).
+        t1 = Task("t1", 1.0, 4.0)
+        t2 = Task("t2", 2.0, 6.0)
+        t3 = Task("t3", 3.0, 12.0)
+        assert response_time(t1, []) == 1.0
+        assert response_time(t2, [t1]) == 3.0
+        # R3: 3 + 2*ceil(R/4)... fixpoint at 11: 3 + 3*1 + 2*2 = 10;
+        # iterate: 6 -> 3+2+2*2... compute: start 3: I=1*3? do by hand:
+        # R0=3; R1=3+ceil(3/4)*1+ceil(3/6)*2=3+1+2=6;
+        # R2=3+ceil(6/4)*1+ceil(6/6)*2=3+2+2=7;
+        # R3=3+ceil(7/4)*1+ceil(7/6)*2=3+2+4=9;
+        # R4=3+ceil(9/4)*1+ceil(9/6)*2=3+3+4=10;
+        # R5=3+ceil(10/4)*1+ceil(10/6)*2=3+3+4=10.  Fixpoint 10.
+        assert response_time(t3, [t1, t2]) == 10.0
+
+    def test_blocking_adds_directly(self):
+        t = Task("a", 2.0, 10.0)
+        assert response_time(t, [], blocking=3.0) == 5.0
+
+    def test_interference_inflation(self):
+        t1 = Task("t1", 1.0, 4.0)
+        t2 = Task("t2", 2.0, 6.0)
+        base = response_time(t2, [t1])
+        inflated = response_time(
+            t2, [t1], interference_inflation={"t1": 0.5}
+        )
+        assert inflated > base
+
+    def test_deadline_miss_returns_inf(self):
+        t1 = Task("t1", 3.0, 4.0)
+        t2 = Task("t2", 3.0, 6.0, deadline=6.0)
+        assert response_time(t2, [t1]) == math.inf
+
+    def test_execution_time_override(self):
+        t = Task("a", 2.0, 10.0)
+        assert response_time(t, [], execution_time=4.0) == 4.0
+
+
+class TestRtaFixedPriority:
+    def test_schedulable_set(self):
+        ts = prio(
+            [Task("t1", 1.0, 4.0), Task("t2", 2.0, 6.0), Task("t3", 3.0, 12.0)]
+        )
+        result = rta_fixed_priority(ts)
+        assert result.schedulable
+        assert result.response_times["t3"] == 10.0
+
+    def test_unschedulable_set(self):
+        ts = prio([Task("t1", 3.0, 4.0), Task("t2", 3.0, 6.0)])
+        result = rta_fixed_priority(ts)
+        assert not result.schedulable
+        assert result.response_times["t2"] == math.inf
+
+    def test_npr_blocking_accounted(self):
+        # Lower-priority task with a long NPR blocks the high one.
+        tasks = TaskSet(
+            [
+                Task("hi", 2.0, 8.0, npr_length=None),
+                Task("lo", 10.0, 40.0, npr_length=2.5),
+            ]
+        ).rate_monotonic()
+        with_blocking = rta_fixed_priority(tasks)
+        without_blocking = rta_fixed_priority(
+            tasks, include_npr_blocking=False
+        )
+        assert (
+            with_blocking.response_times["hi"]
+            == without_blocking.response_times["hi"] + 2.5
+        )
+
+    def test_execution_time_overrides(self):
+        ts = prio([Task("t1", 1.0, 4.0), Task("t2", 2.0, 6.0)])
+        base = rta_fixed_priority(ts)
+        inflated = rta_fixed_priority(ts, execution_times={"t2": 2.5})
+        assert (
+            inflated.response_times["t2"] > base.response_times["t2"]
+        )
+
+    def test_blocking_cannot_help(self):
+        ts = prio([Task("t1", 1.0, 4.0), Task("t2", 2.0, 6.0)])
+        plain = rta_fixed_priority(ts, include_npr_blocking=False)
+        blocked = rta_fixed_priority(
+            ts.map(lambda t: t.with_npr_length(0.5))
+        )
+        for name in ("t1", "t2"):
+            assert (
+                blocked.response_times[name] >= plain.response_times[name]
+            )

@@ -1,0 +1,108 @@
+"""Tests for the arbitrary-deadline (busy-window) RTA."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import rta_arbitrary_deadline, rta_fixed_priority
+from repro.tasks import Task, TaskSet, generate_task_set
+
+
+def prio(tasks):
+    return TaskSet(tasks).rate_monotonic()
+
+
+class TestAgainstClassicRta:
+    def test_matches_classic_on_textbook_set(self):
+        ts = prio(
+            [Task("t1", 1.0, 4.0), Task("t2", 2.0, 6.0), Task("t3", 3.0, 12.0)]
+        )
+        classic = rta_fixed_priority(ts)
+        busy = rta_arbitrary_deadline(ts)
+        assert busy.response_times == classic.response_times
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_classic_when_r_below_period(self, seed):
+        ts = generate_task_set(4, 0.6, seed=seed).rate_monotonic()
+        classic = rta_fixed_priority(ts)
+        busy = rta_arbitrary_deadline(ts)
+        for task in ts:
+            r_classic = classic.response_times[task.name]
+            if math.isfinite(r_classic) and r_classic <= task.period:
+                assert busy.response_times[task.name] == pytest.approx(
+                    r_classic
+                )
+
+
+class TestArbitraryDeadlines:
+    def test_lehoczky_classic_example(self):
+        """Lehoczky's canonical arbitrary-deadline instance: tau1(26, 70),
+        tau2(62, 100).  The level-2 busy window spans 694 time units and
+        7 jobs; the per-job response times are [114, 102, 116, 104, 118,
+        106, 94] — the worst is the FIFTH job (118), not the first."""
+        ts = TaskSet(
+            [
+                Task("t1", 26.0, 70.0),
+                Task("t2", 62.0, 100.0, deadline=140.0),
+            ]
+        ).rate_monotonic()
+        result = rta_arbitrary_deadline(ts)
+        assert result.busy_window_jobs["t2"] == 7
+        assert result.response_times["t2"] == pytest.approx(118.0)
+        assert result.schedulable
+
+    def test_classic_would_be_wrong_here(self):
+        """The single-job recurrence under-estimates when D > T — the
+        busy-window analysis must not (first job: 114 < true worst 118)."""
+        ts = TaskSet(
+            [
+                Task("t1", 26.0, 70.0),
+                Task("t2", 62.0, 100.0, deadline=140.0),
+            ]
+        ).rate_monotonic()
+        busy = rta_arbitrary_deadline(ts)
+        assert busy.response_times["t2"] > 114.0
+
+    def test_overload_reported(self):
+        ts = prio([Task("t1", 4.0, 6.0), Task("t2", 4.0, 8.0, deadline=50.0)])
+        result = rta_arbitrary_deadline(ts)
+        assert not result.schedulable
+
+    def test_blocking_term_used(self):
+        ts = TaskSet(
+            [
+                Task("hi", 2.0, 10.0),
+                Task("lo", 3.0, 30.0, npr_length=1.5),
+            ]
+        ).rate_monotonic()
+        with_b = rta_arbitrary_deadline(ts)
+        without_b = rta_arbitrary_deadline(ts, include_npr_blocking=False)
+        assert (
+            with_b.response_times["hi"]
+            == without_b.response_times["hi"] + 1.5
+        )
+
+    def test_execution_time_overrides_propagate(self):
+        ts = prio([Task("t1", 1.0, 4.0), Task("t2", 2.0, 12.0)])
+        base = rta_arbitrary_deadline(ts)
+        inflated = rta_arbitrary_deadline(ts, execution_times={"t1": 1.5})
+        # Inflating the interferer must raise t2's response time.
+        assert (
+            inflated.response_times["t2"] > base.response_times["t2"]
+        )
+
+    def test_infinite_override_is_miss(self):
+        ts = prio([Task("t1", 1.0, 4.0), Task("t2", 2.0, 12.0)])
+        result = rta_arbitrary_deadline(
+            ts, execution_times={"t2": math.inf}
+        )
+        assert not result.schedulable
+        assert math.isinf(result.response_times["t2"])
+
+    def test_window_limit_validation(self):
+        ts = prio([Task("t1", 1.0, 4.0)])
+        with pytest.raises(ValueError):
+            rta_arbitrary_deadline(ts, window_limit_factor=0.0)

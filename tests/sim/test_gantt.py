@@ -1,0 +1,62 @@
+"""Tests for the ASCII Gantt renderer and utilization summary."""
+
+import pytest
+
+from repro.sim import (
+    FloatingNPRSimulator,
+    gantt,
+    utilization_summary,
+    zero_delay_model,
+)
+from repro.tasks import Task, TaskSet
+
+
+def run_two_task_trace():
+    lo = Task("lo", 10.0, 100.0, npr_length=4.0)
+    hi = Task("hi", 2.0, 50.0)
+    ts = TaskSet([lo, hi]).rate_monotonic()
+    sim = FloatingNPRSimulator(ts, policy="fp", delay_model=zero_delay_model)
+    return sim.run([(0.0, "lo"), (3.0, "hi")], horizon=20.0)
+
+
+class TestGantt:
+    def test_rows_and_markers(self):
+        result = run_two_task_trace()
+        text = gantt(result, width=40)
+        lines = text.splitlines()
+        assert any(line.strip().startswith("lo") for line in lines)
+        assert any(line.strip().startswith("hi") for line in lines)
+        assert "^" in lines[-1]  # release markers
+
+    def test_run_chars_present_where_tasks_ran(self):
+        result = run_two_task_trace()
+        text = gantt(result, width=40)
+        lo_row = next(l for l in text.splitlines() if l.strip().startswith("lo"))
+        hi_row = next(l for l in text.splitlines() if l.strip().startswith("hi"))
+        assert "#" in lo_row
+        assert "#" in hi_row
+
+    def test_window_restriction(self):
+        result = run_two_task_trace()
+        text = gantt(result, width=40, start=0.0, end=5.0)
+        # Within [0, 5) only lo has run (NPR holds until t = 7).
+        hi_row = next(l for l in text.splitlines() if l.strip().startswith("hi"))
+        assert "#" not in hi_row
+
+    def test_validation(self):
+        result = run_two_task_trace()
+        with pytest.raises(ValueError):
+            gantt(result, width=4)
+        with pytest.raises(ValueError):
+            gantt(result, width=40, start=5.0, end=5.0)
+
+
+class TestUtilizationSummary:
+    def test_fractions_sum_below_one(self):
+        result = run_two_task_trace()
+        summary = utilization_summary(result)
+        assert set(summary) == {"lo", "hi"}
+        assert sum(summary.values()) <= 1.0 + 1e-9
+        # lo ran 10 of 20 time units, hi 2 of 20.
+        assert summary["lo"] == pytest.approx(0.5, abs=0.05)
+        assert summary["hi"] == pytest.approx(0.1, abs=0.05)

@@ -1,0 +1,227 @@
+"""Tests for the floating-NPR simulator: hand-traced schedules first,
+then structural invariants."""
+
+import pytest
+
+from repro.core import PreemptionDelayFunction
+from repro.sim import (
+    FloatingNPRSimulator,
+    periodic_releases,
+    worst_case_delay_model,
+    zero_delay_model,
+)
+from repro.tasks import Task, TaskSet
+
+
+def fp(tasks):
+    return TaskSet(tasks).rate_monotonic()
+
+
+class TestSingleTask:
+    def test_runs_to_completion(self):
+        ts = fp([Task("a", 5.0, 100.0)])
+        sim = FloatingNPRSimulator(ts, policy="fp")
+        result = sim.run([(0.0, "a")], horizon=50.0)
+        job = result.jobs[0]
+        assert job.finished
+        assert job.completion_time == pytest.approx(5.0)
+        assert job.total_delay == 0.0
+        assert result.preemption_count() == 0
+
+    def test_unfinished_at_horizon(self):
+        ts = fp([Task("a", 5.0, 100.0)])
+        sim = FloatingNPRSimulator(ts, policy="fp")
+        result = sim.run([(0.0, "a")], horizon=3.0)
+        assert not result.jobs[0].finished
+
+    def test_release_beyond_horizon_ignored(self):
+        ts = fp([Task("a", 5.0, 100.0)])
+        sim = FloatingNPRSimulator(ts, policy="fp")
+        result = sim.run([(60.0, "a")], horizon=50.0)
+        assert result.jobs == []
+
+
+class TestPreemptionWithoutNpr:
+    def test_immediate_preemption_when_no_npr(self):
+        # lo has no npr_length: fully preemptive, hi preempts at release.
+        lo = Task("lo", 10.0, 100.0)
+        hi = Task("hi", 2.0, 50.0)
+        ts = fp([lo, hi])
+        sim = FloatingNPRSimulator(ts, policy="fp", delay_model=zero_delay_model)
+        result = sim.run([(0.0, "lo"), (3.0, "hi")], horizon=60.0)
+        lo_job = result.jobs_of("lo")[0]
+        hi_job = result.jobs_of("hi")[0]
+        assert lo_job.preemption_progressions == [pytest.approx(3.0)]
+        assert hi_job.completion_time == pytest.approx(5.0)
+        assert lo_job.completion_time == pytest.approx(12.0)
+
+
+class TestFloatingNprSemantics:
+    def make(self, q=4.0, delay=0.0, c_lo=10.0):
+        f = (
+            PreemptionDelayFunction.from_constant(delay, c_lo)
+            if delay
+            else None
+        )
+        lo = Task("lo", c_lo, 100.0, npr_length=q, delay_function=f)
+        hi = Task("hi", 2.0, 50.0)
+        return fp([lo, hi])
+
+    def test_npr_defers_preemption_by_q(self):
+        ts = self.make(q=4.0)
+        sim = FloatingNPRSimulator(ts, policy="fp", delay_model=zero_delay_model)
+        # hi released at t=3 while lo runs: NPR until t=7, hi runs 7..9,
+        # lo resumes and finishes at 9 + (10 - 7) = 12.
+        result = sim.run([(0.0, "lo"), (3.0, "hi")], horizon=60.0)
+        lo_job = result.jobs_of("lo")[0]
+        hi_job = result.jobs_of("hi")[0]
+        assert lo_job.preemption_progressions == [pytest.approx(7.0)]
+        assert hi_job.completion_time == pytest.approx(9.0)
+        assert lo_job.completion_time == pytest.approx(12.0)
+
+    def test_completion_inside_npr_cancels_preemption(self):
+        ts = self.make(q=4.0, c_lo=5.0)
+        sim = FloatingNPRSimulator(ts, policy="fp", delay_model=zero_delay_model)
+        # lo needs 5; hi arrives at 4: NPR would end at 8 but lo is done
+        # at 5 -> hi never preempts, runs 5..7.
+        result = sim.run([(0.0, "lo"), (4.0, "hi")], horizon=60.0)
+        lo_job = result.jobs_of("lo")[0]
+        hi_job = result.jobs_of("hi")[0]
+        assert lo_job.completion_time == pytest.approx(5.0)
+        assert lo_job.delays_charged == []
+        assert hi_job.completion_time == pytest.approx(7.0)
+
+    def test_releases_during_npr_do_not_extend_it(self):
+        lo = Task("lo", 20.0, 200.0, npr_length=6.0)
+        hi = Task("hi", 1.0, 50.0)
+        ts = fp([lo, hi])
+        sim = FloatingNPRSimulator(ts, policy="fp", delay_model=zero_delay_model)
+        # hi at t=2 starts NPR (ends t=8); hi again at t=5 must NOT
+        # restart it; preemption happens exactly at t=8.
+        result = sim.run(
+            [(0.0, "lo"), (2.0, "hi"), (5.0, "hi")], horizon=100.0
+        )
+        lo_job = result.jobs_of("lo")[0]
+        assert lo_job.preemption_progressions == [pytest.approx(8.0)]
+        # Both hi jobs run back-to-back after the NPR.
+        his = result.jobs_of("hi")
+        assert his[0].completion_time == pytest.approx(9.0)
+        assert his[1].completion_time == pytest.approx(10.0)
+
+    def test_delay_charged_at_preemption_and_paid_on_resume(self):
+        ts = self.make(q=4.0, delay=1.5)
+        sim = FloatingNPRSimulator(
+            ts, policy="fp", delay_model=worst_case_delay_model
+        )
+        result = sim.run([(0.0, "lo"), (3.0, "hi")], horizon=60.0)
+        lo_job = result.jobs_of("lo")[0]
+        assert lo_job.delays_charged == [pytest.approx(1.5)]
+        assert lo_job.delay_paid == pytest.approx(1.5)
+        # Completion: 10 useful + 1.5 delay + 2 preemptor = 13.5.
+        assert lo_job.completion_time == pytest.approx(13.5)
+
+    def test_delay_function_indexed_by_progression(self):
+        # f is 5 only in [6, 8): the preemption at progression 7 must
+        # charge 5; a later one (if any) charges per its own progression.
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 6.0, 8.0, 10.0], [0.0, 5.0, 0.0]
+        )
+        lo = Task("lo", 10.0, 200.0, npr_length=4.0, delay_function=f)
+        hi = Task("hi", 2.0, 50.0)
+        ts = fp([lo, hi])
+        sim = FloatingNPRSimulator(ts, policy="fp")
+        result = sim.run([(0.0, "lo"), (3.0, "hi")], horizon=100.0)
+        lo_job = result.jobs_of("lo")[0]
+        assert lo_job.preemption_progressions == [pytest.approx(7.0)]
+        assert lo_job.delays_charged == [pytest.approx(5.0)]
+
+    def test_new_npr_after_resume(self):
+        lo = Task("lo", 20.0, 500.0, npr_length=5.0)
+        hi = Task("hi", 1.0, 50.0)
+        ts = fp([lo, hi])
+        sim = FloatingNPRSimulator(ts, policy="fp", delay_model=zero_delay_model)
+        # First hi at 2 -> NPR [2,7], preempt at 7, hi runs 7..8.
+        # Second hi at 10 (lo running again) -> NPR [10,15], preempt at
+        # progression 7 + (10-8) + 5 = 14.
+        result = sim.run(
+            [(0.0, "lo"), (2.0, "hi"), (10.0, "hi")], horizon=100.0
+        )
+        lo_job = result.jobs_of("lo")[0]
+        assert lo_job.preemption_progressions == [
+            pytest.approx(7.0),
+            pytest.approx(14.0),
+        ]
+
+
+class TestEdfPolicy:
+    def test_edf_orders_by_absolute_deadline(self):
+        a = Task("a", 2.0, 100.0, deadline=20.0, npr_length=None)
+        b = Task("b", 2.0, 100.0, deadline=5.0, npr_length=None)
+        ts = TaskSet([a, b])
+        sim = FloatingNPRSimulator(ts, policy="edf", delay_model=zero_delay_model)
+        result = sim.run([(0.0, "a"), (0.0, "b")], horizon=50.0)
+        a_job = result.jobs_of("a")[0]
+        b_job = result.jobs_of("b")[0]
+        assert b_job.completion_time < a_job.completion_time
+
+    def test_edf_npr_defers(self):
+        lo = Task("lo", 10.0, 100.0, deadline=90.0, npr_length=4.0)
+        hi = Task("hi", 2.0, 100.0, deadline=10.0)
+        ts = TaskSet([lo, hi])
+        sim = FloatingNPRSimulator(ts, policy="edf", delay_model=zero_delay_model)
+        result = sim.run([(0.0, "lo"), (3.0, "hi")], horizon=60.0)
+        lo_job = result.jobs_of("lo")[0]
+        assert lo_job.preemption_progressions == [pytest.approx(7.0)]
+
+
+class TestStructuralInvariants:
+    def test_conservation_of_work(self):
+        ts = fp(
+            [
+                Task("hi", 1.0, 10.0),
+                Task(
+                    "lo",
+                    5.0,
+                    37.0,
+                    npr_length=2.0,
+                    delay_function=PreemptionDelayFunction.from_constant(
+                        0.5, 5.0
+                    ),
+                ),
+            ]
+        )
+        sim = FloatingNPRSimulator(ts, policy="fp")
+        releases = periodic_releases(ts, 200.0)
+        result = sim.run(releases, horizon=200.0)
+        for job in result.jobs:
+            if job.finished:
+                # Busy time of the job = useful work + delay paid.
+                assert job.progression == pytest.approx(job.task.wcet)
+                assert job.delay_paid == pytest.approx(job.total_delay)
+
+    def test_segments_do_not_overlap(self):
+        ts = fp([Task("hi", 1.0, 7.0), Task("lo", 5.0, 23.0, npr_length=2.0)])
+        sim = FloatingNPRSimulator(ts, policy="fp", delay_model=zero_delay_model)
+        releases = periodic_releases(ts, 100.0)
+        result = sim.run(releases, horizon=100.0)
+        ordered = sorted(result.segments, key=lambda s: s.start)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.end <= b.start + 1e-9
+
+    def test_deadline_misses_detected(self):
+        ts = fp([Task("a", 10.0, 12.0, deadline=5.0)])
+        sim = FloatingNPRSimulator(ts, policy="fp")
+        result = sim.run([(0.0, "a")], horizon=40.0)
+        assert len(result.deadline_misses()) == 1
+
+    def test_invalid_inputs(self):
+        ts = fp([Task("a", 1.0, 10.0)])
+        sim = FloatingNPRSimulator(ts, policy="fp")
+        with pytest.raises(ValueError):
+            sim.run([(0.0, "ghost")], horizon=10.0)
+        with pytest.raises(ValueError):
+            sim.run([(-1.0, "a")], horizon=10.0)
+        with pytest.raises(ValueError):
+            sim.run([], horizon=0.0)
+        with pytest.raises(ValueError):
+            FloatingNPRSimulator(ts, policy="weird")

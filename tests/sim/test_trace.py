@@ -1,0 +1,100 @@
+"""Tests for the scheduler event log: the FNPR protocol, observably."""
+
+import pytest
+
+from repro.sim import (
+    EventKind,
+    FloatingNPRSimulator,
+    TraceRecorder,
+    zero_delay_model,
+)
+from repro.tasks import Task, TaskSet
+
+
+def fp(tasks):
+    return TaskSet(tasks).rate_monotonic()
+
+
+def run_npr_trace():
+    lo = Task("lo", 10.0, 100.0, npr_length=4.0)
+    hi = Task("hi", 2.0, 50.0)
+    ts = fp([lo, hi])
+    sim = FloatingNPRSimulator(ts, policy="fp", delay_model=zero_delay_model)
+    return sim.run([(0.0, "lo"), (3.0, "hi"), (5.0, "hi")], horizon=40.0)
+
+
+class TestTraceRecorder:
+    def test_record_and_filter(self):
+        rec = TraceRecorder()
+        rec.record(1.0, EventKind.RELEASE, "a#0")
+        rec.record(2.0, EventKind.PREEMPT, "a#0", 0.5)
+        assert len(rec.events) == 2
+        assert rec.of_kind(EventKind.PREEMPT)[0].value == 0.5
+
+
+class TestProtocolEvents:
+    def test_npr_starts_exactly_at_higher_priority_release(self):
+        result = run_npr_trace()
+        npr_starts = result.events_of(EventKind.NPR_START)
+        assert len(npr_starts) == 1
+        assert npr_starts[0].time == pytest.approx(3.0)
+        assert npr_starts[0].job == "lo#0"
+        assert npr_starts[0].value == 4.0  # Q recorded
+
+    def test_npr_not_restarted_by_second_release(self):
+        # hi is released again at t = 5 during the active NPR [3, 7]:
+        # still exactly one NPR_START.
+        result = run_npr_trace()
+        assert len(result.events_of(EventKind.NPR_START)) == 1
+        releases = result.events_of(EventKind.RELEASE)
+        assert len(releases) == 3
+
+    def test_npr_end_follows_start_by_q(self):
+        result = run_npr_trace()
+        start = result.events_of(EventKind.NPR_START)[0]
+        end = result.events_of(EventKind.NPR_END)[0]
+        assert end.time == pytest.approx(start.time + 4.0)
+        assert end.job == start.job
+
+    def test_preemption_at_npr_end(self):
+        result = run_npr_trace()
+        preempts = result.events_of(EventKind.PREEMPT)
+        assert len(preempts) == 1
+        assert preempts[0].time == pytest.approx(7.0)
+        assert preempts[0].job == "lo#0"
+
+    def test_completions_for_all_jobs(self):
+        result = run_npr_trace()
+        completes = result.events_of(EventKind.COMPLETE)
+        assert {e.job for e in completes} == {"lo#0", "hi#1", "hi#2"}
+
+    def test_dispatch_precedes_completion_per_job(self):
+        result = run_npr_trace()
+        for job in ("lo#0", "hi#1", "hi#2"):
+            dispatches = [
+                e.time
+                for e in result.events_of(EventKind.DISPATCH)
+                if e.job == job
+            ]
+            completes = [
+                e.time
+                for e in result.events_of(EventKind.COMPLETE)
+                if e.job == job
+            ]
+            assert dispatches, job
+            assert completes, job
+            assert min(dispatches) <= completes[0]
+
+    def test_completion_inside_npr_no_preemption_event(self):
+        lo = Task("lo", 5.0, 100.0, npr_length=4.0)
+        hi = Task("hi", 2.0, 50.0)
+        ts = fp([lo, hi])
+        sim = FloatingNPRSimulator(ts, policy="fp", delay_model=zero_delay_model)
+        result = sim.run([(0.0, "lo"), (4.0, "hi")], horizon=40.0)
+        assert len(result.events_of(EventKind.NPR_START)) == 1
+        assert result.events_of(EventKind.PREEMPT) == []
+
+    def test_events_chronological(self):
+        result = run_npr_trace()
+        times = [e.time for e in result.events]
+        assert times == sorted(times)

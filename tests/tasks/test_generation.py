@@ -1,0 +1,110 @@
+"""Tests for task-set generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks import (
+    gaussian_delay_factory,
+    generate_task_set,
+    log_uniform_period,
+    uunifast,
+    uunifast_discard,
+)
+
+
+class TestUUniFast:
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        u=st.floats(min_value=0.05, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sums_to_target(self, n, u, seed):
+        values = uunifast(n, u, random.Random(seed))
+        assert len(values) == n
+        assert sum(values) == pytest.approx(u)
+        assert all(v >= 0 for v in values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uunifast(0, 0.5, random.Random(0))
+        with pytest.raises(ValueError):
+            uunifast(3, 0.0, random.Random(0))
+
+    def test_discard_respects_cap(self):
+        values = uunifast_discard(4, 2.0, random.Random(7), cap=0.9)
+        assert all(v <= 0.9 for v in values)
+        assert sum(values) == pytest.approx(2.0)
+
+    def test_discard_impossible_raises(self):
+        # 2 tasks summing to 3.0 with cap 1.0 is impossible.
+        with pytest.raises(ValueError):
+            uunifast_discard(2, 3.0, random.Random(0), max_attempts=50)
+
+
+class TestPeriods:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_log_uniform_in_range(self, seed):
+        p = log_uniform_period(random.Random(seed), 10.0, 1000.0)
+        assert 10.0 <= p <= 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_uniform_period(random.Random(0), 10.0, 10.0)
+
+
+class TestGenerateTaskSet:
+    def test_deterministic(self):
+        a = generate_task_set(5, 0.7, seed=3)
+        b = generate_task_set(5, 0.7, seed=3)
+        assert [(t.name, t.wcet, t.period) for t in a] == [
+            (t.name, t.wcet, t.period) for t in b
+        ]
+
+    def test_utilization_close_to_target(self):
+        ts = generate_task_set(6, 0.6, seed=1)
+        assert ts.utilization == pytest.approx(0.6, abs=1e-6)
+
+    def test_constrained_deadlines(self):
+        ts = generate_task_set(6, 0.5, seed=2, deadline_style="constrained")
+        for t in ts:
+            assert t.wcet <= t.deadline <= t.period + 1e-9
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            generate_task_set(3, 0.5, seed=0, deadline_style="weird")
+
+    def test_delay_factory_attached(self):
+        factory = gaussian_delay_factory()
+        ts = generate_task_set(
+            4, 0.5, seed=5, delay_function_factory=factory
+        )
+        for t in ts:
+            assert t.delay_function is not None
+            assert t.delay_function.wcet == pytest.approx(t.wcet)
+            assert t.delay_function.max_value() <= 0.06 * t.wcet
+
+
+class TestGaussianDelayFactory:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_delay_factory(peak_fraction=0.0)
+        with pytest.raises(ValueError):
+            gaussian_delay_factory(relative_width=0.0)
+
+    def test_shape(self):
+        from repro.tasks import Task
+
+        factory = gaussian_delay_factory(
+            peak_fraction=0.5, relative_width=0.1, relative_height=0.1
+        )
+        task = Task("a", wcet=100.0, period=1000.0)
+        f = factory(task, random.Random(1))
+        assert f.wcet == 100.0
+        # Peak near mid-execution dominates the edges.
+        assert f.max_value() > f.value(1.0)
+        assert f.max_value() > f.value(99.0)

@@ -1,0 +1,101 @@
+"""Tests for the task model."""
+
+import pytest
+
+from repro.core import PreemptionDelayFunction
+from repro.tasks import Task, TaskSet
+
+
+class TestTask:
+    def test_implicit_deadline(self):
+        t = Task("a", wcet=2.0, period=10.0)
+        assert t.deadline == 10.0
+        assert t.utilization == pytest.approx(0.2)
+        assert t.density == pytest.approx(0.2)
+
+    def test_constrained_deadline_density(self):
+        t = Task("a", wcet=2.0, period=10.0, deadline=4.0)
+        assert t.density == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Task("", 1.0, 10.0)
+        with pytest.raises(ValueError):
+            Task("a", 0.0, 10.0)
+        with pytest.raises(ValueError):
+            Task("a", 1.0, 0.0)
+        with pytest.raises(ValueError):
+            Task("a", 1.0, 10.0, deadline=-1.0)
+        with pytest.raises(ValueError):
+            Task("a", 1.0, 10.0, npr_length=0.0)
+
+    def test_delay_function_domain_must_match_wcet(self):
+        f = PreemptionDelayFunction.from_constant(1.0, 5.0)
+        Task("a", wcet=5.0, period=10.0, delay_function=f)  # fine
+        with pytest.raises(ValueError):
+            Task("a", wcet=6.0, period=10.0, delay_function=f)
+
+    def test_with_helpers(self):
+        t = Task("a", 2.0, 10.0)
+        assert t.with_npr_length(1.0).npr_length == 1.0
+        assert t.with_priority(3).priority == 3
+        f = PreemptionDelayFunction.from_constant(0.5, 2.0)
+        assert t.with_delay_function(f).delay_function is f
+
+    def test_with_wcet_drops_mismatched_delay_function(self):
+        f = PreemptionDelayFunction.from_constant(0.5, 2.0)
+        t = Task("a", 2.0, 10.0, delay_function=f)
+        assert t.with_wcet(3.0).delay_function is None
+        assert t.with_wcet(2.0).delay_function is f
+
+
+class TestTaskSet:
+    def make(self):
+        return TaskSet(
+            [
+                Task("fast", 1.0, 5.0),
+                Task("mid", 2.0, 10.0, deadline=8.0),
+                Task("slow", 3.0, 30.0),
+            ]
+        )
+
+    def test_utilization(self):
+        ts = self.make()
+        assert ts.utilization == pytest.approx(1 / 5 + 2 / 10 + 3 / 30)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet([Task("a", 1, 10), Task("a", 1, 10)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet([])
+
+    def test_lookup(self):
+        ts = self.make()
+        assert ts.task("mid").wcet == 2.0
+        with pytest.raises(ValueError):
+            ts.task("ghost")
+
+    def test_sorted_by_deadline(self):
+        ts = self.make().sorted_by_deadline()
+        assert [t.name for t in ts] == ["fast", "mid", "slow"]
+
+    def test_rate_monotonic(self):
+        ts = self.make().rate_monotonic()
+        by_prio = ts.sorted_by_priority()
+        assert [t.name for t in by_prio] == ["fast", "mid", "slow"]
+        assert by_prio[0].priority == 1
+
+    def test_deadline_monotonic(self):
+        ts = self.make().deadline_monotonic()
+        by_prio = ts.sorted_by_priority()
+        assert [t.name for t in by_prio] == ["fast", "mid", "slow"]
+
+    def test_sorted_by_priority_requires_priorities(self):
+        with pytest.raises(ValueError):
+            self.make().sorted_by_priority()
+
+    def test_map(self):
+        ts = self.make().map(lambda t: t.with_npr_length(0.5))
+        assert all(t.npr_length == 0.5 for t in ts)

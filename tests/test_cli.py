@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("fig4", "fig5", "fig2", "validate", "study"):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert callable(args.run)
+
+
+class TestCommands:
+    def test_fig4(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        code = main(["fig4", "--samples", "21", "--knots", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 4" in out
+        assert (tmp_path / "fig4.csv").exists()
+
+    def test_fig2(self, capsys):
+        code = main(["fig2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "naive violated" in out
+
+    def test_validate_small(self, capsys):
+        code = main(
+            ["validate", "--seeds", "2", "--horizon", "9000", "--q", "200"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "passed: True" in out
+
+    def test_validate_edf(self, capsys):
+        code = main(
+            [
+                "validate",
+                "--seeds",
+                "1",
+                "--horizon",
+                "9000",
+                "--policy",
+                "edf",
+            ]
+        )
+        assert code == 0
+        assert "passed: True" in capsys.readouterr().out
+
+    def test_study_small(self, capsys):
+        code = main(["study", "--tasks", "3", "--sets", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "oblivious" in out

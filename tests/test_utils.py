@@ -1,0 +1,50 @@
+"""Tests for shared utility helpers."""
+
+import pytest
+
+from repro.utils import (
+    is_strictly_increasing,
+    lcm_many,
+    pairwise,
+    require,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestChecks:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(1.5, "x")
+        for bad in (0, -1, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                require_positive(bad, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0.0, "x")
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+
+class TestSeq:
+    def test_pairwise(self):
+        assert list(pairwise([1, 2, 3])) == [(1, 2), (2, 3)]
+        assert list(pairwise([])) == []
+        assert list(pairwise([7])) == []
+
+    def test_is_strictly_increasing(self):
+        assert is_strictly_increasing([1, 2, 3])
+        assert not is_strictly_increasing([1, 1, 2])
+        assert is_strictly_increasing([])
+
+    def test_lcm_many(self):
+        assert lcm_many([4, 6]) == 12
+        assert lcm_many([3, 5, 7]) == 105
+        with pytest.raises(ValueError):
+            lcm_many([0, 2])
