@@ -1,7 +1,7 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates one figure/experiment of the paper (see the
-per-experiment index in ``DESIGN.md``), writes its data under
+per-experiment index in ``docs/paper_mapping.md``), writes its data under
 ``results/`` and prints a text rendering.  Run with::
 
     pytest benchmarks/ --benchmark-only -s

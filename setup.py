@@ -1,11 +1,23 @@
-"""Setup shim for offline editable installs.
+"""Setup script for offline editable installs.
 
 The execution environment has no network and no ``wheel`` package, so
-PEP 660 editable wheels cannot be built; this shim lets
-``pip install -e . --no-build-isolation`` fall back to the legacy
-``setup.py develop`` code path.  All metadata lives in ``pyproject.toml``.
+PEP 660 editable wheels cannot be built; this legacy script lets
+``pip install -e . --no-build-isolation`` fall back to the
+``setup.py develop`` code path.  The package is pure standard library —
+no install requirements.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Preemption delay analysis for floating "
+        "non-preemptive region scheduling' (DATE 2012) with a batch "
+        "analysis engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -17,8 +17,13 @@ Quick start::
     bound = floating_npr_delay_bound(f, q=100.0)
     print(bound.total_delay, bound.inflated_wcet)
 
-See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
-the paper-versus-measured record of every reproduced figure.
+Large scenario grids route through the batch engine
+(:mod:`repro.engine`): deterministic chunking, ``concurrent.futures``
+worker pools and streaming JSONL/CSV sinks, with results bit-identical
+to the inline path for any worker count.
+
+See ``docs/architecture.md`` for the layer diagram and
+``docs/paper_mapping.md`` for the paper-artifact → module/test index.
 """
 
 from repro.core import (

@@ -7,7 +7,8 @@ this module encodes a reconstruction that reproduces the recoverable
 offset values: ``[0,0]``, ``[15,25]`` (twice), ``[30,65]``,
 ``[50,95]`` (twice), ``[55,100]`` (twice, plus one more), ``[65,125]``
 and ``[65,175]`` (printed as "[60,175]"/"[65,180]" in the OCR of the
-original figure).  The reconstruction note lives in ``DESIGN.md`` §5.
+original figure).  The paper-artifact index in ``docs/paper_mapping.md``
+records where this reconstruction is tested.
 
 Shape: a double-diamond followed by a fork whose arms re-join at the
 final block::

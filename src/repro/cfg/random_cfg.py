@@ -4,7 +4,7 @@ Generates reducible CFGs by recursive composition of three constructs —
 sequence, branch (diamond) and natural loop — mirroring how structured
 code compiles.  Used by property tests (interval-analysis invariants hold
 on arbitrary structured CFGs) and by the CFG-pipeline experiment
-(EXT-E in ``DESIGN.md``).
+(EXT-E; see ``docs/paper_mapping.md``).
 """
 
 from __future__ import annotations

@@ -7,9 +7,13 @@ Commands regenerate the paper's artifacts without writing any code:
 * ``fig2``      — the naive-bound counterexample run.
 * ``validate``  — Theorem 1 fuzzing campaign against the simulator.
 * ``study``     — acceptance-ratio schedulability study.
+* ``sweep``     — large-scale batch Q sweep through :mod:`repro.engine`,
+  streamed to JSONL/CSV.
 
-All commands print ASCII renderings and write CSVs under ``results/``
-(override with ``REPRO_RESULTS_DIR``).
+All commands print ASCII renderings and write artifacts under
+``results/`` (override with ``REPRO_RESULTS_DIR``).  Sweep-shaped
+commands accept ``--jobs N`` to fan the work out over the batch
+engine's worker pool; results are bit-identical for every ``N``.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         write_fig5_csv,
     )
 
-    data = generate_fig5(knots=args.knots)
+    data = generate_fig5(knots=args.knots, max_workers=args.jobs)
     path = write_fig5_csv(data)
     print(
         line_plot(
@@ -120,6 +124,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         methods=methods,
         n_tasks=args.tasks,
         sets_per_point=args.sets,
+        max_workers=args.jobs,
     )
     rows = [[p.utilization, *(p.ratios[m] for m in methods)] for p in points]
     print(render_table(["U", *methods], rows))
@@ -129,6 +134,77 @@ def _cmd_study(args: argparse.Namespace) -> int:
             width=64,
             height=14,
             title="Acceptance ratio vs utilization",
+        )
+    )
+    return 0
+
+
+class _ConvergenceCounter:
+    """Sink wrapper counting converged records as they stream past."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.total = 0
+        self.converged = 0
+
+    def write(self, record) -> None:
+        self.total += 1
+        if record.get("converged"):
+            self.converged += 1
+        self._inner.write(record)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine import (
+        CsvSink,
+        JsonlSink,
+        evaluate_bound_scenario,
+        q_sweep_scenarios,
+        run_batch,
+    )
+    from repro.experiments import default_q_grid, render_table
+    from repro.experiments.io import results_dir
+
+    qs = default_q_grid(points=args.points)
+    scenarios = q_sweep_scenarios(qs, knots=args.knots)
+    out = args.out or str(results_dir() / f"sweep.{args.format}")
+    sink_cls = JsonlSink if args.format == "jsonl" else CsvSink
+    started = time.perf_counter()
+    with _ConvergenceCounter(sink_cls(out)) as sink:
+        # collect=False: stream-only, so the sweep runs in constant
+        # memory no matter how many scenarios are requested.
+        run_batch(
+            evaluate_bound_scenario,
+            scenarios,
+            max_workers=args.jobs,
+            chunk_size=args.chunk,
+            sink=sink,
+            collect=False,
+        )
+        converged = sink.converged
+    elapsed = time.perf_counter() - started
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["scenarios", len(scenarios)],
+                ["converged", converged],
+                ["diverged", len(scenarios) - converged],
+                ["seconds", f"{elapsed:.2f}"],
+                ["scenarios/s", f"{len(scenarios) / elapsed:.0f}"],
+                ["output", out],
+            ],
         )
     )
     return 0
@@ -149,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig5 = sub.add_parser("fig5", help="the headline Q sweep")
     p_fig5.add_argument("--knots", type=int, default=2048)
+    p_fig5.add_argument(
+        "--jobs", type=int, default=None,
+        help="batch-engine workers (default: inline)",
+    )
     p_fig5.set_defaults(run=_cmd_fig5)
 
     p_fig2 = sub.add_parser("fig2", help="naive-bound counterexample")
@@ -165,7 +245,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_study = sub.add_parser("study", help="schedulability study")
     p_study.add_argument("--tasks", type=int, default=5)
     p_study.add_argument("--sets", type=int, default=25)
+    p_study.add_argument(
+        "--jobs", type=int, default=None,
+        help="batch-engine workers (default: inline)",
+    )
     p_study.set_defaults(run=_cmd_study)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="large-scale batch Q sweep via the engine"
+    )
+    p_sweep.add_argument(
+        "--points", type=int, default=400,
+        help="Q grid points (scenarios = 3x this)",
+    )
+    p_sweep.add_argument("--knots", type=int, default=1024)
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="batch-engine workers (default: inline)",
+    )
+    p_sweep.add_argument(
+        "--chunk", type=int, default=None,
+        help="scenarios per engine chunk (default: auto)",
+    )
+    p_sweep.add_argument(
+        "--format", choices=["jsonl", "csv"], default="jsonl"
+    )
+    p_sweep.add_argument(
+        "--out", default=None,
+        help="output path (default: results/sweep.<format>)",
+    )
+    p_sweep.set_defaults(run=_cmd_sweep)
 
     return parser
 

@@ -1,0 +1,70 @@
+"""Batch-analysis engine (substrate S12): many scenarios, one call.
+
+The experiment layer's sweeps — Figure 5's Q grid, the acceptance
+study's utilization × seed matrix, and anything larger — are expressed
+as flat scenario lists and evaluated by :func:`run_batch`:
+deterministically chunked, optionally fanned out over a
+``concurrent.futures`` worker pool, and streamed to JSONL/CSV sinks —
+with ``collect=False`` nothing is accumulated, so 10^5+-scenario sweeps
+run in constant memory.  The inline path
+(``max_workers=None``) is the reference: every parallel configuration
+reproduces it bit-identically, because chunking is a pure function of
+the input and every randomised scenario carries its own derived seed.
+
+Layering: ``engine`` sits above ``core``/``sched``/``tasks`` (whose
+analyses it invokes through the workers in
+:mod:`repro.engine.sweeps`) and below :mod:`repro.experiments`, whose
+public generators now route through it.  See ``docs/architecture.md``.
+"""
+
+from repro.engine.chunking import chunk_bounds, default_chunk_size, derive_seed
+from repro.engine.engine import (
+    EXECUTORS,
+    BatchEngine,
+    EngineConfig,
+    resolve_workers,
+    run_batch,
+)
+from repro.engine.sinks import (
+    CsvSink,
+    JsonlSink,
+    MemorySink,
+    ResultSink,
+    as_record,
+)
+from repro.engine.sweeps import (
+    BoundResult,
+    BoundScenario,
+    StudyResult,
+    StudyScenario,
+    benchmark_function,
+    evaluate_bound_scenario,
+    evaluate_study_scenario,
+    prepared_task_set,
+    q_sweep_scenarios,
+)
+
+__all__ = [
+    "chunk_bounds",
+    "default_chunk_size",
+    "derive_seed",
+    "EngineConfig",
+    "BatchEngine",
+    "run_batch",
+    "resolve_workers",
+    "EXECUTORS",
+    "ResultSink",
+    "MemorySink",
+    "JsonlSink",
+    "CsvSink",
+    "as_record",
+    "BoundScenario",
+    "BoundResult",
+    "StudyScenario",
+    "StudyResult",
+    "benchmark_function",
+    "evaluate_bound_scenario",
+    "evaluate_study_scenario",
+    "prepared_task_set",
+    "q_sweep_scenarios",
+]

@@ -1,0 +1,71 @@
+"""Deterministic chunking and seed derivation for the batch engine.
+
+Both primitives are pure functions of their inputs so a sweep's
+decomposition — and therefore its results — never depends on worker
+count, executor kind or scheduling order:
+
+* :func:`chunk_bounds` splits ``n`` scenarios into contiguous
+  ``[start, stop)`` index ranges;
+* :func:`derive_seed` maps ``(base_seed, scenario_index)`` to an
+  independent 63-bit stream seed with a SplitMix64 finalizer, so every
+  scenario owns its randomness no matter which worker executes it.
+"""
+
+from __future__ import annotations
+
+from repro.utils.checks import require
+
+_MASK64 = (1 << 64) - 1
+
+
+def chunk_bounds(total: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` chunks covering ``range(total)``.
+
+    Args:
+        total: Number of scenarios (>= 0).
+        chunk_size: Maximum scenarios per chunk (> 0); a chunk size
+            larger than ``total`` yields a single chunk.
+
+    Returns:
+        Chunks in index order; empty list when ``total == 0``.
+    """
+    require(total >= 0, f"total must be >= 0, got {total}")
+    require(chunk_size > 0, f"chunk_size must be > 0, got {chunk_size}")
+    return [
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    ]
+
+
+def default_chunk_size(total: int, workers: int) -> int:
+    """Chunk size targeting ~4 chunks per worker (bounded below by 1).
+
+    Small enough to stream results and balance load, large enough to
+    amortise task-dispatch overhead.
+    """
+    require(workers > 0, f"workers must be > 0, got {workers}")
+    if total <= 0:
+        return 1
+    return max(1, -(-total // (workers * 4)))
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Independent per-scenario seed via a SplitMix64 finalizer.
+
+    The mapping is injective on ``index`` for a fixed ``base_seed`` and
+    avalanches, so adjacent scenario indices get statistically unrelated
+    streams (plain ``base_seed + index`` would correlate neighbouring
+    Mersenne-Twister states).
+
+    Args:
+        base_seed: The sweep-level seed.
+        index: Scenario index within the sweep (>= 0).
+
+    Returns:
+        A non-negative seed < 2**63.
+    """
+    require(index >= 0, f"index must be >= 0, got {index}")
+    z = (base_seed + (index + 1) * 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & ((1 << 63) - 1)

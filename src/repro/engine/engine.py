@@ -1,0 +1,239 @@
+"""The batch-analysis engine core.
+
+:func:`run_batch` (and the class-shaped :class:`BatchEngine`) evaluates a
+worker function over many scenarios with:
+
+* **deterministic decomposition** — scenarios are split into contiguous
+  index chunks (:func:`repro.engine.chunking.chunk_bounds`) and results
+  are re-assembled in scenario order, so the output is a pure function
+  of ``(worker, scenarios)`` regardless of worker count, executor kind
+  or completion order;
+* **a `concurrent.futures` worker pool** — ``ProcessPoolExecutor`` for
+  CPU-bound analyses (the default) or ``ThreadPoolExecutor`` where
+  fork/pickle overhead is not worth it; ``max_workers`` of ``None``/``1``
+  runs inline with zero pool overhead;
+* **streaming emission** — completed chunks are flushed to an optional
+  :class:`~repro.engine.sinks.ResultSink` *in scenario order* as soon as
+  their predecessors have been flushed; with ``collect=False`` results
+  are *only* streamed (never accumulated), so sweeps of 10^5+ scenarios
+  hold at most the bounded out-of-order chunk buffer in memory.
+
+Workers must be module-level callables (picklable for the process pool)
+taking one scenario and returning one result.  Scenarios should carry
+their own seeds (see :func:`repro.engine.chunking.derive_seed`) so that
+randomised analyses stay reproducible under any parallelism.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import (
+    Executor,
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import TypeVar
+
+from repro.engine.chunking import chunk_bounds, default_chunk_size
+from repro.engine.sinks import ResultSink, as_record
+from repro.utils.checks import require
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+#: Supported executor kinds.
+EXECUTORS = ("process", "thread")
+
+#: Upper bound on chunks enqueued beyond the pool width, limiting both
+#: the futures backlog and the out-of-order buffer the ordered flush may
+#: have to hold.
+_MAX_INFLIGHT_FACTOR = 4
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Tuning knobs for a :class:`BatchEngine`.
+
+    Attributes:
+        max_workers: Pool width.  ``None``, ``0`` or ``1`` evaluates
+            inline in the calling process (the reference path every
+            parallel configuration must reproduce bit-identically).
+        chunk_size: Scenarios per chunk; ``None`` picks
+            :func:`~repro.engine.chunking.default_chunk_size`.
+        executor: ``"process"`` (default; true parallelism for the
+            CPU-bound analyses) or ``"thread"``.
+    """
+
+    max_workers: int | None = None
+    chunk_size: int | None = None
+    executor: str = "process"
+
+    def __post_init__(self) -> None:
+        require(
+            self.executor in EXECUTORS,
+            f"executor must be one of {EXECUTORS}, got {self.executor!r}",
+        )
+        if self.max_workers is not None:
+            require(
+                self.max_workers >= 0,
+                f"max_workers must be >= 0, got {self.max_workers}",
+            )
+        if self.chunk_size is not None:
+            require(
+                self.chunk_size > 0,
+                f"chunk_size must be > 0, got {self.chunk_size}",
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """Whether a worker pool (rather than the inline path) is used."""
+        return self.max_workers is not None and self.max_workers > 1
+
+
+def resolve_workers(requested: int | None = None) -> int:
+    """Effective worker count: ``requested`` or the CPU count."""
+    if requested is not None and requested > 0:
+        return requested
+    return os.cpu_count() or 1
+
+
+def _run_chunk(
+    worker: Callable[[S], R], scenarios: Sequence[S]
+) -> list[R]:
+    """Evaluate one chunk sequentially (executed inside a pool worker)."""
+    return [worker(s) for s in scenarios]
+
+
+class BatchEngine:
+    """Evaluates scenario batches according to an :class:`EngineConfig`."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+
+    def map(
+        self,
+        worker: Callable[[S], R],
+        scenarios: Sequence[S],
+        sink: ResultSink | None = None,
+        collect: bool = True,
+    ) -> list[R] | None:
+        """Evaluate ``worker`` over ``scenarios``; results in input order.
+
+        Args:
+            worker: Module-level callable ``scenario -> result``
+                (picklable when the process executor is used).
+            scenarios: The batch; may be empty.
+            sink: Optional streaming sink; receives
+                :func:`~repro.engine.sinks.as_record` of every result in
+                scenario order, as chunks complete.
+            collect: When ``False`` (requires a ``sink``), results are
+                *only* streamed and never accumulated — the constant-
+                memory mode for 10^5+-scenario sweeps.
+
+        Returns:
+            One result per scenario, ordered like ``scenarios``; ``None``
+            when ``collect`` is ``False``.
+        """
+        if not collect:
+            require(sink is not None, "collect=False requires a sink")
+        if not self.config.parallel:
+            results: list[R] | None = [] if collect else None
+            for scenario in scenarios:
+                result = worker(scenario)
+                if sink is not None:
+                    sink.write(as_record(result))
+                if results is not None:
+                    results.append(result)
+            return results
+        return self._map_pooled(worker, scenarios, sink, collect)
+
+    def _map_pooled(
+        self,
+        worker: Callable[[S], R],
+        scenarios: Sequence[S],
+        sink: ResultSink | None,
+        collect: bool,
+    ) -> list[R] | None:
+        workers = resolve_workers(self.config.max_workers)
+        chunk_size = self.config.chunk_size or default_chunk_size(
+            len(scenarios), workers
+        )
+        chunks = chunk_bounds(len(scenarios), chunk_size)
+        if not chunks:
+            return [] if collect else None
+        executor_cls: type[Executor] = (
+            ProcessPoolExecutor
+            if self.config.executor == "process"
+            else ThreadPoolExecutor
+        )
+        done_chunks: dict[int, list[R]] = {}
+        ordered: list[R] | None = [] if collect else None
+        next_chunk = 0  # next chunk index to flush
+        max_inflight = workers * _MAX_INFLIGHT_FACTOR
+        with executor_cls(max_workers=workers) as pool:
+            pending: dict[Future[list[R]], int] = {}
+            submit_cursor = 0
+            while submit_cursor < len(chunks) or pending:
+                # Gate on pending + done-but-unflushed so a slow early
+                # chunk cannot grow the out-of-order buffer unboundedly.
+                while (
+                    submit_cursor < len(chunks)
+                    and len(pending) + len(done_chunks) < max_inflight
+                ):
+                    start, stop = chunks[submit_cursor]
+                    future = pool.submit(
+                        _run_chunk, worker, list(scenarios[start:stop])
+                    )
+                    pending[future] = submit_cursor
+                    submit_cursor += 1
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    done_chunks[pending.pop(future)] = future.result()
+                while next_chunk in done_chunks:
+                    chunk_results = done_chunks.pop(next_chunk)
+                    if sink is not None:
+                        for result in chunk_results:
+                            sink.write(as_record(result))
+                    if ordered is not None:
+                        ordered.extend(chunk_results)
+                    next_chunk += 1
+        return ordered
+
+
+def run_batch(
+    worker: Callable[[S], R],
+    scenarios: Sequence[S],
+    *,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+    executor: str = "process",
+    sink: ResultSink | None = None,
+    collect: bool = True,
+) -> list[R] | None:
+    """One-call batch evaluation (the functional face of the engine).
+
+    Args:
+        worker: Module-level callable ``scenario -> result``.
+        scenarios: The batch; may be empty.
+        max_workers: ``None``/``0``/``1`` for the inline reference path,
+            ``N > 1`` for a pool of ``N`` workers.
+        chunk_size: Scenarios per chunk (default: auto).
+        executor: ``"process"`` or ``"thread"``.
+        sink: Optional streaming sink (records in scenario order).
+        collect: ``False`` (with a ``sink``) streams without
+            accumulating — constant memory for arbitrarily large sweeps.
+
+    Returns:
+        One result per scenario, in scenario order — identical for every
+        ``(max_workers, chunk_size, executor)`` configuration — or
+        ``None`` when ``collect`` is ``False``.
+    """
+    config = EngineConfig(
+        max_workers=max_workers, chunk_size=chunk_size, executor=executor
+    )
+    return BatchEngine(config).map(worker, scenarios, sink=sink, collect=collect)

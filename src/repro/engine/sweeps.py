@@ -1,0 +1,236 @@
+"""Concrete scenario types and workers for the batch engine.
+
+Two scenario families cover the paper's evaluation surface:
+
+* :class:`BoundScenario` — one ``(benchmark function, Q)`` point of a
+  delay-bound sweep (the Figure 5 shape).  The worker resolves the
+  function through a per-process LRU cache, so a 10^5-scenario sweep
+  builds each distinct function once per worker instead of once per
+  scenario.
+* :class:`StudyScenario` — one randomly generated task set of a
+  schedulability acceptance study (the Section VI / EXT-D shape).  The
+  scenario carries its own seed, making results independent of which
+  worker evaluates it.
+
+Workers are module-level functions (hence picklable) returning frozen
+dataclasses, which :func:`repro.engine.sinks.as_record` flattens for the
+streaming sinks.  Both workers are *definitionally* equivalent to the
+pre-engine single-shot code paths; the engine tests assert bit-identical
+results between ``max_workers=1`` and ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.bounds import compare_bounds
+from repro.core.delay_function import PreemptionDelayFunction
+from repro.npr.assignment import assign_npr_lengths
+from repro.sched.crpd_rta import delay_aware_rta
+from repro.tasks.generation import gaussian_delay_factory, generate_task_set
+from repro.tasks.task import TaskSet
+from repro.utils.checks import require
+
+# ----------------------------------------------------------------------
+# Delay-bound sweeps (Figure 5 shape)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BoundScenario:
+    """One point of a delay-bound sweep.
+
+    Attributes:
+        function: Benchmark function name (one of
+            :data:`repro.experiments.functions_fig4.FIG4_NAMES`).
+        q: The floating-NPR length to analyse.
+        interpretation: Benchmark parameter interpretation.
+        knots: Piecewise resolution of the benchmark function.
+    """
+
+    function: str
+    q: float
+    interpretation: str = "literal"
+    knots: int = 2048
+
+
+@dataclass(frozen=True, slots=True)
+class BoundResult:
+    """Bounds for one :class:`BoundScenario`.
+
+    Attributes:
+        function: Scenario function name.
+        q: Scenario NPR length.
+        algorithm1: Algorithm 1's cumulative delay bound.
+        state_of_the_art: The Eq. 4 bound.
+        converged: Whether Algorithm 1 converged (``False`` means both
+            bounds are infinite).
+        preemptions: Number of windows Algorithm 1 charged.
+    """
+
+    function: str
+    q: float
+    algorithm1: float
+    state_of_the_art: float
+    converged: bool
+    preemptions: int
+
+
+@lru_cache(maxsize=64)
+def benchmark_function(
+    name: str, interpretation: str = "literal", knots: int = 2048
+) -> PreemptionDelayFunction:
+    """Per-process cache of the Figure 4 benchmark functions.
+
+    Building a 2048-knot benchmark function costs orders of magnitude
+    more than one bound evaluation; caching it per ``(name,
+    interpretation, knots)`` is what makes the batched path beat the
+    single-shot path even on one core.
+    """
+    from repro.experiments.functions_fig4 import fig4_delay_function
+
+    return fig4_delay_function(name, interpretation, knots)
+
+
+def evaluate_bound_scenario(scenario: BoundScenario) -> BoundResult:
+    """Engine worker: compute Algorithm 1 and Eq. 4 for one scenario."""
+    f = benchmark_function(
+        scenario.function, scenario.interpretation, scenario.knots
+    )
+    comparison = compare_bounds(f, scenario.q)
+    return BoundResult(
+        function=scenario.function,
+        q=scenario.q,
+        algorithm1=comparison.algorithm1.total_delay,
+        state_of_the_art=comparison.state_of_the_art.total_delay,
+        converged=comparison.algorithm1.converged,
+        preemptions=comparison.algorithm1.preemptions,
+    )
+
+
+def q_sweep_scenarios(
+    qs: list[float],
+    functions: tuple[str, ...] | None = None,
+    interpretation: str = "literal",
+    knots: int = 2048,
+) -> list[BoundScenario]:
+    """Q-major scenario grid: all functions at ``qs[0]``, then ``qs[1]``…
+
+    Args:
+        qs: NPR lengths to sweep.
+        functions: Benchmark function names (default: all three).
+        interpretation: Parameter interpretation.
+        knots: Function resolution.
+    """
+    from repro.experiments.functions_fig4 import FIG4_NAMES
+
+    names = functions if functions is not None else FIG4_NAMES
+    require(len(names) > 0, "need at least one function name")
+    return [
+        BoundScenario(
+            function=name, q=q, interpretation=interpretation, knots=knots
+        )
+        for q in qs
+        for name in names
+    ]
+
+
+# ----------------------------------------------------------------------
+# Schedulability acceptance studies (Section VI / EXT-D shape)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class StudyScenario:
+    """One generated task set of an acceptance study.
+
+    Attributes:
+        utilization: Target total utilization.
+        seed: RNG seed for the task-set generator (scenario-owned, so
+            results never depend on worker scheduling).
+        n_tasks: Tasks per generated set.
+        q_fraction: Fraction of the maximal safe NPR length to assign.
+        delay_height: ``max f_i`` as a fraction of each task's WCET.
+        methods: Delay-aware test methods to run
+            (see :data:`repro.sched.METHODS`).
+    """
+
+    utilization: float
+    seed: int
+    n_tasks: int
+    q_fraction: float
+    delay_height: float
+    methods: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class StudyResult:
+    """Accept/reject outcome of one :class:`StudyScenario`.
+
+    Attributes:
+        utilization: Scenario utilization (the grouping key).
+        seed: Scenario seed.
+        admitted: Whether the set admitted an NPR assignment at all;
+            ``False`` counts as a rejection for every method.
+        accepted: Per-method verdicts, aligned with
+            ``scenario.methods``.
+    """
+
+    utilization: float
+    seed: int
+    admitted: bool
+    accepted: tuple[bool, ...]
+
+
+def prepared_task_set(
+    n_tasks: int,
+    utilization: float,
+    seed: int,
+    q_fraction: float,
+    delay_height: float,
+) -> TaskSet | None:
+    """Generate, prioritise and NPR-annotate one task set.
+
+    Returns ``None`` when the set admits no NPR assignment (negative
+    blocking tolerance): every delay-aware test counts it as a
+    rejection.
+    """
+    factory = gaussian_delay_factory(relative_height=delay_height)
+    tasks = generate_task_set(
+        n_tasks,
+        utilization,
+        seed=seed,
+        delay_function_factory=factory,
+    ).rate_monotonic()
+    try:
+        return assign_npr_lengths(tasks, policy="fp", fraction=q_fraction)
+    except ValueError:
+        return None
+
+
+def evaluate_study_scenario(scenario: StudyScenario) -> StudyResult:
+    """Engine worker: generate one task set and run every test method."""
+    task_set = prepared_task_set(
+        scenario.n_tasks,
+        scenario.utilization,
+        seed=scenario.seed,
+        q_fraction=scenario.q_fraction,
+        delay_height=scenario.delay_height,
+    )
+    if task_set is None:
+        return StudyResult(
+            utilization=scenario.utilization,
+            seed=scenario.seed,
+            admitted=False,
+            accepted=tuple(False for _ in scenario.methods),
+        )
+    return StudyResult(
+        utilization=scenario.utilization,
+        seed=scenario.seed,
+        admitted=True,
+        accepted=tuple(
+            delay_aware_rta(task_set, method).schedulable
+            for method in scenario.methods
+        ),
+    )

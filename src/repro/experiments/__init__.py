@@ -1,5 +1,8 @@
 """Experiment harness (substrate S11): every figure of the paper plus the
-extension studies indexed in DESIGN.md."""
+extension studies (see ``docs/paper_mapping.md`` for the figure/equation
+index).  Sweep-shaped experiments route through :mod:`repro.engine`, so
+they accept ``max_workers`` for pooled execution with bit-identical
+results."""
 
 from repro.experiments.ablations import (
     CapPoint,
@@ -37,6 +40,7 @@ from repro.experiments.runner import ReproductionSummary, generate_all
 from repro.experiments.schedulability_study import (
     StudyPoint,
     acceptance_study,
+    study_scenarios,
     study_series,
 )
 
@@ -67,6 +71,7 @@ __all__ = [
     "CapPoint",
     "StudyPoint",
     "acceptance_study",
+    "study_scenarios",
     "study_series",
     "line_plot",
     "render_table",

@@ -1,4 +1,4 @@
-"""Ablation experiments (EXT-B, EXT-C in DESIGN.md).
+"""Ablation experiments (EXT-B, EXT-C; see docs/paper_mapping.md).
 
 * :func:`interpretation_sweep` — how the Figure 5 conclusions react to
   the three readings of the paper's (inconsistent) Figure 4 parameters.

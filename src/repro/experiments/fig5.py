@@ -7,6 +7,10 @@ identical for all three, since they share ``C`` and ``max f`` — asserted
 here rather than assumed).  The paper plots Q from near the divergence
 threshold (``Q <= max f = 10`` diverges) up to ``C/2 = 2000`` with a
 logarithmic delay axis.
+
+The sweep is expressed as :class:`repro.engine.BoundScenario` batches and
+evaluated by :func:`repro.engine.run_batch`; pass ``max_workers`` to fan
+it out over a worker pool (results are bit-identical either way).
 """
 
 from __future__ import annotations
@@ -14,12 +18,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.bounds import compare_bounds
 from repro.experiments.functions_fig4 import (
     FIG4_MAX,
     FIG4_NAMES,
     FIG4_WCET,
-    fig4_functions,
 )
 from repro.experiments.io import write_csv
 from repro.utils.checks import require
@@ -92,28 +94,41 @@ def generate_fig5(
     qs: list[float] | None = None,
     interpretation: str = "literal",
     knots: int = 2048,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> Fig5Data:
-    """Run the Figure 5 sweep.
+    """Run the Figure 5 sweep through the batch engine.
 
     Args:
         qs: NPR lengths to evaluate (default: :func:`default_q_grid`).
         interpretation: Benchmark-function interpretation.
         knots: Function resolution.
+        max_workers: Engine pool width (``None`` = inline; results are
+            bit-identical for every setting).
+        chunk_size: Engine chunk size (default: auto).
 
     Returns:
         The sweep data; the shape-obliviousness of Eq. 4 (same bound for
         all three functions) is verified along the way.
     """
+    from repro.engine import evaluate_bound_scenario, q_sweep_scenarios, run_batch
+
     qs = qs if qs is not None else default_q_grid()
-    functions = fig4_functions(interpretation, knots)
+    scenarios = q_sweep_scenarios(
+        qs, interpretation=interpretation, knots=knots
+    )
+    results = run_batch(
+        evaluate_bound_scenario,
+        scenarios,
+        max_workers=max_workers,
+        chunk_size=chunk_size,
+    )
+    per_q = len(FIG4_NAMES)
     rows: list[Fig5Row] = []
-    for q in qs:
-        alg1: dict[str, float] = {}
-        soa_values: list[float] = []
-        for name, f in functions.items():
-            comparison = compare_bounds(f, q)
-            alg1[name] = comparison.algorithm1.total_delay
-            soa_values.append(comparison.state_of_the_art.total_delay)
+    for slot, q in enumerate(qs):
+        batch = results[slot * per_q : (slot + 1) * per_q]
+        alg1 = {r.function: r.algorithm1 for r in batch}
+        soa_values = [r.state_of_the_art for r in batch]
         spread = max(soa_values) - min(soa_values)
         require(
             (math.isfinite(spread) and spread < 1e-6)

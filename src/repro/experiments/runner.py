@@ -4,7 +4,10 @@
 benchmark harness: it produces the Figure 4/5 CSVs, the Figure 2
 counterexample, the Theorem 1 validation report and the schedulability
 study, returning everything in a single summary object.  The CLI
-(``python -m repro``) exposes the same pieces individually.
+(``python -m repro``) exposes the same pieces individually.  The sweep
+stages (Figure 5, the study) route through :mod:`repro.engine`; pass
+``max_workers`` to fan them out over a worker pool without changing any
+artifact byte.
 """
 
 from __future__ import annotations
@@ -78,6 +81,7 @@ def generate_all(
     knots: int = 1024,
     validation_seeds: int = 4,
     study_sets_per_point: int = 15,
+    max_workers: int | None = None,
 ) -> ReproductionSummary:
     """Regenerate every figure and check; returns the combined summary.
 
@@ -85,9 +89,12 @@ def generate_all(
         knots: Resolution of the synthetic delay functions (lower = faster).
         validation_seeds: Fuzzing seeds for the Theorem 1 campaign.
         study_sets_per_point: Task sets per utilization level.
+        max_workers: Batch-engine pool width for the Figure 5 sweep and
+            the schedulability study (``None`` = inline; the artifacts
+            are bit-identical for every setting).
     """
     fig4 = generate_fig4(knots=knots)
-    fig5 = generate_fig5(knots=knots)
+    fig5 = generate_fig5(knots=knots, max_workers=max_workers)
     paths = (write_fig4_csv(fig4), write_fig5_csv(fig5))
     fig2 = run_figure2_demo()
     validation = validation_campaign(
@@ -101,6 +108,7 @@ def generate_all(
         methods=["oblivious", "algorithm1", "eq4"],
         n_tasks=5,
         sets_per_point=study_sets_per_point,
+        max_workers=max_workers,
     )
     return ReproductionSummary(
         fig4=fig4,

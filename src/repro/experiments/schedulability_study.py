@@ -7,15 +7,25 @@ utilization grows.  Expected ordering: ``oblivious`` (unsafe, most
 accepting) >= ``algorithm1`` >= ``eq4`` (most pessimistic of the
 inflation tests) — the gap between the last two is the paper's
 contribution expressed as schedulability.
+
+The utilization × task-set matrix is flattened into
+:class:`repro.engine.StudyScenario` batches and evaluated by
+:func:`repro.engine.run_batch`.  Every scenario carries its own seed
+(``seed + level * 10_000 + k``, unchanged from the sequential
+implementation), so acceptance ratios are bit-identical for any
+``max_workers``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.npr.assignment import assign_npr_lengths
-from repro.sched.crpd_rta import delay_aware_rta
-from repro.tasks.generation import gaussian_delay_factory, generate_task_set
+from repro.engine.engine import run_batch
+from repro.engine.sweeps import (
+    StudyScenario,
+    evaluate_study_scenario,
+    prepared_task_set,
+)
 from repro.tasks.task import TaskSet
 from repro.utils.checks import require
 
@@ -44,20 +54,50 @@ def _prepared_task_set(
 ) -> TaskSet | None:
     """Generate, prioritise and NPR-annotate one task set.
 
-    Returns ``None`` when the set admits no NPR assignment (negative
-    blocking tolerance): every delay-aware test counts it as a rejection.
+    Thin wrapper kept for API compatibility; the implementation lives in
+    :func:`repro.engine.sweeps.prepared_task_set` so the engine workers
+    and this module share one definition.
     """
-    factory = gaussian_delay_factory(relative_height=delay_height)
-    tasks = generate_task_set(
-        n_tasks,
-        utilization,
-        seed=seed,
-        delay_function_factory=factory,
-    ).rate_monotonic()
-    try:
-        return assign_npr_lengths(tasks, policy="fp", fraction=q_fraction)
-    except ValueError:
-        return None
+    return prepared_task_set(
+        n_tasks, utilization, seed, q_fraction, delay_height
+    )
+
+
+def study_scenarios(
+    utilizations: list[float],
+    methods: list[str],
+    n_tasks: int,
+    sets_per_point: int,
+    q_fraction: float,
+    delay_height: float,
+    seed: int,
+) -> list[StudyScenario]:
+    """Flatten the utilization × set matrix into engine scenarios.
+
+    Scenario order is level-major (all sets of ``utilizations[0]``
+    first); seeds replicate the sequential implementation:
+    ``seed + level * 10_000 + k``, kept for bit-compatibility with the
+    pre-engine artifacts.  That formula is collision-free only for
+    ``sets_per_point < 10_000`` (enforced here); grids beyond that
+    should derive seeds with :func:`repro.engine.derive_seed`.
+    """
+    require(
+        sets_per_point < 10_000,
+        "the legacy seed formula collides at sets_per_point >= 10_000; "
+        "build scenarios with repro.engine.derive_seed instead",
+    )
+    return [
+        StudyScenario(
+            utilization=utilization,
+            seed=seed + level * 10_000 + k,
+            n_tasks=n_tasks,
+            q_fraction=q_fraction,
+            delay_height=delay_height,
+            methods=tuple(methods),
+        )
+        for level, utilization in enumerate(utilizations)
+        for k in range(sets_per_point)
+    ]
 
 
 def acceptance_study(
@@ -68,6 +108,8 @@ def acceptance_study(
     q_fraction: float = 0.5,
     delay_height: float = 0.05,
     seed: int = 2012,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> list[StudyPoint]:
     """Acceptance ratio versus utilization for each test method.
 
@@ -79,27 +121,39 @@ def acceptance_study(
         q_fraction: Fraction of the maximal safe NPR length to assign.
         delay_height: ``max f_i`` as a fraction of each task's WCET.
         seed: Base RNG seed.
+        max_workers: Engine pool width (``None`` = inline; ratios are
+            identical for every setting).
+        chunk_size: Engine chunk size (default: auto).
 
     Returns:
         One :class:`StudyPoint` per utilization level.
     """
     require(bool(utilizations), "need at least one utilization level")
     require(sets_per_point > 0, "sets_per_point must be > 0")
+    scenarios = study_scenarios(
+        utilizations,
+        methods,
+        n_tasks,
+        sets_per_point,
+        q_fraction,
+        delay_height,
+        seed,
+    )
+    results = run_batch(
+        evaluate_study_scenario,
+        scenarios,
+        max_workers=max_workers,
+        chunk_size=chunk_size,
+    )
     points: list[StudyPoint] = []
     for level, utilization in enumerate(utilizations):
+        batch = results[
+            level * sets_per_point : (level + 1) * sets_per_point
+        ]
         accepted = {m: 0 for m in methods}
-        for k in range(sets_per_point):
-            task_set = _prepared_task_set(
-                n_tasks,
-                utilization,
-                seed=seed + level * 10_000 + k,
-                q_fraction=q_fraction,
-                delay_height=delay_height,
-            )
-            if task_set is None:
-                continue  # counts as rejection for every method
-            for method in methods:
-                if delay_aware_rta(task_set, method).schedulable:
+        for result in batch:
+            for method, verdict in zip(methods, result.accepted):
+                if verdict:
                     accepted[method] += 1
         points.append(
             StudyPoint(

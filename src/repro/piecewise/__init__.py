@@ -4,6 +4,13 @@ The paper's preemption-delay functions ``f_i`` and every derived curve are
 represented as :class:`PiecewiseFunction` objects: ordered contiguous affine
 segments with optional jump discontinuities.  All interval queries used by
 the analyses (interval maxima, descending-line crossings) are exact.
+
+Two evaluation paths share the same semantics: the scalar
+:meth:`PiecewiseFunction.value` and the batched kernel of
+:mod:`repro.piecewise.vectorized` (:func:`evaluate_many` /
+:func:`evaluate_sorted`), which the batch-analysis engine and the figure
+samplers use to evaluate one function at many abscissae in a single
+merge walk over an LRU-cached :class:`SegmentIndex`.
 """
 
 from repro.piecewise.builders import (
@@ -22,6 +29,13 @@ from repro.piecewise.operations import (
     subtract,
 )
 from repro.piecewise.segments import Segment
+from repro.piecewise.vectorized import (
+    SegmentIndex,
+    clear_segment_index_cache,
+    evaluate_many,
+    evaluate_sorted,
+    segment_index,
+)
 
 __all__ = [
     "Segment",
@@ -36,4 +50,9 @@ __all__ = [
     "combine",
     "max_envelope",
     "min_envelope",
+    "SegmentIndex",
+    "segment_index",
+    "evaluate_many",
+    "evaluate_sorted",
+    "clear_segment_index_cache",
 ]

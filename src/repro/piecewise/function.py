@@ -259,8 +259,16 @@ class PiecewiseFunction:
         return points
 
     def sample(self, xs: Sequence[float]) -> list[float]:
-        """Evaluate the function at each abscissa in ``xs``."""
-        return [self.value(x) for x in xs]
+        """Evaluate the function at each abscissa in ``xs``.
+
+        Delegates to the batched kernel in
+        :mod:`repro.piecewise.vectorized`, which is bit-identical to
+        calling :meth:`value` per point but amortises the segment lookup
+        across the whole batch.
+        """
+        from repro.piecewise.vectorized import evaluate_many
+
+        return evaluate_many(self, xs)
 
     def is_non_negative(self) -> bool:
         """Whether ``f(x) >= 0`` everywhere on the domain."""

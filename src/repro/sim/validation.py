@@ -1,4 +1,4 @@
-"""Empirical validation of Theorem 1 (experiment EXT-A in DESIGN.md).
+"""Empirical validation of Theorem 1 (experiment EXT-A; see docs/paper_mapping.md).
 
 For every completed job in a simulation, the cumulative preemption delay
 observed at run time must be bounded by Algorithm 1's static bound for

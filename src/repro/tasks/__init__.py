@@ -1,4 +1,12 @@
-"""Task model and synthetic task-set generation (substrate S7)."""
+"""Task model and synthetic task-set generation (substrate S7).
+
+:class:`Task` carries the paper's per-task parameters (WCET, period,
+NPR length ``Q_i``, delay function ``f_i``); :class:`TaskSet` adds
+priority ordering.  Generation follows the standard evaluation recipe —
+UUniFast utilizations, log-uniform periods, synthetic Gaussian delay
+functions — with explicit seeds so studies and the batch engine's
+scenario workers are reproducible.
+"""
 
 from repro.tasks.generation import (
     gaussian_delay_factory,

@@ -1,4 +1,11 @@
-"""Small shared helpers used across the :mod:`repro` package."""
+"""Small shared helpers used across the :mod:`repro` package.
+
+Argument-validation guards (:func:`require` and friends, raising
+``ValueError`` with a caller-supplied message) and sequence utilities
+(strict monotonicity checks, many-operand LCM, pairwise iteration).
+Every layer depends on these and nothing else, keeping the dependency
+graph a clean DAG.
+"""
 
 from repro.utils.checks import require, require_positive, require_non_negative
 from repro.utils.seq import is_strictly_increasing, lcm_many, pairwise

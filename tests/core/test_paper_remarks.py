@@ -23,7 +23,7 @@ class TestNonMonotonicityArtifact:
 
     def test_increasing_q_can_increase_the_bound(self):
         f = fig4_delay_function("bimodal", knots=1024)
-        # Concrete instance found by a grid scan (see EXPERIMENTS.md):
+        # Concrete instance found by a grid scan:
         b_114 = floating_npr_delay_bound(f, 114.0).total_delay
         b_116 = floating_npr_delay_bound(f, 116.0).total_delay
         assert b_116 > b_114
