@@ -5,7 +5,7 @@ Artifacts: ``results/ablation_interpretations.txt`` and
 ``results/ablation_resolution.txt``.
 """
 
-from conftest import save_text
+from conftest import save_text, scaled
 
 from repro.experiments import (
     interpretation_sweep,
@@ -19,7 +19,7 @@ _QS = [15.0, 50.0, 200.0, 1000.0]
 def test_interpretation_sweep(benchmark, artifacts_dir):
     sweeps = benchmark.pedantic(
         interpretation_sweep,
-        kwargs={"qs": _QS, "knots": 1024},
+        kwargs={"qs": _QS, "knots": scaled(1024, 256)},
         rounds=1,
         iterations=1,
     )
@@ -55,7 +55,12 @@ def test_interpretation_sweep(benchmark, artifacts_dir):
 def test_knot_resolution(benchmark, artifacts_dir):
     points = benchmark.pedantic(
         knot_resolution_sweep,
-        kwargs={"q": 50.0, "knots_list": [64, 128, 256, 512, 1024, 2048, 4096]},
+        kwargs={
+            "q": 50.0,
+            "knots_list": scaled(
+                [64, 128, 256, 512, 1024, 2048, 4096], [64, 256, 1024]
+            ),
+        },
         rounds=1,
         iterations=1,
     )

@@ -4,7 +4,7 @@ preemptions by the higher-priority release pattern.
 Artifact: ``results/ablation_preemption_cap.txt``.
 """
 
-from conftest import save_text
+from conftest import save_text, scaled
 
 from repro.experiments import preemption_cap_sweep, render_table
 from repro.npr import max_preemptions_release_based
@@ -14,7 +14,11 @@ from repro.tasks import Task
 def test_preemption_cap(benchmark, artifacts_dir):
     points = benchmark.pedantic(
         preemption_cap_sweep,
-        kwargs={"q": 50.0, "caps": [0, 1, 2, 4, 8, 16, 32, 64], "knots": 1024},
+        kwargs={
+            "q": 50.0,
+            "caps": scaled([0, 1, 2, 4, 8, 16, 32, 64], [0, 1, 4, 8]),
+            "knots": scaled(1024, 256),
+        },
         rounds=1,
         iterations=1,
     )

@@ -6,7 +6,7 @@ random structured programs through the whole stack.  Artifact:
 ``results/cfg_pipeline.txt``.
 """
 
-from conftest import save_text
+from conftest import save_text, scaled
 
 from repro.cache import (
     CacheGeometry,
@@ -55,7 +55,7 @@ def test_phased_program_pipeline(benchmark, artifacts_dir):
 def test_random_program_batch(benchmark, artifacts_dir):
     def batch():
         results = []
-        for seed in range(8):
+        for seed in range(scaled(8, 3)):
             generated = random_cfg(seed, depth=3)
             accesses = random_accesses(
                 generated.cfg, seed=seed, address_space=96

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import save_text
+from conftest import save_text, scaled
 
 from repro.core.bounds import compare_bounds
 from repro.engine import evaluate_bound_scenario, q_sweep_scenarios, run_batch
@@ -40,19 +40,21 @@ from repro.experiments import default_q_grid, render_table
 from repro.experiments.functions_fig4 import fig4_delay_function
 from repro.piecewise import clear_segment_index_cache, evaluate_sorted
 
-#: Sweep shape: 350 Q points x 3 functions = 1050 scenarios (>= 1000).
-N_POINTS = 350
-KNOTS = 512
+#: Sweep shape: 350 Q points x 3 functions = 1050 scenarios (>= 1000);
+#: smoke mode shrinks the grid but keeps every assertion.
+N_POINTS = scaled(350, 120)
+KNOTS = scaled(512, 256)
+MIN_SCENARIOS = scaled(1000, 300)
 #: Keep Q above the heavy near-divergence regime so the run stays short.
 Q_MIN = 40.0
 
 
 #: Allowed engine overhead relative to the hand-hoisted loop (the
 #: engine does strictly more bookkeeping; it must stay in the noise).
-MAX_OVERHEAD = 1.25
+MAX_OVERHEAD = scaled(1.25, 1.5)
 #: Repetitions for the tight hoisted-vs-engine comparison; best-of-N
 #: wall clock absorbs scheduler hiccups on shared machines.
-TIMING_REPS = 2
+TIMING_REPS = scaled(2, 1)
 
 
 def _best_of(reps, fn, *, before=None):
@@ -111,7 +113,7 @@ def _sequential_hoisted(scenarios):
 def test_engine_vs_sequential_baselines(artifacts_dir):
     qs = default_q_grid(q_min=Q_MIN, points=N_POINTS)
     scenarios = q_sweep_scenarios(qs, knots=KNOTS)
-    assert len(scenarios) >= 1000
+    assert len(scenarios) >= MIN_SCENARIOS
 
     # Single run suffices for the single-shot path: the margin is large.
     started = time.perf_counter()
@@ -187,9 +189,9 @@ def test_engine_vs_sequential_baselines(artifacts_dir):
 
 
 def test_vectorized_kernel_beats_scalar_loop():
-    f = fig4_delay_function("bimodal", knots=4096)
+    f = fig4_delay_function("bimodal", knots=scaled(4096, 1024))
     wcet = f.wcet
-    samples = 40_000
+    samples = scaled(40_000, 10_000)
     grid = [wcet * k / (samples - 1) for k in range(samples)]
 
     started = time.perf_counter()

@@ -6,7 +6,7 @@
 * NPR-length tuning sweep (EXT-I, ``results/q_tuning.txt``).
 """
 
-from conftest import save_text
+from conftest import save_text, scaled
 
 from repro.core import PreemptionDelayFunction
 from repro.npr import assign_npr_lengths, best_fraction, q_fraction_sweep
@@ -81,7 +81,7 @@ def test_edf_acceptance(benchmark, artifacts_dir):
 
     def build_batch(utilization: float) -> list[TaskSet]:
         batch = []
-        for k in range(20):
+        for k in range(scaled(20, 6)):
             ts = generate_task_set(
                 5,
                 utilization,
@@ -97,7 +97,7 @@ def test_edf_acceptance(benchmark, artifacts_dir):
 
     def study():
         rows = []
-        for u in (0.4, 0.6, 0.75, 0.9):
+        for u in scaled((0.4, 0.6, 0.75, 0.9), (0.4, 0.75, 0.9)):
             batch = build_batch(u)
             if not batch:
                 continue

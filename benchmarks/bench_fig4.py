@@ -4,7 +4,7 @@ Artifacts: ``results/fig4.csv`` (sampled curves) and
 ``results/fig4.txt`` (ASCII rendering).
 """
 
-from conftest import save_text
+from conftest import save_text, scaled
 
 from repro.experiments import generate_fig4, line_plot, write_fig4_csv
 from repro.experiments.io import RESULTS_DIR_ENV
@@ -12,7 +12,7 @@ from repro.experiments.io import RESULTS_DIR_ENV
 
 def test_fig4_generate(benchmark, artifacts_dir, monkeypatch):
     monkeypatch.setenv(RESULTS_DIR_ENV, str(artifacts_dir))
-    data = benchmark(generate_fig4, samples=401, knots=2048)
+    data = benchmark(generate_fig4, samples=scaled(401, 101), knots=scaled(2048, 256))
 
     write_fig4_csv(data)
     series = {

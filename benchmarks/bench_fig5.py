@@ -5,7 +5,7 @@ Artifacts: ``results/fig5.csv``, ``results/fig5.txt`` (log-scale ASCII
 plot) and ``results/fig5_summary.txt`` (median improvement factors).
 """
 
-from conftest import save_text
+from conftest import save_text, scaled
 
 from repro.experiments import (
     generate_fig5,
@@ -20,7 +20,7 @@ from repro.experiments.io import RESULTS_DIR_ENV
 def test_fig5_sweep(benchmark, artifacts_dir, monkeypatch):
     monkeypatch.setenv(RESULTS_DIR_ENV, str(artifacts_dir))
     data = benchmark.pedantic(
-        generate_fig5, kwargs={"knots": 2048}, rounds=1, iterations=1
+        generate_fig5, kwargs={"knots": scaled(2048, 512)}, rounds=1, iterations=1
     )
 
     write_fig5_csv(data)

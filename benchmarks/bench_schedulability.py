@@ -3,7 +3,7 @@
 Artifact: ``results/schedulability_study.txt`` (table + ASCII plot).
 """
 
-from conftest import save_text
+from conftest import save_text, scaled
 
 from repro.experiments import (
     acceptance_study,
@@ -13,7 +13,7 @@ from repro.experiments import (
 )
 
 _METHODS = ["oblivious", "busquets", "algorithm1", "eq4"]
-_UTILIZATIONS = [0.3, 0.5, 0.65, 0.8, 0.9]
+_UTILIZATIONS = scaled([0.3, 0.5, 0.65, 0.8, 0.9], [0.3, 0.65, 0.9])
 
 
 def test_acceptance_study(benchmark, artifacts_dir):
@@ -23,7 +23,7 @@ def test_acceptance_study(benchmark, artifacts_dir):
             "utilizations": _UTILIZATIONS,
             "methods": _METHODS,
             "n_tasks": 5,
-            "sets_per_point": 30,
+            "sets_per_point": scaled(30, 10),
             "seed": 2012,
         },
         rounds=1,

@@ -5,7 +5,7 @@ reports how tight the run-time delays get relative to Algorithm 1's
 bound.  Artifact: ``results/sim_validation.txt``.
 """
 
-from conftest import save_text
+from conftest import save_text, scaled
 
 from repro.experiments import fig4_delay_function, render_table
 from repro.sim import validation_campaign
@@ -22,20 +22,23 @@ def _task_set(q: float) -> TaskSet:
 
 def test_sim_validation_campaign(benchmark, artifacts_dir):
     rows = []
-    for q in (60.0, 200.0, 800.0):
+    for q in scaled((60.0, 200.0, 800.0), (60.0, 800.0)):
         tasks = _task_set(q)
         report = benchmark.pedantic(
             validation_campaign,
             kwargs={
                 "tasks": tasks,
                 "policy": "fp",
-                "seeds": range(6),
-                "horizon": 60_000.0,
+                "seeds": range(scaled(6, 2)),
+                "horizon": scaled(60_000.0, 25_000.0),
             },
             rounds=1,
             iterations=1,
         ) if q == 60.0 else validation_campaign(
-            tasks, policy="fp", seeds=range(6), horizon=60_000.0
+            tasks,
+            policy="fp",
+            seeds=range(scaled(6, 2)),
+            horizon=scaled(60_000.0, 25_000.0),
         )
         rows.append(
             [q, report.checked_jobs, report.max_tightness, report.passed]

@@ -1,0 +1,117 @@
+"""BENCH-STORE: the persistent result cache makes re-sweeps (nearly)
+free.
+
+One delay-bound sweep is evaluated twice through
+:func:`repro.engine.run_cached_batch` against the same
+:class:`repro.store.ResultStore`:
+
+1. **cold** — empty store, every scenario computed and checkpointed;
+2. **warm** — same sweep again, every scenario served from disk.
+
+Asserted claims (regressions fail the run instead of silently rotting):
+the warm pass recomputes nothing, is at least ``MIN_SPEEDUP``× faster
+than the cold pass, and both its decoded results *and* its emitted
+JSONL bytes are identical to the cold pass's.
+
+Artifact: ``results/bench_store.txt`` with the timing table.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_store.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import save_text, scaled
+
+from repro.engine import (
+    JsonlSink,
+    evaluate_bound_scenario,
+    q_sweep_scenarios,
+    run_cached_batch,
+)
+from repro.engine.sweeps import benchmark_function, bound_result_from_record
+from repro.experiments import default_q_grid, render_table
+from repro.piecewise import clear_segment_index_cache
+from repro.store import ResultStore, package_fingerprint
+
+#: Sweep shape (scenarios = 3x the point count).
+N_POINTS = scaled(150, 50)
+KNOTS = scaled(512, 256)
+#: Keep Q above the heavy near-divergence regime so the run stays short.
+Q_MIN = 40.0
+#: A warm re-sweep only pays store lookups + decoding; anything under
+#: this factor means the cache path has regressed badly.
+MIN_SPEEDUP = 5.0
+
+
+def test_warm_resweep_beats_cold_and_is_identical(artifacts_dir, tmp_path):
+    qs = default_q_grid(q_min=Q_MIN, points=N_POINTS)
+    scenarios = q_sweep_scenarios(qs, knots=KNOTS)
+    store = ResultStore(
+        tmp_path / "bench.sqlite",
+        fingerprint=package_fingerprint("repro"),
+    )
+
+    def sweep(out_name: str):
+        with JsonlSink(tmp_path / out_name) as sink:
+            return run_cached_batch(
+                evaluate_bound_scenario,
+                scenarios,
+                store,
+                sink=sink,
+                decode=bound_result_from_record,
+            )
+
+    # Cold: empty store, caches cleared — everything is computed.
+    benchmark_function.cache_clear()
+    clear_segment_index_cache()
+    started = time.perf_counter()
+    cold = sweep("cold.jsonl")
+    t_cold = time.perf_counter() - started
+    assert cold.computed == len(scenarios)
+    assert cold.cached == 0
+
+    # Warm: same sweep, same store — everything is served from disk.
+    benchmark_function.cache_clear()
+    clear_segment_index_cache()
+    started = time.perf_counter()
+    warm = sweep("warm.jsonl")
+    t_warm = time.perf_counter() - started
+    assert warm.computed == 0
+    assert warm.cached == len(scenarios)
+
+    # Bit-identical: decoded results and emitted bytes.
+    assert warm.results == cold.results
+    cold_bytes = (tmp_path / "cold.jsonl").read_bytes()
+    warm_bytes = (tmp_path / "warm.jsonl").read_bytes()
+    assert warm_bytes == cold_bytes
+
+    speedup = t_cold / t_warm
+    table = render_table(
+        ["path", "seconds", "scenarios/s"],
+        [
+            [
+                "cold sweep (compute + checkpoint)",
+                f"{t_cold:.2f}",
+                f"{len(scenarios) / t_cold:.0f}",
+            ],
+            [
+                "warm re-sweep (store only)",
+                f"{t_warm:.2f}",
+                f"{len(scenarios) / t_warm:.0f}",
+            ],
+            ["speedup", f"{speedup:.1f}x", ""],
+        ],
+    )
+    save_text(artifacts_dir, "bench_store.txt", table)
+    print()
+    print(table)
+
+    store.close()
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm re-sweep only {speedup:.1f}x faster than cold "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )

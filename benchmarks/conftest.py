@@ -4,14 +4,35 @@ Every benchmark regenerates one figure/experiment of the paper (see the
 per-experiment index in ``docs/paper_mapping.md``), writes its data under
 ``results/`` and prints a text rendering.  Run with::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/bench_*.py --benchmark-only -s
+
+**Smoke mode** (``REPRO_BENCH_SMOKE=1``): every benchmark shrinks its
+workload (fewer scenarios, lower resolutions) while keeping all of its
+assertions.  CI runs the whole suite this way on every push, so a
+regression that breaks a perf claim or a qualitative invariant fails a
+one-minute job instead of silently rotting until someone runs the full
+benchmarks by hand.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
+
+#: Environment variable enabling the reduced "smoke" workloads.
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """Whether the reduced CI workloads are requested."""
+    return os.environ.get(SMOKE_ENV, "") not in ("", "0")
+
+
+def scaled(full, smoke):
+    """``full`` normally, ``smoke`` under ``REPRO_BENCH_SMOKE=1``."""
+    return smoke if smoke_mode() else full
 
 
 @pytest.fixture(scope="session")

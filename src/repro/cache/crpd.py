@@ -9,7 +9,7 @@ from program + cache model to the preemption-delay function ``f_i``.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.ucb import AccessMap, UCBAnalysis, direct_mapped_ucb, lru_may_ucb

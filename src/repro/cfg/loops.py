@@ -173,8 +173,8 @@ def _body_path_extremes(
             worst[name] = max(worst[p] for p in preds) + block.emax
     # One iteration ends at a latch (the block jumping back to the header).
     return (
-        min(best[l] for l in loop.latches),
-        max(worst[l] for l in loop.latches),
+        min(best[latch] for latch in loop.latches),
+        max(worst[latch] for latch in loop.latches),
     )
 
 

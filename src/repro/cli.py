@@ -8,19 +8,29 @@ Commands regenerate the paper's artifacts without writing any code:
 * ``validate``  — Theorem 1 fuzzing campaign against the simulator.
 * ``study``     — acceptance-ratio schedulability study.
 * ``sweep``     — large-scale batch Q sweep through :mod:`repro.engine`,
-  streamed to JSONL/CSV.
+  streamed to JSONL/CSV; with ``--store`` it becomes *incremental*:
+  results checkpoint into a persistent :mod:`repro.store` cache, an
+  interrupted run resumes with ``--resume`` (final output byte-identical
+  to an uninterrupted run), and ``--shard i/N`` deterministically
+  partitions the grid across machines.
+* ``merge``     — combine shard stores into one and (optionally) emit
+  the final result file, byte-identical to a single unsharded sweep.
 
 All commands print ASCII renderings and write artifacts under
 ``results/`` (override with ``REPRO_RESULTS_DIR``).  Sweep-shaped
 commands accept ``--jobs N`` to fan the work out over the batch
-engine's worker pool; results are bit-identical for every ``N``.
+engine's worker pool; results are bit-identical for every ``N``.  A
+worker failure aborts the sweep with a clear message and a non-zero
+exit code (the failing scenario is identified by index and repr).
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
@@ -163,6 +173,54 @@ class _ConvergenceCounter:
         self.close()
 
 
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse a ``i/N`` shard spec into ``(index, count)``.
+
+    ``index`` is 1-based: ``1/4`` … ``4/4`` partition a sweep into four
+    disjoint, deterministic slices (scenario ``k`` belongs to shard
+    ``(k % N) + 1``), so independent machines can each run one shard
+    and ``repro merge`` reassembles the full result set.
+    """
+    match = re.fullmatch(r"(\d+)/(\d+)", spec)
+    if match is None:
+        raise ValueError(
+            f"invalid shard spec {spec!r}: expected i/N, e.g. 2/4"
+        )
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"invalid shard spec {spec!r}: need 1 <= i <= N"
+        )
+    return index, count
+
+
+def _sweep_manifest(args: argparse.Namespace) -> dict:
+    """The parameters that regenerate this sweep's scenario grid.
+
+    Recorded in every (shard) store so ``repro merge`` can rebuild the
+    grid — and the final output file — without re-specifying them.
+    """
+    return {
+        "kind": "qsweep",
+        "points": args.points,
+        "knots": args.knots,
+    }
+
+
+def _manifest_scenarios(manifest: dict) -> list:
+    """Rebuild the scenario grid a manifest describes."""
+    from repro.engine import q_sweep_scenarios
+    from repro.experiments import default_q_grid
+
+    if manifest.get("kind") != "qsweep":
+        raise ValueError(
+            f"unsupported sweep manifest {manifest!r}; expected kind "
+            "'qsweep'"
+        )
+    qs = default_q_grid(points=manifest["points"])
+    return q_sweep_scenarios(qs, knots=manifest["knots"])
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import time
 
@@ -172,41 +230,150 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         evaluate_bound_scenario,
         q_sweep_scenarios,
         run_batch,
+        run_cached_batch,
     )
     from repro.experiments import default_q_grid, render_table
     from repro.experiments.io import results_dir
 
+    if args.resume and args.store is None:
+        print("error: --resume requires --store", file=sys.stderr)
+        return 2
+    if args.resume and not Path(args.store).exists():
+        print(
+            f"error: --resume: store {args.store} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+
     qs = default_q_grid(points=args.points)
     scenarios = q_sweep_scenarios(qs, knots=args.knots)
+    if args.shard is not None:
+        shard_index, shard_count = parse_shard(args.shard)
+        scenarios = scenarios[shard_index - 1 :: shard_count]
     out = args.out or str(results_dir() / f"sweep.{args.format}")
     sink_cls = JsonlSink if args.format == "jsonl" else CsvSink
+
+    fail_after = args.fail_after
+
+    def _abort_hook(count: int) -> None:
+        if fail_after is not None and count >= fail_after:
+            raise KeyboardInterrupt
+
     started = time.perf_counter()
-    with _ConvergenceCounter(sink_cls(out)) as sink:
-        # collect=False: stream-only, so the sweep runs in constant
-        # memory no matter how many scenarios are requested.
-        run_batch(
-            evaluate_bound_scenario,
-            scenarios,
-            max_workers=args.jobs,
-            chunk_size=args.chunk,
-            sink=sink,
-            collect=False,
-        )
-        converged = sink.converged
+    cached = computed = 0
+    try:
+        with _ConvergenceCounter(sink_cls(out)) as sink:
+            if args.store is not None:
+                from repro.store import ResultStore, package_fingerprint
+
+                with ResultStore(
+                    args.store, fingerprint=package_fingerprint("repro")
+                ) as store:
+                    store.set_manifest(_sweep_manifest(args))
+                    run = run_cached_batch(
+                        evaluate_bound_scenario,
+                        scenarios,
+                        store,
+                        max_workers=args.jobs,
+                        chunk_size=args.chunk,
+                        sink=sink,
+                        collect=False,
+                        on_result=_abort_hook,
+                    )
+                    cached, computed = run.cached, run.computed
+            else:
+                # collect=False: stream-only, so the sweep runs in
+                # constant memory no matter how many scenarios are
+                # requested.
+                run_batch(
+                    evaluate_bound_scenario,
+                    scenarios,
+                    max_workers=args.jobs,
+                    chunk_size=args.chunk,
+                    sink=sink,
+                    collect=False,
+                )
+                computed = len(scenarios)
+            converged = sink.converged
+    except KeyboardInterrupt:
+        if args.store is not None:
+            print(
+                f"sweep interrupted — completed scenarios are "
+                f"checkpointed in {args.store}; rerun with "
+                "--store/--resume to continue",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "sweep interrupted — no --store given, nothing was "
+                "checkpointed",
+                file=sys.stderr,
+            )
+        return 130
     elapsed = time.perf_counter() - started
-    print(
-        render_table(
-            ["quantity", "value"],
-            [
-                ["scenarios", len(scenarios)],
-                ["converged", converged],
-                ["diverged", len(scenarios) - converged],
-                ["seconds", f"{elapsed:.2f}"],
-                ["scenarios/s", f"{len(scenarios) / elapsed:.0f}"],
-                ["output", out],
-            ],
+    rows = [
+        ["scenarios", len(scenarios)],
+        ["converged", converged],
+        ["diverged", len(scenarios) - converged],
+    ]
+    if args.store is not None:
+        rows += [["cached", cached], ["computed", computed]]
+    rows += [
+        ["seconds", f"{elapsed:.2f}"],
+        ["scenarios/s", f"{len(scenarios) / elapsed:.0f}"],
+        ["output", out],
+    ]
+    print(render_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.engine import CsvSink, JsonlSink, emit_from_store
+    from repro.experiments import render_table
+    from repro.store import ResultStore, merge_stores, package_fingerprint
+
+    missing = [path for path in args.sources if not Path(path).exists()]
+    if missing:
+        print(
+            f"error: input store(s) not found: {', '.join(missing)}",
+            file=sys.stderr,
         )
-    )
+        return 2
+
+    fingerprint = package_fingerprint("repro")
+    with ResultStore(args.target, fingerprint=fingerprint) as target:
+        sources: list[ResultStore] = []
+        try:
+            for path in args.sources:
+                sources.append(ResultStore(path))
+            added = merge_stores(target, sources)
+        finally:
+            for source in sources:
+                source.close()
+        rows = [
+            ["input stores", len(args.sources)],
+            ["rows added", added],
+            ["rows total", len(target)],
+            ["merged store", args.target],
+        ]
+        if args.out is not None:
+            manifest = target.manifest
+            if manifest is None:
+                print(
+                    "error: merged store has no sweep manifest; cannot "
+                    "emit a result file (were the shards produced by "
+                    "'repro sweep --store'?)",
+                    file=sys.stderr,
+                )
+                return 1
+            scenarios = _manifest_scenarios(manifest)
+            sink_cls = JsonlSink if args.format == "jsonl" else CsvSink
+            with sink_cls(args.out) as sink:
+                emit_from_store(
+                    target, scenarios, sink=sink, collect=False
+                )
+            rows.append(["output", args.out])
+        print(render_table(["quantity", "value"], rows))
     return 0
 
 
@@ -274,16 +441,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="output path (default: results/sweep.<format>)",
     )
+    p_sweep.add_argument(
+        "--store", default=None,
+        help="persistent result store (SQLite); already-computed "
+        "scenarios are skipped and fresh ones checkpointed",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted sweep from an existing --store",
+    )
+    p_sweep.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="evaluate only shard I of N (1-based); combine shard "
+        "stores with 'repro merge'",
+    )
+    p_sweep.add_argument(
+        # Test hook: deterministically simulate a mid-sweep kill by
+        # aborting after N freshly computed results.
+        "--fail-after", type=int, default=None, help=argparse.SUPPRESS,
+    )
     p_sweep.set_defaults(run=_cmd_sweep)
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="merge shard stores; optionally emit the final result file",
+    )
+    p_merge.add_argument("target", help="merged (output) store path")
+    p_merge.add_argument(
+        "sources", nargs="+", help="input shard store paths"
+    )
+    p_merge.add_argument(
+        "--out", default=None,
+        help="also emit the final result file from the merged store",
+    )
+    p_merge.add_argument(
+        "--format", choices=["jsonl", "csv"], default="jsonl"
+    )
+    p_merge.set_defaults(run=_cmd_merge)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Failures exit non-zero with one clear message on stderr instead of
+    a traceback: a worker failure (:class:`repro.engine.WorkerError`,
+    pinpointing the failing scenario) exits 1, invalid arguments or
+    incompatible stores (:class:`ValueError`) exit 2.
+    """
+    from repro.engine import WorkerError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.run(args)
+    try:
+        return args.run(args)
+    except WorkerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

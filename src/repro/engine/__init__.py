@@ -11,17 +11,32 @@ run in constant memory.  The inline path
 reproduces it bit-identically, because chunking is a pure function of
 the input and every randomised scenario carries its own derived seed.
 
+With a :class:`repro.store.ResultStore`, :func:`run_cached_batch`
+makes sweeps *incremental*: already-computed scenarios are served from
+the content-addressed store, fresh ones are checkpointed as they
+stream, and final sinks are emitted from the store in scenario order —
+so interrupted-and-resumed or sharded-and-merged sweeps produce
+byte-identical output.  A failing worker surfaces as
+:class:`WorkerError`, pinning the scenario index even across the
+process-pool boundary.
+
 Layering: ``engine`` sits above ``core``/``sched``/``tasks`` (whose
 analyses it invokes through the workers in
 :mod:`repro.engine.sweeps`) and below :mod:`repro.experiments`, whose
 public generators now route through it.  See ``docs/architecture.md``.
 """
 
+from repro.engine.cached import (
+    CachedRun,
+    emit_from_store,
+    run_cached_batch,
+)
 from repro.engine.chunking import chunk_bounds, default_chunk_size, derive_seed
 from repro.engine.engine import (
     EXECUTORS,
     BatchEngine,
     EngineConfig,
+    WorkerError,
     resolve_workers,
     run_batch,
 )
@@ -38,10 +53,12 @@ from repro.engine.sweeps import (
     StudyResult,
     StudyScenario,
     benchmark_function,
+    bound_result_from_record,
     evaluate_bound_scenario,
     evaluate_study_scenario,
     prepared_task_set,
     q_sweep_scenarios,
+    study_result_from_record,
 )
 
 __all__ = [
@@ -53,6 +70,10 @@ __all__ = [
     "run_batch",
     "resolve_workers",
     "EXECUTORS",
+    "WorkerError",
+    "CachedRun",
+    "run_cached_batch",
+    "emit_from_store",
     "ResultSink",
     "MemorySink",
     "JsonlSink",
@@ -63,8 +84,10 @@ __all__ = [
     "StudyScenario",
     "StudyResult",
     "benchmark_function",
+    "bound_result_from_record",
     "evaluate_bound_scenario",
     "evaluate_study_scenario",
     "prepared_task_set",
     "q_sweep_scenarios",
+    "study_result_from_record",
 ]

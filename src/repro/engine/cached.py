@@ -1,0 +1,208 @@
+"""Store-integrated batch evaluation: skip, checkpoint, resume, merge.
+
+:func:`run_cached_batch` is :func:`repro.engine.run_batch` with a
+persistent memory (:class:`repro.store.ResultStore`):
+
+1. every scenario is mapped to its content-addressed key
+   (:func:`repro.store.scenario_key` under the store's code
+   fingerprint);
+2. scenarios whose key is already stored are *skipped* — their records
+   are served from disk;
+3. the rest are evaluated by the ordinary engine and **checkpointed**
+   into the store as they stream out (commit-batched, so an interrupted
+   run keeps all but the last partial batch);
+4. finally the sink/return values are emitted **from the store** in
+   scenario order.
+
+Step 4 is what makes resume exact: fresh results take the same
+``record → strict JSON → record`` round trip as cached ones, so an
+interrupted-and-resumed sweep emits final output *byte-identical* to an
+uninterrupted run — and a set of shard stores merged with
+:func:`repro.store.merge_stores` emits byte-identical output to an
+unsharded run (:func:`emit_from_store`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.engine.engine import WorkerError, run_batch
+from repro.engine.sinks import ResultSink
+from repro.store import ResultStore, scenario_key
+from repro.utils.checks import require
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+#: Decoder signature: sink record -> typed result.
+Decoder = Callable[[Mapping[str, Any]], Any]
+
+
+@dataclass(frozen=True, slots=True)
+class CachedRun:
+    """Outcome of one :func:`run_cached_batch` call.
+
+    Attributes:
+        results: Decoded results in scenario order (``None`` when
+            ``collect=False``).
+        total: Number of scenarios requested.
+        cached: Scenarios served from the store without recomputation.
+        computed: Scenarios evaluated (and checkpointed) this run.
+    """
+
+    results: list[Any] | None
+    total: int
+    cached: int
+    computed: int
+
+
+class _CheckpointSink(ResultSink):
+    """Puts freshly computed records into the store, in scenario order.
+
+    The engine guarantees record order matches the submitted scenario
+    order, so a running cursor pairs each record with its key.  The
+    optional ``on_result`` hook fires after each checkpointed record —
+    progress reporting, and the test seam for simulating a mid-sweep
+    kill (raising from the hook leaves a valid, committed prefix).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        keys: Sequence[str],
+        on_result: Callable[[int], None] | None = None,
+    ) -> None:
+        self._store = store
+        self._keys = keys
+        self._cursor = 0
+        self._on_result = on_result
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        key = self._keys[self._cursor]
+        self._cursor += 1
+        self._store.put(key, record)
+        if self._on_result is not None:
+            self._on_result(self._cursor)
+
+
+def emit_from_store(
+    store: ResultStore,
+    scenarios: Sequence[S],
+    sink: ResultSink | None = None,
+    decode: Decoder | None = None,
+    collect: bool = True,
+    fingerprint: str | None = None,
+) -> list[Any] | None:
+    """Stream the stored records of ``scenarios``, in scenario order.
+
+    Every scenario must already be present; a store missing records
+    (an unfinished shard, wrong parameters) fails with a count rather
+    than emitting a silently truncated result set.
+
+    Args:
+        store: The store holding every scenario's record.
+        scenarios: Scenario grid defining the emission order.
+        sink: Optional sink receiving each record.
+        decode: Optional record decoder for the returned list.
+        collect: ``False`` streams to the sink only.
+        fingerprint: Key fingerprint (default: the store's own).
+
+    Returns:
+        Decoded records in scenario order, or ``None``.
+    """
+    effective = store.fingerprint if fingerprint is None else fingerprint
+    keys = [scenario_key(s, effective) for s in scenarios]
+    results: list[Any] | None = [] if collect else None
+    for key in keys:
+        record = store.get(key)
+        if record is None:
+            # Count the damage only on the failure path; the happy path
+            # stays one query per scenario.
+            missing = sum(1 for k in keys if k not in store)
+            require(
+                False,
+                f"store {store.path} is missing {missing} of "
+                f"{len(keys)} scenario records — was every shard "
+                "computed and merged?",
+            )
+        if sink is not None:
+            sink.write(record)
+        if results is not None:
+            results.append(record if decode is None else decode(record))
+    return results
+
+
+def run_cached_batch(
+    worker: Callable[[S], R],
+    scenarios: Sequence[S],
+    store: ResultStore,
+    *,
+    sink: ResultSink | None = None,
+    collect: bool = True,
+    decode: Decoder | None = None,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+    executor: str = "process",
+    on_result: Callable[[int], None] | None = None,
+) -> CachedRun:
+    """Evaluate ``scenarios``, serving and checkpointing via ``store``.
+
+    Args:
+        worker: Module-level callable ``scenario -> result``.
+        scenarios: The batch; may be empty.
+        store: Persistent result store; its code fingerprint scopes the
+            keys (stale stores fail at open time, not here).
+        sink: Optional final-output sink; written *from the store* in
+            scenario order once evaluation finishes, so output bytes do
+            not depend on which scenarios were cached.
+        collect: ``False`` skips accumulating decoded results.
+        decode: Optional record decoder (e.g.
+            :func:`repro.engine.sweeps.bound_result_from_record`) for
+            the returned list; without it records are returned as-is.
+        max_workers: Engine pool width for the fresh scenarios.
+        chunk_size: Engine chunk size (default: auto).
+        executor: ``"process"`` or ``"thread"``.
+        on_result: Hook called with the running count after each fresh
+            record is checkpointed.
+
+    Returns:
+        A :class:`CachedRun` with results and cache statistics.
+    """
+    keys = [scenario_key(s, store.fingerprint) for s in scenarios]
+    pending: dict[str, int] = {}
+    for index, key in enumerate(keys):
+        if key not in pending and key not in store:
+            pending[key] = index
+    missing = sorted(pending.values())
+    if missing:
+        try:
+            run_batch(
+                worker,
+                [scenarios[i] for i in missing],
+                max_workers=max_workers,
+                chunk_size=chunk_size,
+                executor=executor,
+                sink=_CheckpointSink(
+                    store, [keys[i] for i in missing], on_result
+                ),
+                collect=False,
+            )
+        except WorkerError as exc:
+            # run_batch saw only the uncached subset; re-pin the index
+            # to the caller's scenario list so "scenario 60 failed"
+            # still means scenario 60 after a resume skipped 0..59.
+            raise WorkerError(
+                missing[exc.index], exc.scenario_repr, exc.cause_repr
+            ) from exc
+        store.commit()
+    results = emit_from_store(
+        store, scenarios, sink=sink, decode=decode, collect=collect
+    )
+    return CachedRun(
+        results=results,
+        total=len(scenarios),
+        cached=len(scenarios) - len(missing),
+        computed=len(missing),
+    )

@@ -102,11 +102,62 @@ def resolve_workers(requested: int | None = None) -> int:
     return os.cpu_count() or 1
 
 
+class WorkerError(RuntimeError):
+    """A worker raised while evaluating one scenario.
+
+    In a 10^5-scenario sweep, "some exception somewhere in the pool" is
+    useless — this wrapper pins the failure to its scenario index and
+    repr.  It stores only the index and strings (plus the original
+    exception as ``__cause__`` on the inline path), so it pickles
+    cleanly back across a process-pool boundary, where the original
+    traceback cannot survive.
+
+    Attributes:
+        index: Index of the failing scenario within the sweep.
+        scenario_repr: ``repr`` of the failing scenario (truncated).
+        cause_repr: ``repr`` of the original exception.
+    """
+
+    def __init__(
+        self, index: int, scenario_repr: str, cause_repr: str
+    ) -> None:
+        super().__init__(
+            f"worker failed on scenario {index} "
+            f"({scenario_repr}): {cause_repr}"
+        )
+        self.index = index
+        self.scenario_repr = scenario_repr
+        self.cause_repr = cause_repr
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.index, self.scenario_repr, self.cause_repr),
+        )
+
+
+def _worker_error(
+    index: int, scenario: object, exc: BaseException
+) -> WorkerError:
+    scenario_repr = repr(scenario)
+    if len(scenario_repr) > 200:
+        scenario_repr = scenario_repr[:197] + "..."
+    return WorkerError(index, scenario_repr, repr(exc))
+
+
 def _run_chunk(
-    worker: Callable[[S], R], scenarios: Sequence[S]
+    worker: Callable[[S], R], scenarios: Sequence[S], start: int
 ) -> list[R]:
     """Evaluate one chunk sequentially (executed inside a pool worker)."""
-    return [worker(s) for s in scenarios]
+    results: list[R] = []
+    for offset, scenario in enumerate(scenarios):
+        try:
+            results.append(worker(scenario))
+        except WorkerError:
+            raise
+        except Exception as exc:
+            raise _worker_error(start + offset, scenario, exc) from exc
+    return results
 
 
 class BatchEngine:
@@ -143,8 +194,13 @@ class BatchEngine:
             require(sink is not None, "collect=False requires a sink")
         if not self.config.parallel:
             results: list[R] | None = [] if collect else None
-            for scenario in scenarios:
-                result = worker(scenario)
+            for index, scenario in enumerate(scenarios):
+                try:
+                    result = worker(scenario)
+                except WorkerError:
+                    raise
+                except Exception as exc:
+                    raise _worker_error(index, scenario, exc) from exc
                 if sink is not None:
                     sink.write(as_record(result))
                 if results is not None:
@@ -187,7 +243,7 @@ class BatchEngine:
                 ):
                     start, stop = chunks[submit_cursor]
                     future = pool.submit(
-                        _run_chunk, worker, list(scenarios[start:stop])
+                        _run_chunk, worker, list(scenarios[start:stop]), start
                     )
                     pending[future] = submit_cursor
                     submit_cursor += 1

@@ -17,12 +17,12 @@ from __future__ import annotations
 import csv
 import dataclasses
 import json
-import math
 from collections.abc import Mapping
 from pathlib import Path
-from typing import Any, IO
+from typing import IO, Any
 
 from repro.utils.checks import require
+from repro.utils.jsonsafe import json_safe
 
 
 def as_record(result: Any) -> dict[str, Any]:
@@ -75,18 +75,6 @@ class MemorySink(ResultSink):
         self.records.append(dict(record))
 
 
-def _json_safe(value: Any) -> Any:
-    """Map non-finite floats to strings so the output is *strict* JSON.
-
-    ``json.dump`` would otherwise emit bare ``Infinity``/``NaN`` tokens
-    (for example for diverged bounds), which strict parsers — ``jq``,
-    pandas, any non-Python consumer — reject.
-    """
-    if isinstance(value, float) and not math.isfinite(value):
-        return repr(value)  # 'inf', '-inf' or 'nan'
-    return value
-
-
 class JsonlSink(ResultSink):
     """One JSON object per line — the streaming format for large sweeps.
 
@@ -105,7 +93,7 @@ class JsonlSink(ResultSink):
 
     def write(self, record: Mapping[str, Any]) -> None:
         require(self._handle is not None, "sink is closed")
-        safe = {key: _json_safe(value) for key, value in record.items()}
+        safe = {key: json_safe(value) for key, value in record.items()}
         json.dump(safe, self._handle, sort_keys=True, allow_nan=False)
         self._handle.write("\n")
         self.written += 1

@@ -41,6 +41,7 @@ def generate_fig4(
     samples: int = 401,
     knots: int = 2048,
     wcet: float = FIG4_WCET,
+    store=None,
 ) -> Fig4Data:
     """Sample the three benchmark functions on a uniform grid.
 
@@ -50,8 +51,35 @@ def generate_fig4(
         samples: Number of sample points over ``[0, C]``.
         knots: Resolution of the underlying piecewise functions.
         wcet: The common ``C``.
+        store: Optional :class:`repro.store.ResultStore`; the sampled
+            curves are cached under a key derived from all parameters,
+            so regenerating the figure under unchanged code is a single
+            store read.
     """
     require(samples >= 2, "need at least two samples")
+    if store is not None:
+        from repro.store import scenario_key
+
+        key = scenario_key(
+            {
+                "kind": "fig4",
+                "interpretation": interpretation,
+                "samples": samples,
+                "knots": knots,
+                "wcet": wcet,
+            },
+            store.fingerprint,
+        )
+        record = store.get(key)
+        if record is not None:
+            return Fig4Data(
+                ts=tuple(record["ts"]),
+                series={
+                    name: tuple(values)
+                    for name, values in record["series"].items()
+                },
+                interpretation=record["interpretation"],
+            )
     functions = fig4_functions(interpretation, knots, wcet)
     ts = tuple(wcet * k / (samples - 1) for k in range(samples))
     # The grid is non-decreasing, so the one-pass batched kernel applies
@@ -60,7 +88,21 @@ def generate_fig4(
         name: tuple(evaluate_sorted(f.function, ts))
         for name, f in functions.items()
     }
-    return Fig4Data(ts=ts, series=series, interpretation=interpretation)
+    data = Fig4Data(ts=ts, series=series, interpretation=interpretation)
+    if store is not None:
+        store.put(
+            key,
+            {
+                "ts": list(data.ts),
+                "series": {
+                    name: list(values)
+                    for name, values in data.series.items()
+                },
+                "interpretation": data.interpretation,
+            },
+        )
+        store.commit()
+    return data
 
 
 def write_fig4_csv(data: Fig4Data, filename: str = "fig4.csv"):

@@ -96,6 +96,7 @@ def generate_fig5(
     knots: int = 2048,
     max_workers: int | None = None,
     chunk_size: int | None = None,
+    store=None,
 ) -> Fig5Data:
     """Run the Figure 5 sweep through the batch engine.
 
@@ -106,23 +107,43 @@ def generate_fig5(
         max_workers: Engine pool width (``None`` = inline; results are
             bit-identical for every setting).
         chunk_size: Engine chunk size (default: auto).
+        store: Optional :class:`repro.store.ResultStore`; scenarios
+            already present are served from it and fresh ones are
+            checkpointed, so a repeated or interrupted sweep only pays
+            for what it has not computed yet.
 
     Returns:
         The sweep data; the shape-obliviousness of Eq. 4 (same bound for
         all three functions) is verified along the way.
     """
-    from repro.engine import evaluate_bound_scenario, q_sweep_scenarios, run_batch
+    from repro.engine import (
+        bound_result_from_record,
+        evaluate_bound_scenario,
+        q_sweep_scenarios,
+        run_batch,
+        run_cached_batch,
+    )
 
     qs = qs if qs is not None else default_q_grid()
     scenarios = q_sweep_scenarios(
         qs, interpretation=interpretation, knots=knots
     )
-    results = run_batch(
-        evaluate_bound_scenario,
-        scenarios,
-        max_workers=max_workers,
-        chunk_size=chunk_size,
-    )
+    if store is not None:
+        results = run_cached_batch(
+            evaluate_bound_scenario,
+            scenarios,
+            store,
+            decode=bound_result_from_record,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+        ).results
+    else:
+        results = run_batch(
+            evaluate_bound_scenario,
+            scenarios,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+        )
     per_q = len(FIG4_NAMES)
     rows: list[Fig5Row] = []
     for slot, q in enumerate(qs):

@@ -20,11 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.cached import run_cached_batch
 from repro.engine.engine import run_batch
 from repro.engine.sweeps import (
     StudyScenario,
     evaluate_study_scenario,
     prepared_task_set,
+    study_result_from_record,
 )
 from repro.tasks.task import TaskSet
 from repro.utils.checks import require
@@ -110,6 +112,7 @@ def acceptance_study(
     seed: int = 2012,
     max_workers: int | None = None,
     chunk_size: int | None = None,
+    store=None,
 ) -> list[StudyPoint]:
     """Acceptance ratio versus utilization for each test method.
 
@@ -124,6 +127,10 @@ def acceptance_study(
         max_workers: Engine pool width (``None`` = inline; ratios are
             identical for every setting).
         chunk_size: Engine chunk size (default: auto).
+        store: Optional :class:`repro.store.ResultStore`; per-scenario
+            verdicts already present are served from it and fresh ones
+            checkpointed, so growing the grid (more seeds, more levels)
+            only evaluates the new scenarios.
 
     Returns:
         One :class:`StudyPoint` per utilization level.
@@ -139,12 +146,22 @@ def acceptance_study(
         delay_height,
         seed,
     )
-    results = run_batch(
-        evaluate_study_scenario,
-        scenarios,
-        max_workers=max_workers,
-        chunk_size=chunk_size,
-    )
+    if store is not None:
+        results = run_cached_batch(
+            evaluate_study_scenario,
+            scenarios,
+            store,
+            decode=study_result_from_record,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+        ).results
+    else:
+        results = run_batch(
+            evaluate_study_scenario,
+            scenarios,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+        )
     points: list[StudyPoint] = []
     for level, utilization in enumerate(utilizations):
         batch = results[

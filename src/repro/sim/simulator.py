@@ -22,7 +22,7 @@ NPR expiry or completion, so there is no tick-quantisation error.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.jobs import Job
 from repro.sim.policies import SchedulingPolicy, make_policy

@@ -1,0 +1,182 @@
+"""Canonical scenario serialization and content-addressed keys.
+
+A store key must be a pure function of *what is being computed*: the
+scenario value and the code that evaluates it.  :func:`canonical_bytes`
+maps a scenario (dataclass, mapping, sequence, scalar) to a stable byte
+string — type-tagged, key-sorted, float-exact — and
+:func:`scenario_key` hashes it together with a code fingerprint.  Two
+processes on two machines computing the same scenario under the same
+code therefore address the same store row, which is what makes sharded
+sweeps mergeable and resumed sweeps exact.
+
+Fingerprints come in two strengths:
+
+* :func:`code_fingerprint` hashes the source of the modules that define
+  the given objects — cheap, but blind to changes in modules they call;
+* :func:`package_fingerprint` hashes every ``*.py`` file of a package —
+  the conservative choice used by the CLI, where a stale cache hit is
+  worse than a cold start.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import math
+from importlib import import_module
+from pathlib import Path
+from types import ModuleType
+from typing import Any
+
+from repro.utils.checks import require
+
+#: Bump when the canonical encoding or store record format changes;
+#: part of every fingerprint, so old stores can never serve new code.
+STORE_FORMAT_VERSION = 1
+
+
+def _encode(value: Any) -> Any:
+    """Map ``value`` onto a JSON-serializable canonical form.
+
+    The encoding is type-tagged so that distinct Python values never
+    collide: tuples and lists are distinguished, dataclasses carry
+    their qualified type name, and non-finite floats (legal scenario
+    and result values here — diverged bounds are ``inf``) become tagged
+    strings because strict JSON cannot represent them.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return {"__float__": repr(value)}
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                field.name: _encode(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(item) for item in value]}
+    if isinstance(value, list):
+        return [_encode(item) for item in value]
+    if isinstance(value, dict):
+        for key in value:
+            require(
+                isinstance(key, str),
+                f"canonical mappings need str keys, got {key!r}",
+            )
+        return {key: _encode(item) for key, item in value.items()}
+    raise ValueError(
+        f"cannot canonicalize a {type(value).__name__}: {value!r}"
+    )
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Stable byte serialization of a scenario value.
+
+    Deterministic across processes and platforms: mapping keys are
+    sorted, floats use ``repr`` round-trip semantics, container types
+    are tagged.  Raises :class:`ValueError` for values outside the
+    canonical vocabulary (sets, arbitrary objects…), so accidental
+    non-determinism fails loudly instead of silently forking keys.
+    """
+    import json
+
+    return json.dumps(
+        _encode(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    ).encode("ascii")
+
+
+def scenario_key(scenario: Any, fingerprint: str = "") -> str:
+    """Content-addressed store key for ``scenario`` under ``fingerprint``.
+
+    Args:
+        scenario: Any value :func:`canonical_bytes` accepts.
+        fingerprint: Code fingerprint (see :func:`code_fingerprint` /
+            :func:`package_fingerprint`); different fingerprints address
+            disjoint key spaces, so results computed by different code
+            can never be confused.
+
+    Returns:
+        A 64-character SHA-256 hex digest.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"v{STORE_FORMAT_VERSION}".encode("ascii"))
+    digest.update(b"\x00")
+    digest.update(fingerprint.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(canonical_bytes(scenario))
+    return digest.hexdigest()
+
+
+def _module_of(obj: Any) -> ModuleType:
+    if isinstance(obj, ModuleType):
+        return obj
+    module = inspect.getmodule(obj)
+    require(module is not None, f"cannot resolve the module of {obj!r}")
+    return module
+
+
+def code_fingerprint(*objects: Any) -> str:
+    """Fingerprint of the source files defining ``objects``.
+
+    Accepts functions, classes or modules; duplicate modules are hashed
+    once.  The digest covers the module *sources* (not bytecode), so it
+    is stable across interpreter versions but changes whenever the
+    defining code — including docstrings — changes.
+    """
+    require(bool(objects), "need at least one object to fingerprint")
+    sources: dict[str, bytes] = {}
+    for obj in objects:
+        module = _module_of(obj)
+        path = getattr(module, "__file__", None)
+        require(
+            path is not None,
+            f"module {module.__name__!r} has no source file to fingerprint",
+        )
+        sources[module.__name__] = Path(path).read_bytes()
+    return _digest_sources(sources)
+
+
+def package_fingerprint(package: str | ModuleType = "repro") -> str:
+    """Fingerprint of *every* ``*.py`` file of ``package``.
+
+    The conservative fingerprint: any change anywhere in the package —
+    a bound algorithm, a generator, a constant — invalidates all cached
+    results.  A cold cache costs minutes; a stale hit costs a wrong
+    figure, so the CLI always uses this one.
+    """
+    module = (
+        import_module(package) if isinstance(package, str) else package
+    )
+    path = getattr(module, "__file__", None)
+    require(
+        path is not None and Path(path).name == "__init__.py",
+        f"{module.__name__!r} is not a package with a source directory",
+    )
+    root = Path(path).parent
+    sources = {
+        str(source.relative_to(root)): source.read_bytes()
+        for source in sorted(root.rglob("*.py"))
+    }
+    return _digest_sources(sources)
+
+
+def _digest_sources(sources: dict[str, bytes]) -> str:
+    digest = hashlib.sha256()
+    digest.update(f"v{STORE_FORMAT_VERSION}".encode("ascii"))
+    for name in sorted(sources):
+        digest.update(b"\x00")
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(sources[name])
+    return digest.hexdigest()

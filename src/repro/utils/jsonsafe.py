@@ -1,0 +1,27 @@
+"""Strict-JSON value mapping shared by the sinks and the result store.
+
+Sweep records may legitimately contain non-finite floats (a diverged
+bound is ``inf``), but strict JSON has no syntax for them and
+``json.dump`` would emit bare ``Infinity``/``NaN`` tokens that ``jq``,
+pandas and every non-Python consumer reject.  Both the streaming sinks
+(:mod:`repro.engine.sinks`) and the persistent store
+(:mod:`repro.store.backend`) therefore route every value through
+:func:`json_safe` — one definition, so a record checkpointed to the
+store serializes byte-identically to one streamed straight to a sink.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def json_safe(value: Any) -> Any:
+    """Map non-finite floats to their ``repr`` strings; pass the rest.
+
+    Returns ``'inf'``, ``'-inf'`` or ``'nan'`` for the three non-finite
+    floats, and ``value`` unchanged otherwise.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # 'inf', '-inf' or 'nan'
+    return value

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.cache import (
     CacheGeometry,
-    LRUCache,
     direct_mapped_ucb,
     extra_misses_after_preemption,
     lru_may_ucb,

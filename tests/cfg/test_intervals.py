@@ -1,6 +1,5 @@
 """Tests for the execution-interval analysis (Eqs. 1-3)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

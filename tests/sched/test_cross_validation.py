@@ -17,7 +17,6 @@ from repro.core import PreemptionDelayFunction
 from repro.npr import assign_npr_lengths
 from repro.sched import (
     delay_aware_rta,
-    edf_schedulable_with_blocking,
     joint_rta,
 )
 from repro.sim import FloatingNPRSimulator, periodic_releases

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.sched import (
     analysis_horizon,
-    demand_bound_function,
     edf_schedulable,
     edf_schedulable_with_blocking,
     task_demand,

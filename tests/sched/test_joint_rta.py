@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.core import PreemptionDelayFunction, floating_npr_delay_bound
 from repro.sched import compare_with_uncapped, joint_rta, rta_fixed_priority
 from repro.tasks import Task, TaskSet

@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.sched import response_time, rta_fixed_priority
 from repro.tasks import Task, TaskSet
 

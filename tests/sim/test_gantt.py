@@ -31,8 +31,9 @@ class TestGantt:
     def test_run_chars_present_where_tasks_ran(self):
         result = run_two_task_trace()
         text = gantt(result, width=40)
-        lo_row = next(l for l in text.splitlines() if l.strip().startswith("lo"))
-        hi_row = next(l for l in text.splitlines() if l.strip().startswith("hi"))
+        lines = text.splitlines()
+        lo_row = next(row for row in lines if row.strip().startswith("lo"))
+        hi_row = next(row for row in lines if row.strip().startswith("hi"))
         assert "#" in lo_row
         assert "#" in hi_row
 

@@ -1,0 +1,163 @@
+"""run_cached_batch: skip, checkpoint, resume, emit-from-store."""
+
+import pytest
+
+from repro.engine import (
+    MemorySink,
+    emit_from_store,
+    run_batch,
+    run_cached_batch,
+)
+from repro.store import ResultStore
+
+CALLS = []
+
+
+def _tag(x: int) -> dict:
+    """Module-level worker recording its invocations."""
+    CALLS.append(x)
+    return {"x": x, "sq": x * x}
+
+
+@pytest.fixture(autouse=True)
+def _reset_calls():
+    CALLS.clear()
+
+
+def _store(tmp_path, **kwargs):
+    return ResultStore(tmp_path / "s.sqlite", fingerprint="fp", **kwargs)
+
+
+class TestCaching:
+    def test_first_run_computes_everything(self, tmp_path):
+        with _store(tmp_path) as store:
+            run = run_cached_batch(_tag, [1, 2, 3], store)
+            assert (run.total, run.cached, run.computed) == (3, 0, 3)
+            assert run.results == [
+                {"x": 1, "sq": 1},
+                {"x": 2, "sq": 4},
+                {"x": 3, "sq": 9},
+            ]
+            assert CALLS == [1, 2, 3]
+
+    def test_second_run_computes_nothing(self, tmp_path):
+        with _store(tmp_path) as store:
+            first = run_cached_batch(_tag, [1, 2, 3], store)
+            CALLS.clear()
+            second = run_cached_batch(_tag, [1, 2, 3], store)
+            assert CALLS == []
+            assert (second.cached, second.computed) == (3, 0)
+            assert second.results == first.results
+
+    def test_partial_overlap_computes_only_new(self, tmp_path):
+        with _store(tmp_path) as store:
+            run_cached_batch(_tag, [1, 2], store)
+            CALLS.clear()
+            run = run_cached_batch(_tag, [2, 3, 1, 4], store)
+            assert sorted(CALLS) == [3, 4]
+            assert (run.cached, run.computed) == (2, 2)
+            assert [r["x"] for r in run.results] == [2, 3, 1, 4]
+
+    def test_duplicate_scenarios_computed_once(self, tmp_path):
+        with _store(tmp_path) as store:
+            run = run_cached_batch(_tag, [5, 5, 5], store)
+            assert CALLS == [5]
+            assert run.computed == 1
+            assert [r["x"] for r in run.results] == [5, 5, 5]
+
+    def test_results_match_plain_run_batch(self, tmp_path):
+        xs = list(range(10))
+        with _store(tmp_path) as store:
+            cached = run_cached_batch(_tag, xs, store).results
+        assert cached == run_batch(_tag, xs)
+
+    def test_decode_applies(self, tmp_path):
+        with _store(tmp_path) as store:
+            run = run_cached_batch(
+                _tag, [2], store, decode=lambda r: r["sq"]
+            )
+            assert run.results == [4]
+
+    def test_sink_receives_records_in_scenario_order(self, tmp_path):
+        with _store(tmp_path) as store:
+            run_cached_batch(_tag, [3, 1, 2], store)
+            sink = MemorySink()
+            run = run_cached_batch(
+                _tag, [3, 1, 2], store, sink=sink, collect=False
+            )
+            assert run.results is None
+            assert [r["x"] for r in sink.records] == [3, 1, 2]
+
+
+class TestResume:
+    def test_abort_hook_leaves_resumable_store(self, tmp_path):
+        def abort(count):
+            if count >= 2:
+                raise KeyboardInterrupt
+
+        store = _store(tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            run_cached_batch(_tag, [1, 2, 3, 4], store, on_result=abort)
+        store.close()  # what a CLI context manager does on the way out
+
+        CALLS.clear()
+        with _store(tmp_path) as store:
+            run = run_cached_batch(_tag, [1, 2, 3, 4], store)
+            assert (run.cached, run.computed) == (2, 2)
+            assert sorted(CALLS) == [3, 4]
+            assert [r["x"] for r in run.results] == [1, 2, 3, 4]
+
+    def test_resumed_results_equal_uninterrupted(self, tmp_path):
+        xs = list(range(8))
+        uninterrupted = run_batch(_tag, xs)
+
+        def abort(count):
+            if count >= 3:
+                raise KeyboardInterrupt
+
+        store = ResultStore(tmp_path / "i.sqlite", fingerprint="fp")
+        with pytest.raises(KeyboardInterrupt):
+            run_cached_batch(_tag, xs, store, on_result=abort)
+        store.close()
+        with ResultStore(tmp_path / "i.sqlite", fingerprint="fp") as store:
+            resumed = run_cached_batch(_tag, xs, store).results
+        assert resumed == uninterrupted
+
+
+class TestWorkerErrorIndex:
+    def test_failure_index_is_relative_to_the_full_scenario_list(
+        self, tmp_path
+    ):
+        from repro.engine import WorkerError
+
+        with _store(tmp_path) as store:
+            run_cached_batch(_tag, [0, 1, 2], store)  # cache a prefix
+            with pytest.raises(WorkerError) as excinfo:
+                run_cached_batch(
+                    _boom_on_four, [0, 1, 2, 3, 4, 5], store
+                )
+            # Scenario 4 fails; 0-2 were cached so run_batch only saw
+            # [3, 4, 5] — the reported index must still be 4.
+            assert excinfo.value.index == 4
+
+
+def _boom_on_four(x: int) -> dict:
+    if x == 4:
+        raise RuntimeError("four fails")
+    return _tag(x)
+
+
+class TestEmitFromStore:
+    def test_emits_in_scenario_order(self, tmp_path):
+        with _store(tmp_path) as store:
+            run_cached_batch(_tag, [1, 2, 3], store)
+            sink = MemorySink()
+            results = emit_from_store(store, [2, 1, 3], sink=sink)
+            assert [r["x"] for r in results] == [2, 1, 3]
+            assert [r["x"] for r in sink.records] == [2, 1, 3]
+
+    def test_missing_records_fail_with_count(self, tmp_path):
+        with _store(tmp_path) as store:
+            run_cached_batch(_tag, [1], store)
+            with pytest.raises(ValueError, match="missing 2 of 3"):
+                emit_from_store(store, [1, 2, 3])

@@ -1,0 +1,121 @@
+"""Canonicalization and key derivation: stability, injectivity-in-
+practice, fingerprint scoping."""
+
+import math
+
+import pytest
+
+from repro.engine import BoundScenario, StudyScenario
+from repro.store import (
+    canonical_bytes,
+    code_fingerprint,
+    package_fingerprint,
+    scenario_key,
+)
+
+
+class TestCanonicalBytes:
+    def test_deterministic_across_calls(self):
+        scenario = BoundScenario(function="gaussian1", q=50.0)
+        assert canonical_bytes(scenario) == canonical_bytes(scenario)
+
+    def test_mapping_key_order_is_irrelevant(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes(
+            {"b": 2, "a": 1}
+        )
+
+    def test_distinguishes_tuple_from_list(self):
+        assert canonical_bytes((1, 2)) != canonical_bytes([1, 2])
+
+    def test_distinguishes_dataclass_types(self):
+        bound = BoundScenario(function="gaussian1", q=50.0)
+        as_dict = {
+            "function": "gaussian1",
+            "q": 50.0,
+            "interpretation": "literal",
+            "knots": 2048,
+        }
+        assert canonical_bytes(bound) != canonical_bytes(as_dict)
+
+    def test_float_exactness(self):
+        a = canonical_bytes(0.1 + 0.2)
+        b = canonical_bytes(0.3)
+        assert a != b  # 0.1+0.2 != 0.3 exactly; keys must not round
+
+    def test_non_finite_floats_are_encoded(self):
+        for value in (math.inf, -math.inf, math.nan):
+            assert canonical_bytes(value)  # no exception, stable form
+        assert canonical_bytes(math.inf) != canonical_bytes(-math.inf)
+
+    def test_nested_structures(self):
+        value = {"grid": [(1, 2.5), (3, math.inf)], "name": "x"}
+        assert canonical_bytes(value) == canonical_bytes(dict(value))
+
+    def test_rejects_non_canonical_values(self):
+        with pytest.raises(ValueError):
+            canonical_bytes({1, 2, 3})
+        with pytest.raises(ValueError):
+            canonical_bytes(object())
+        with pytest.raises(ValueError):
+            canonical_bytes({1: "non-str key"})
+
+    def test_study_scenario_roundtrip_distinct_seeds(self):
+        def scenario(seed):
+            return StudyScenario(
+                utilization=0.5,
+                seed=seed,
+                n_tasks=5,
+                q_fraction=0.5,
+                delay_height=0.05,
+                methods=("eq4",),
+            )
+
+        assert canonical_bytes(scenario(1)) != canonical_bytes(scenario(2))
+
+
+class TestScenarioKey:
+    def test_is_hex_sha256(self):
+        key = scenario_key(BoundScenario(function="gaussian1", q=50.0))
+        assert len(key) == 64
+        int(key, 16)  # hex
+
+    def test_fingerprint_scopes_the_key_space(self):
+        scenario = BoundScenario(function="gaussian1", q=50.0)
+        assert scenario_key(scenario, "fp-a") != scenario_key(
+            scenario, "fp-b"
+        )
+
+    def test_distinct_scenarios_distinct_keys(self):
+        keys = {
+            scenario_key(BoundScenario(function=name, q=q))
+            for name in ("gaussian1", "gaussian2", "bimodal")
+            for q in (20.0, 50.0, 100.0)
+        }
+        assert len(keys) == 9
+
+
+class TestFingerprints:
+    def test_code_fingerprint_is_stable(self):
+        from repro.engine import sweeps
+
+        assert code_fingerprint(sweeps) == code_fingerprint(sweeps)
+
+    def test_code_fingerprint_accepts_functions(self):
+        from repro.engine import evaluate_bound_scenario
+        from repro.engine import sweeps
+
+        assert code_fingerprint(evaluate_bound_scenario) == code_fingerprint(
+            sweeps
+        )
+
+    def test_package_fingerprint_is_stable_and_differs_from_module(self):
+        from repro.engine import sweeps
+
+        assert package_fingerprint("repro") == package_fingerprint("repro")
+        assert package_fingerprint("repro") != code_fingerprint(sweeps)
+
+    def test_package_fingerprint_rejects_plain_modules(self):
+        from repro.engine import sweeps
+
+        with pytest.raises(ValueError):
+            package_fingerprint(sweeps)

@@ -1,0 +1,125 @@
+"""CI configuration anti-rot checks.
+
+The workflow file is part of the repo's contract: it must stay valid
+YAML with the agreed job set (lint + test matrix + docs + benchmark
+smoke), reference only commands/paths that exist, and the lint job must
+have a committed ruff configuration to run against.  A structural check
+here fails the tier-1 suite locally long before a push discovers the
+workflow is broken.
+"""
+
+import re
+import tomllib
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+WORKFLOW = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+#: Python versions the tier-1 matrix must cover.
+MATRIX_VERSIONS = {"3.10", "3.11", "3.12"}
+
+
+@pytest.fixture(scope="module")
+def workflow() -> dict:
+    data = yaml.safe_load(WORKFLOW.read_text())
+    assert isinstance(data, dict)
+    return data
+
+
+def _steps_commands(job: dict) -> str:
+    return "\n".join(
+        step.get("run", "") for step in job["steps"] if isinstance(step, dict)
+    )
+
+
+class TestWorkflowShape:
+    def test_file_exists_and_parses(self, workflow):
+        assert workflow.get("name")
+
+    def test_triggers_on_push_and_pull_request(self, workflow):
+        # PyYAML reads the bare `on:` key as boolean True (YAML 1.1).
+        triggers = workflow.get("on", workflow.get(True))
+        assert triggers is not None
+        assert "push" in triggers
+        assert "pull_request" in triggers
+
+    def test_has_all_four_jobs(self, workflow):
+        assert set(workflow["jobs"]) >= {
+            "lint",
+            "test",
+            "docs",
+            "bench-smoke",
+        }
+
+    def test_every_job_is_runnable(self, workflow):
+        for name, job in workflow["jobs"].items():
+            assert job.get("runs-on"), f"job {name} has no runs-on"
+            steps = job.get("steps")
+            assert steps, f"job {name} has no steps"
+            for step in steps:
+                assert "uses" in step or "run" in step, (
+                    f"job {name} has a step with neither uses nor run"
+                )
+
+    def test_every_job_checks_out_and_sets_up_python(self, workflow):
+        for name, job in workflow["jobs"].items():
+            uses = [step.get("uses", "") for step in job["steps"]]
+            assert any(u.startswith("actions/checkout@") for u in uses), name
+            assert any(
+                u.startswith("actions/setup-python@") for u in uses
+            ), name
+
+
+class TestJobCommands:
+    def test_test_job_runs_tier1_over_the_matrix(self, workflow):
+        job = workflow["jobs"]["test"]
+        versions = set(job["strategy"]["matrix"]["python-version"])
+        assert versions == MATRIX_VERSIONS
+        assert "python -m pytest -x -q" in _steps_commands(job)
+
+    def test_lint_job_runs_ruff(self, workflow):
+        commands = _steps_commands(workflow["jobs"]["lint"])
+        assert "ruff check" in commands
+
+    def test_docs_job_runs_the_docs_suite(self, workflow):
+        commands = _steps_commands(workflow["jobs"]["docs"])
+        assert "tests/test_docs.py" in commands
+        assert (REPO_ROOT / "tests" / "test_docs.py").is_file()
+
+    def test_bench_smoke_job_runs_benchmarks_in_smoke_mode(self, workflow):
+        job = workflow["jobs"]["bench-smoke"]
+        assert job["env"]["REPRO_BENCH_SMOKE"] == "1"
+        commands = _steps_commands(job)
+        assert "benchmarks/bench_*.py" in commands
+
+    def test_workflow_paths_exist(self, workflow):
+        # Any repo path named in a run command must exist.
+        commands = "\n".join(
+            _steps_commands(job) for job in workflow["jobs"].values()
+        )
+        for match in re.findall(
+            r"\b(?:tests|benchmarks|src|docs)/[\w./*]*", commands
+        ):
+            path = match.rstrip(".")
+            if "*" in path:
+                assert list(REPO_ROOT.glob(path)), f"no match for {path}"
+            else:
+                assert (REPO_ROOT / path).exists(), f"missing {path}"
+
+    def test_pythonpath_covers_the_src_layout(self, workflow):
+        assert workflow["env"]["PYTHONPATH"] == "src"
+
+
+class TestRuffConfig:
+    def test_pyproject_has_ruff_lint_and_format_config(self):
+        config = tomllib.loads(PYPROJECT.read_text())
+        ruff = config["tool"]["ruff"]
+        assert ruff["line-length"] >= 79
+        assert "E" in ruff["lint"]["select"]
+        assert "F" in ruff["lint"]["select"]
+        assert ruff["format"]["quote-style"] == "double"

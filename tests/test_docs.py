@@ -18,7 +18,19 @@ README = REPO_ROOT / "README.md"
 DOCS = REPO_ROOT / "docs"
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
-_REPO_PATH = re.compile(r"\b(?:src|tests|benchmarks|docs)/[\w./-]+")
+_REPO_PATH = re.compile(r"\b(?:src|tests|benchmarks|docs)/[\w./*-]+")
+
+
+def _missing_paths(text: str) -> list[str]:
+    """Repo paths named in ``text`` that do not exist (globs allowed)."""
+    missing = []
+    for match in _REPO_PATH.findall(text):
+        if "*" in match:
+            if not list(REPO_ROOT.glob(match)):
+                missing.append(match)
+        elif not (REPO_ROOT / match).exists():
+            missing.append(match)
+    return missing
 
 
 def _all_modules() -> list[Path]:
@@ -68,8 +80,8 @@ class TestReadme:
             exec(compile(block, "README.md", "exec"), namespace)
 
     def test_module_map_paths_exist(self):
-        for match in _REPO_PATH.findall(README.read_text()):
-            assert (REPO_ROOT / match).exists(), f"README names missing path {match}"
+        missing = _missing_paths(README.read_text())
+        assert not missing, f"README names missing paths: {missing}"
 
 
 class TestDocsPages:
@@ -79,12 +91,7 @@ class TestDocsPages:
 
     @pytest.mark.parametrize("page", ["architecture.md", "paper_mapping.md"])
     def test_referenced_paths_exist(self, page):
-        text = (DOCS / page).read_text()
-        missing = [
-            match
-            for match in _REPO_PATH.findall(text)
-            if not (REPO_ROOT / match).exists()
-        ]
+        missing = _missing_paths((DOCS / page).read_text())
         assert not missing, f"{page} names missing paths: {missing}"
 
     def test_architecture_covers_every_package(self):
