@@ -1,0 +1,133 @@
+"""Built-in campaign specs: the paper's studies as declarative data.
+
+Each built-in is a *factory* returning an ordinary spec dict, so the
+CLI (``python -m repro campaign <name>``) can parameterize it with
+``--set key=value`` and every consumer — tests, benchmarks, merge
+manifests — sees the same normal form a hand-written spec file would
+produce.  ``fig5`` and ``study`` live next to the experiment code they
+re-express (:mod:`repro.experiments.fig5`,
+:mod:`repro.experiments.schedulability_study`); the simulation and EDF
+campaigns are defined here on top of the new families of
+:mod:`repro.engine.families`.
+"""
+
+from __future__ import annotations
+
+from repro.utils.checks import require
+
+
+def sim_validate_campaign_spec(
+    utilizations: list[float] | None = None,
+    sets_per_point: int = 25,
+    n_tasks: int = 4,
+    q_fraction: float = 0.5,
+    delay_height: float = 0.05,
+    policy: str = "fp",
+    seed: int = 2012,
+    sporadic: bool = False,
+) -> dict:
+    """Bound-validation campaign: simulator runs vs Algorithm 1 bounds.
+
+    A grid of generated task sets is simulated under the adversarial
+    (full ``f_i``) delay model; every record carries the observed
+    ``max_tightness`` and whether the static bound held — Theorem 1
+    fuzzed at campaign scale.
+    """
+    utilizations = (
+        utilizations if utilizations is not None else [0.3, 0.5, 0.7]
+    )
+    return {
+        "name": "sim-validate",
+        "description": "observed preemption delay vs Algorithm 1 bound",
+        "family": "sim",
+        "axes": {
+            "utilization": {"grid": list(utilizations)},
+            "seed": {"seeds": {"base": seed, "count": sets_per_point}},
+        },
+        "defaults": {
+            "n_tasks": n_tasks,
+            "q_fraction": q_fraction,
+            "delay_height": delay_height,
+            "policy": policy,
+            "sporadic": sporadic,
+        },
+    }
+
+
+def edf_study_campaign_spec(
+    utilizations: list[float] | None = None,
+    sets_per_point: int = 40,
+    n_tasks: int = 5,
+    q_fraction: float = 0.5,
+    delay_height: float = 0.05,
+    seed: int = 2012,
+    methods: list[str] | None = None,
+) -> dict:
+    """EDF acceptance-ratio campaign over the delay-aware test family."""
+    from repro.sched.edf_delay_aware import EDF_METHODS
+
+    utilizations = (
+        utilizations
+        if utilizations is not None
+        else [0.3, 0.5, 0.65, 0.8, 0.9]
+    )
+    return {
+        "name": "edf-study",
+        "description": "EDF delay-aware acceptance ratios vs utilization",
+        "family": "edf-study",
+        "axes": {
+            "utilization": {"grid": list(utilizations)},
+            "seed": {"seeds": {"base": seed, "count": sets_per_point}},
+        },
+        "defaults": {
+            "n_tasks": n_tasks,
+            "q_fraction": q_fraction,
+            "delay_height": delay_height,
+            "methods": (
+                list(methods) if methods is not None else list(EDF_METHODS)
+            ),
+        },
+    }
+
+
+def _builtins() -> dict:
+    from repro.experiments.fig5 import fig5_campaign_spec
+    from repro.experiments.schedulability_study import study_campaign_spec
+
+    return {
+        "fig5": fig5_campaign_spec,
+        "study": study_campaign_spec,
+        "sim-validate": sim_validate_campaign_spec,
+        "edf-study": edf_study_campaign_spec,
+    }
+
+
+def builtin_names() -> tuple[str, ...]:
+    """The names ``python -m repro campaign`` accepts besides spec files."""
+    return tuple(sorted(_builtins()))
+
+
+def builtin_campaign(name: str, **overrides) -> dict:
+    """Instantiate a built-in campaign spec.
+
+    Args:
+        name: One of :func:`builtin_names`.
+        overrides: Factory parameters (e.g. ``points=5`` for ``fig5``),
+            the CLI's ``--set key=value`` payload.
+
+    Raises:
+        ValueError: for unknown names or parameters the factory does
+            not accept, listing the valid choices.
+    """
+    factories = _builtins()
+    require(
+        name in factories,
+        f"unknown built-in campaign {name!r}; available: "
+        f"{', '.join(sorted(factories))}",
+    )
+    try:
+        return factories[name](**overrides)
+    except TypeError as exc:
+        raise ValueError(
+            f"invalid parameter(s) for built-in campaign {name!r}: {exc}"
+        ) from exc

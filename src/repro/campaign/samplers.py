@@ -1,0 +1,222 @@
+"""Axis samplers: declarative value lists for campaign axes.
+
+An *axis* of a campaign spec maps one scenario field to a list of
+values.  The axis spec is a one-key mapping naming the sampler::
+
+    {"grid":     [10.0, 20.0, 40.0]}                     # explicit
+    {"linspace": {"start": 0.3, "stop": 0.9, "points": 4}}
+    {"logspace": {"start": 12.0, "stop": 2000.0, "points": 40}}
+    {"range":    {"start": 0, "stop": 25}}               # ints
+    {"uniform":  {"low": 0.3, "high": 0.9, "count": 8, "seed": 7}}
+    {"seeds":    {"base": 2012, "count": 100}}           # SplitMix64
+
+Every sampler is a pure function of its parameters — the expansion of a
+spec is deterministic across processes and machines, which is what
+makes campaign store keys stable.  ``logspace`` reproduces
+:func:`repro.experiments.default_q_grid` bit-for-bit (same ratio
+formula, same float operations), so a campaign over the Figure 5 grid
+addresses exactly the same store rows as ``python -m repro sweep``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from typing import Any
+
+from repro.engine.chunking import derive_seed
+from repro.utils.checks import require
+
+_SCALARS = (bool, int, float, str)
+
+
+def _require_keys(
+    kind: str, params: Any, required: tuple[str, ...], optional: tuple[str, ...] = ()
+) -> Mapping[str, Any]:
+    require(
+        isinstance(params, Mapping),
+        f"sampler {kind!r} expects a parameter mapping, got {params!r}",
+    )
+    missing = [key for key in required if key not in params]
+    require(
+        not missing,
+        f"sampler {kind!r} is missing parameter(s) {', '.join(missing)}",
+    )
+    unknown = [
+        key for key in params if key not in required and key not in optional
+    ]
+    require(
+        not unknown,
+        f"sampler {kind!r} got unknown parameter(s) {', '.join(unknown)}",
+    )
+    return params
+
+
+def _number(kind: str, params: Mapping[str, Any], key: str) -> float:
+    value = params[key]
+    require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"sampler {kind!r} parameter {key!r} must be a number, got {value!r}",
+    )
+    return float(value)
+
+
+def _integer(kind: str, params: Mapping[str, Any], key: str) -> int:
+    value = params[key]
+    require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"sampler {kind!r} parameter {key!r} must be an integer, got {value!r}",
+    )
+    return value
+
+
+def _grid(kind: str, values: Any) -> list[Any]:
+    require(
+        isinstance(values, (list, tuple)) and len(values) > 0,
+        f"sampler {kind!r} expects a non-empty list of values, got {values!r}",
+    )
+    for value in values:
+        require(
+            isinstance(value, _SCALARS) or value is None,
+            f"grid values must be scalars, got {value!r}",
+        )
+    return list(values)
+
+
+def _linspace(kind: str, params: Any) -> list[float]:
+    params = _require_keys(kind, params, ("start", "stop", "points"))
+    start = _number(kind, params, "start")
+    stop = _number(kind, params, "stop")
+    points = _integer(kind, params, "points")
+    require(points >= 2, f"sampler {kind!r} needs points >= 2, got {points}")
+    step = (stop - start) / (points - 1)
+    return [start + k * step for k in range(points)]
+
+
+def _logspace(kind: str, params: Any) -> list[float]:
+    params = _require_keys(kind, params, ("start", "stop", "points"))
+    start = _number(kind, params, "start")
+    stop = _number(kind, params, "stop")
+    points = _integer(kind, params, "points")
+    require(
+        0 < start < stop,
+        f"sampler {kind!r} needs 0 < start < stop, got [{start}, {stop}]",
+    )
+    require(points >= 2, f"sampler {kind!r} needs points >= 2, got {points}")
+    # Identical arithmetic to repro.experiments.default_q_grid, so the
+    # Figure 5 campaign grid is bit-for-bit the sweep command's grid.
+    ratio = (stop / start) ** (1.0 / (points - 1))
+    return [start * ratio**k for k in range(points)]
+
+
+def _range(kind: str, params: Any) -> list[int]:
+    params = _require_keys(kind, params, ("start", "stop"), ("step",))
+    start = _integer(kind, params, "start")
+    stop = _integer(kind, params, "stop")
+    step = _integer(kind, params, "step") if "step" in params else 1
+    require(step != 0, f"sampler {kind!r} needs a non-zero step")
+    values = list(range(start, stop, step))
+    require(
+        len(values) > 0,
+        f"sampler {kind!r} produced no values for "
+        f"range({start}, {stop}, {step})",
+    )
+    return values
+
+
+def _uniform(kind: str, params: Any) -> list[float]:
+    params = _require_keys(kind, params, ("low", "high", "count", "seed"))
+    low = _number(kind, params, "low")
+    high = _number(kind, params, "high")
+    count = _integer(kind, params, "count")
+    seed = _integer(kind, params, "seed")
+    require(low < high, f"sampler {kind!r} needs low < high")
+    require(count >= 1, f"sampler {kind!r} needs count >= 1")
+    rng = random.Random(seed)
+    return [rng.uniform(low, high) for _ in range(count)]
+
+
+def _seeds(kind: str, params: Any) -> list[int]:
+    params = _require_keys(kind, params, ("base", "count"))
+    base = _integer(kind, params, "base")
+    count = _integer(kind, params, "count")
+    require(count >= 1, f"sampler {kind!r} needs count >= 1")
+    return [derive_seed(base, index) for index in range(count)]
+
+
+#: Sampler kind -> expansion function.
+SAMPLERS = {
+    "grid": _grid,
+    "linspace": _linspace,
+    "logspace": _logspace,
+    "range": _range,
+    "uniform": _uniform,
+    "seeds": _seeds,
+}
+
+
+def normalize_params(kind: str, params: Any) -> Any:
+    """Canonical JSON form of one sampler's parameters.
+
+    Two specs that expand to the same values must record the same
+    manifest, so numeric parameters are normalized to the types the
+    sampler actually uses (``start: 40`` and ``start: 40.0`` expand
+    identically and must serialize identically) and optional
+    parameters are made explicit.  ``grid`` values are returned as-is —
+    the spec compiler normalizes those against the scenario field's
+    type, which samplers cannot know.
+    """
+    if kind == "grid":
+        return list(params)
+    if kind in ("linspace", "logspace"):
+        return {
+            "start": _number(kind, params, "start"),
+            "stop": _number(kind, params, "stop"),
+            "points": _integer(kind, params, "points"),
+        }
+    if kind == "range":
+        return {
+            "start": _integer(kind, params, "start"),
+            "stop": _integer(kind, params, "stop"),
+            "step": _integer(kind, params, "step") if "step" in params else 1,
+        }
+    if kind == "uniform":
+        return {
+            "low": _number(kind, params, "low"),
+            "high": _number(kind, params, "high"),
+            "count": _integer(kind, params, "count"),
+            "seed": _integer(kind, params, "seed"),
+        }
+    require(kind == "seeds", f"unknown sampler {kind!r}")
+    return {
+        "base": _integer(kind, params, "base"),
+        "count": _integer(kind, params, "count"),
+    }
+
+
+def expand_axis(name: str, axis_spec: Any) -> list[Any]:
+    """Expand one axis spec into its (non-empty) value list.
+
+    Args:
+        name: Axis (scenario field) name, used in error messages.
+        axis_spec: One-key mapping ``{sampler_kind: parameters}``.
+
+    Returns:
+        The deterministic value list.
+
+    Raises:
+        ValueError: for malformed specs, unknown samplers or invalid
+            sampler parameters.
+    """
+    require(
+        isinstance(axis_spec, Mapping) and len(axis_spec) == 1,
+        f"axis {name!r} must be a one-key mapping "
+        f"{{sampler: parameters}}, got {axis_spec!r}",
+    )
+    ((kind, params),) = axis_spec.items()
+    require(
+        kind in SAMPLERS,
+        f"axis {name!r} uses unknown sampler {kind!r}; known samplers: "
+        f"{', '.join(sorted(SAMPLERS))}",
+    )
+    return SAMPLERS[kind](kind, params)

@@ -13,6 +13,12 @@ Commands regenerate the paper's artifacts without writing any code:
   interrupted run resumes with ``--resume`` (final output byte-identical
   to an uninterrupted run), and ``--shard i/N`` deterministically
   partitions the grid across machines.
+* ``campaign``  — run a declarative scenario campaign
+  (:mod:`repro.campaign`): a JSON/TOML spec (or a built-in name)
+  naming a scenario family, its axes and defaults is compiled into a
+  deterministic scenario stream and evaluated exactly like ``sweep`` —
+  same ``--store``/``--resume``/``--shard``/``--jobs`` semantics, same
+  byte-identical resume and merge guarantees.
 * ``merge``     — combine shard stores into one and (optionally) emit
   the final result file, byte-identical to a single unsharded sweep.
 
@@ -180,18 +186,53 @@ def parse_shard(spec: str) -> tuple[int, int]:
     disjoint, deterministic slices (scenario ``k`` belongs to shard
     ``(k % N) + 1``), so independent machines can each run one shard
     and ``repro merge`` reassembles the full result set.
+
+    Cosmetic variants (leading zeros, e.g. ``01/04``) parse to the
+    same pair; :func:`format_shard` renders the canonical form, which
+    is what gets recorded in stores so equal specs always compare
+    equal.
     """
     match = re.fullmatch(r"(\d+)/(\d+)", spec)
     if match is None:
         raise ValueError(
-            f"invalid shard spec {spec!r}: expected i/N, e.g. 2/4"
+            f"invalid shard spec {spec!r}: expected I/N, e.g. 2/4"
         )
     index, count = int(match.group(1)), int(match.group(2))
-    if count < 1 or not 1 <= index <= count:
+    if count < 1:
         raise ValueError(
-            f"invalid shard spec {spec!r}: need 1 <= i <= N"
+            f"invalid shard spec {spec!r}: shard count N must be >= 1"
+        )
+    if not 1 <= index <= count:
+        raise ValueError(
+            f"invalid shard spec {spec!r}: need 1 <= I <= N"
         )
     return index, count
+
+
+def format_shard(index: int, count: int) -> str:
+    """Canonical ``i/N`` rendering of a parsed shard spec."""
+    return f"{index}/{count}"
+
+
+def _shard_scope(shard: str | None) -> str:
+    """The canonical shard scope a store records: ``i/N`` or ``full``."""
+    if shard is None:
+        return "full"
+    return format_shard(*parse_shard(shard))
+
+
+def _check_resume(args: argparse.Namespace) -> int:
+    """Validate the ``--resume``/``--store`` combination; 0 when fine."""
+    if args.resume and args.store is None:
+        print("error: --resume requires --store", file=sys.stderr)
+        return 2
+    if args.resume and not Path(args.store).exists():
+        print(
+            f"error: --resume: store {args.store} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
 
 
 def _sweep_manifest(args: argparse.Namespace) -> dict:
@@ -209,16 +250,21 @@ def _sweep_manifest(args: argparse.Namespace) -> dict:
 
 def _manifest_scenarios(manifest: dict) -> list:
     """Rebuild the scenario grid a manifest describes."""
-    from repro.engine import q_sweep_scenarios
-    from repro.experiments import default_q_grid
+    kind = manifest.get("kind")
+    if kind == "qsweep":
+        from repro.engine import q_sweep_scenarios
+        from repro.experiments import default_q_grid
 
-    if manifest.get("kind") != "qsweep":
-        raise ValueError(
-            f"unsupported sweep manifest {manifest!r}; expected kind "
-            "'qsweep'"
-        )
-    qs = default_q_grid(points=manifest["points"])
-    return q_sweep_scenarios(qs, knots=manifest["knots"])
+        qs = default_q_grid(points=manifest["points"])
+        return q_sweep_scenarios(qs, knots=manifest["knots"])
+    if kind == "campaign":
+        from repro.campaign import compile_campaign
+
+        return compile_campaign(manifest["spec"]).scenarios
+    raise ValueError(
+        f"unsupported sweep manifest {manifest!r}; expected kind "
+        "'qsweep' or 'campaign'"
+    )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -235,15 +281,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import default_q_grid, render_table
     from repro.experiments.io import results_dir
 
-    if args.resume and args.store is None:
-        print("error: --resume requires --store", file=sys.stderr)
-        return 2
-    if args.resume and not Path(args.store).exists():
-        print(
-            f"error: --resume: store {args.store} does not exist",
-            file=sys.stderr,
-        )
-        return 2
+    code = _check_resume(args)
+    if code:
+        return code
 
     qs = default_q_grid(points=args.points)
     scenarios = q_sweep_scenarios(qs, knots=args.knots)
@@ -270,6 +310,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     args.store, fingerprint=package_fingerprint("repro")
                 ) as store:
                     store.set_manifest(_sweep_manifest(args))
+                    store.set_shard(_shard_scope(args.shard))
                     run = run_cached_batch(
                         evaluate_bound_scenario,
                         scenarios,
@@ -315,6 +356,157 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ["scenarios", len(scenarios)],
         ["converged", converged],
         ["diverged", len(scenarios) - converged],
+    ]
+    if args.store is not None:
+        rows += [["cached", cached], ["computed", computed]]
+    rows += [
+        ["seconds", f"{elapsed:.2f}"],
+        ["scenarios/s", f"{len(scenarios) / elapsed:.0f}"],
+        ["output", out],
+    ]
+    print(render_table(["quantity", "value"], rows))
+    return 0
+
+
+def _parse_set_overrides(pairs: list[str]) -> dict:
+    """Parse repeated ``--set key=value`` flags.
+
+    Values are decoded as JSON when possible (``5`` -> int, ``0.5`` ->
+    float, ``[1,2]`` -> list, ``true`` -> bool) and fall back to plain
+    strings, so ``--set policy=edf`` needs no quoting.
+    """
+    import json
+
+    overrides: dict = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"invalid --set {pair!r}: expected key=value"
+            )
+        try:
+            overrides[key] = json.loads(value)
+        except json.JSONDecodeError:
+            overrides[key] = value
+    return overrides
+
+
+def _resolve_campaign_spec(spec_arg: str, overrides: dict) -> dict:
+    """Turn the CLI's SPEC argument into a spec mapping.
+
+    A path that exists is loaded as a spec file (``--set`` overrides
+    its ``defaults``); otherwise the argument must name a built-in
+    campaign (``--set`` feeds the builtin factory's parameters).
+    """
+    from repro.campaign import builtin_campaign, builtin_names, load_spec
+
+    path = Path(spec_arg)
+    # A spec-shaped path (.json/.toml regular file) wins; otherwise the
+    # built-in names stay reachable even when a directory or stray file
+    # happens to carry the same name.
+    is_spec_file = path.is_file() and path.suffix.lower() in (
+        ".json",
+        ".toml",
+    )
+    if not is_spec_file and spec_arg in builtin_names():
+        return builtin_campaign(spec_arg, **overrides)
+    if path.is_file():
+        spec = load_spec(path)
+        if overrides:
+            defaults = dict(spec.get("defaults", {}))
+            defaults.update(overrides)
+            spec = {**spec, "defaults": defaults}
+        return spec
+    raise ValueError(
+        f"campaign spec {spec_arg!r} is neither an existing spec file "
+        f"nor a built-in campaign (available: {', '.join(builtin_names())})"
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.campaign import compile_campaign
+    from repro.engine import CsvSink, JsonlSink, run_batch, run_cached_batch
+    from repro.experiments import render_table
+    from repro.experiments.io import results_dir
+
+    code = _check_resume(args)
+    if code:
+        return code
+
+    spec = _resolve_campaign_spec(args.spec, _parse_set_overrides(args.set))
+    compiled = compile_campaign(spec)
+    scenarios = compiled.scenarios
+    if args.shard is not None:
+        shard_index, shard_count = parse_shard(args.shard)
+        scenarios = scenarios[shard_index - 1 :: shard_count]
+    out = args.out or str(
+        results_dir() / f"campaign-{compiled.name}.{args.format}"
+    )
+    sink_cls = JsonlSink if args.format == "jsonl" else CsvSink
+
+    fail_after = args.fail_after
+
+    def _abort_hook(count: int) -> None:
+        if fail_after is not None and count >= fail_after:
+            raise KeyboardInterrupt
+
+    started = time.perf_counter()
+    cached = computed = 0
+    try:
+        with sink_cls(out) as sink:
+            if args.store is not None:
+                from repro.store import ResultStore, package_fingerprint
+
+                with ResultStore(
+                    args.store, fingerprint=package_fingerprint("repro")
+                ) as store:
+                    store.set_manifest(
+                        {"kind": "campaign", "spec": compiled.spec}
+                    )
+                    store.set_shard(_shard_scope(args.shard))
+                    run = run_cached_batch(
+                        compiled.family.worker,
+                        scenarios,
+                        store,
+                        max_workers=args.jobs,
+                        chunk_size=args.chunk,
+                        sink=sink,
+                        collect=False,
+                        on_result=_abort_hook,
+                    )
+                    cached, computed = run.cached, run.computed
+            else:
+                run_batch(
+                    compiled.family.worker,
+                    scenarios,
+                    max_workers=args.jobs,
+                    chunk_size=args.chunk,
+                    sink=sink,
+                    collect=False,
+                )
+                computed = len(scenarios)
+    except KeyboardInterrupt:
+        if args.store is not None:
+            print(
+                f"campaign interrupted — completed scenarios are "
+                f"checkpointed in {args.store}; rerun with "
+                "--store/--resume to continue",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "campaign interrupted — no --store given, nothing was "
+                "checkpointed",
+                file=sys.stderr,
+            )
+        return 130
+    elapsed = time.perf_counter() - started
+    rows = [
+        ["campaign", compiled.name],
+        ["family", compiled.family.name],
+        ["scenarios", len(scenarios)],
     ]
     if args.store is not None:
         rows += [["cached", cached], ["computed", computed]]
@@ -461,6 +653,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-after", type=int, default=None, help=argparse.SUPPRESS,
     )
     p_sweep.set_defaults(run=_cmd_sweep)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a declarative scenario campaign from a spec file "
+        "or built-in name",
+    )
+    p_camp.add_argument(
+        "spec",
+        help="spec file (.json/.toml) or a built-in campaign name "
+        "(fig5, study, sim-validate, edf-study)",
+    )
+    p_camp.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override a builtin parameter (e.g. points=5) or a spec "
+        "file default; repeatable",
+    )
+    p_camp.add_argument(
+        "--jobs", type=int, default=None,
+        help="batch-engine workers (default: inline)",
+    )
+    p_camp.add_argument(
+        "--chunk", type=int, default=None,
+        help="scenarios per engine chunk (default: auto)",
+    )
+    p_camp.add_argument(
+        "--format", choices=["jsonl", "csv"], default="jsonl"
+    )
+    p_camp.add_argument(
+        "--out", default=None,
+        help="output path (default: results/campaign-<name>.<format>)",
+    )
+    p_camp.add_argument(
+        "--store", default=None,
+        help="persistent result store (SQLite); already-computed "
+        "scenarios are skipped and fresh ones checkpointed",
+    )
+    p_camp.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted campaign from an existing --store",
+    )
+    p_camp.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="evaluate only shard I of N (1-based); combine shard "
+        "stores with 'repro merge'",
+    )
+    p_camp.add_argument(
+        # Test hook: deterministically simulate a mid-campaign kill by
+        # aborting after N freshly computed results.
+        "--fail-after", type=int, default=None, help=argparse.SUPPRESS,
+    )
+    p_camp.set_defaults(run=_cmd_campaign)
 
     p_merge = sub.add_parser(
         "merge",

@@ -20,10 +20,17 @@ byte-identical output.  A failing worker surfaces as
 :class:`WorkerError`, pinning the scenario index even across the
 process-pool boundary.
 
-Layering: ``engine`` sits above ``core``/``sched``/``tasks`` (whose
-analyses it invokes through the workers in
-:mod:`repro.engine.sweeps`) and below :mod:`repro.experiments`, whose
-public generators now route through it.  See ``docs/architecture.md``.
+Scenario shapes are *families* (:mod:`repro.engine.registry`): a
+frozen scenario dataclass, a module-level worker and a record decoder,
+registered under a stable name — ``bound`` and ``study`` in
+:mod:`repro.engine.sweeps`, ``sim`` and ``edf-study`` in
+:mod:`repro.engine.families`.  The registry is what lets declarative
+campaign specs (:mod:`repro.campaign`) reach any workload by name.
+
+Layering: ``engine`` sits above ``core``/``sched``/``sim``/``tasks``
+(whose analyses it invokes through the family workers) and below
+:mod:`repro.experiments` and :mod:`repro.campaign`, whose public
+generators route through it.  See ``docs/architecture.md``.
 """
 
 from repro.engine.cached import (
@@ -32,6 +39,22 @@ from repro.engine.cached import (
     run_cached_batch,
 )
 from repro.engine.chunking import chunk_bounds, default_chunk_size, derive_seed
+from repro.engine.families import (
+    EdfStudyResult,
+    EdfStudyScenario,
+    SimResult,
+    SimScenario,
+    edf_study_result_from_record,
+    evaluate_edf_study_scenario,
+    evaluate_sim_scenario,
+    sim_result_from_record,
+)
+from repro.engine.registry import (
+    ScenarioFamily,
+    family_names,
+    get_family,
+    register_family,
+)
 from repro.engine.engine import (
     EXECUTORS,
     BatchEngine,
@@ -90,4 +113,16 @@ __all__ = [
     "prepared_task_set",
     "q_sweep_scenarios",
     "study_result_from_record",
+    "SimScenario",
+    "SimResult",
+    "evaluate_sim_scenario",
+    "sim_result_from_record",
+    "EdfStudyScenario",
+    "EdfStudyResult",
+    "evaluate_edf_study_scenario",
+    "edf_study_result_from_record",
+    "ScenarioFamily",
+    "register_family",
+    "get_family",
+    "family_names",
 ]

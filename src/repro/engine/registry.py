@@ -1,0 +1,140 @@
+"""The scenario-family registry: one name per sweepable workload shape.
+
+A *scenario family* bundles everything the engine and the campaign
+compiler need to know about one kind of scenario:
+
+* the frozen scenario dataclass (the unit of work and the store key);
+* the module-level worker evaluating one scenario (picklable, so it
+  fans out over process pools);
+* the record decoder rebuilding a typed result from a sink/store
+  record (what makes the family servable from a
+  :class:`repro.store.ResultStore`).
+
+The built-in families — ``bound`` and ``study`` from
+:mod:`repro.engine.sweeps`, ``sim`` and ``edf-study`` from
+:mod:`repro.engine.families` — are registered at import time.  Adding a
+new family is one dataclass plus one worker function plus a
+:func:`register_family` call; the campaign subsystem
+(:mod:`repro.campaign`) then reaches it by name from declarative specs
+with no further wiring.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.utils.checks import require
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioFamily:
+    """Everything the engine knows about one scenario shape.
+
+    Attributes:
+        name: Registry key (kebab-case, stable across releases — it is
+            referenced by campaign specs and store manifests).
+        scenario_type: The frozen scenario dataclass.
+        worker: Module-level callable ``scenario -> result``.
+        decoder: Callable rebuilding the typed result from its
+            sink/store record (inverse of
+            :func:`repro.engine.sinks.as_record` after the strict-JSON
+            round trip).
+        summary: One-line description for ``--help``-style listings.
+    """
+
+    name: str
+    scenario_type: type
+    worker: Callable[[Any], Any]
+    decoder: Callable[[Mapping[str, Any]], Any]
+    summary: str
+
+
+_FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def register_family(family: ScenarioFamily, replace: bool = False) -> None:
+    """Register a scenario family under its name.
+
+    Args:
+        family: The family to register.
+        replace: Allow overwriting an existing registration (tests);
+            by default a duplicate name fails loudly.
+    """
+    require(
+        bool(family.name), "scenario family needs a non-empty name"
+    )
+    require(
+        replace or family.name not in _FAMILIES,
+        f"scenario family {family.name!r} is already registered",
+    )
+    _FAMILIES[family.name] = family
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """The registered family called ``name``.
+
+    Raises:
+        ValueError: for unknown names, listing the known ones.
+    """
+    require(
+        name in _FAMILIES,
+        f"unknown scenario family {name!r}; registered families: "
+        f"{', '.join(family_names())}",
+    )
+    return _FAMILIES[name]
+
+
+def family_names() -> tuple[str, ...]:
+    """All registered family names, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+def _register_builtins() -> None:
+    """Register the four built-in families (idempotent per import)."""
+    from repro.engine import families, sweeps
+
+    register_family(
+        ScenarioFamily(
+            name="bound",
+            scenario_type=sweeps.BoundScenario,
+            worker=sweeps.evaluate_bound_scenario,
+            decoder=sweeps.bound_result_from_record,
+            summary="Algorithm 1 vs Eq. 4 delay bounds over (function, Q) "
+            "grids (the Figure 5 shape)",
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="study",
+            scenario_type=sweeps.StudyScenario,
+            worker=sweeps.evaluate_study_scenario,
+            decoder=sweeps.study_result_from_record,
+            summary="fixed-priority delay-aware acceptance studies on "
+            "generated task sets (the EXT-D shape)",
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="sim",
+            scenario_type=families.SimScenario,
+            worker=families.evaluate_sim_scenario,
+            decoder=families.sim_result_from_record,
+            summary="simulator runs comparing observed preemption delay "
+            "against Algorithm 1's bound (Theorem 1 at sweep scale)",
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="edf-study",
+            scenario_type=families.EdfStudyScenario,
+            worker=families.evaluate_edf_study_scenario,
+            decoder=families.edf_study_result_from_record,
+            summary="EDF delay-aware acceptance studies with "
+            "Bertogna-Baruah NPR lengths",
+        )
+    )
+
+
+_register_builtins()

@@ -1,6 +1,9 @@
 """Concrete scenario types and workers for the batch engine.
 
-Two scenario families cover the paper's evaluation surface:
+The two original scenario families cover the paper's evaluation
+surface (the simulation-validation and EDF families live in
+:mod:`repro.engine.families`; all are registered in
+:mod:`repro.engine.registry`):
 
 * :class:`BoundScenario` — one ``(benchmark function, Q)`` point of a
   delay-bound sweep (the Figure 5 shape).  The worker resolves the
@@ -235,13 +238,36 @@ def prepared_task_set(
     seed: int,
     q_fraction: float,
     delay_height: float,
+    policy: str = "fp",
 ) -> TaskSet | None:
     """Generate, prioritise and NPR-annotate one task set.
 
     Returns ``None`` when the set admits no NPR assignment (negative
-    blocking tolerance): every delay-aware test counts it as a
-    rejection.
+    blocking tolerance / negative EDF slack): every delay-aware test
+    counts it as a rejection.
+
+    Args:
+        n_tasks: Tasks per set.
+        utilization: Target total utilization.
+        seed: Generator seed (same seed -> same prepared set).
+        q_fraction: Fraction of the maximal safe NPR length to assign.
+        delay_height: ``max f_i`` as a fraction of each task's WCET.
+        policy: NPR length policy — ``"fp"`` (Yao et al. blocking
+            tolerances) or ``"edf"`` (Bertogna & Baruah slack).
+
+    Raises:
+        ValueError: for invalid *parameters* (unknown policy,
+            out-of-range fraction) — these must fail loudly; only the
+            per-task-set infeasibility is converted into ``None``.
     """
+    # Validate caller-supplied knobs up front: the except below may
+    # only absorb "this particular set admits no assignment", never a
+    # typo'd campaign spec (which would silently reject everything).
+    require(policy in ("edf", "fp"), f"unknown policy {policy!r}")
+    require(
+        0.0 < q_fraction <= 1.0,
+        f"q_fraction must lie in (0, 1], got {q_fraction}",
+    )
     factory = gaussian_delay_factory(relative_height=delay_height)
     tasks = generate_task_set(
         n_tasks,
@@ -250,7 +276,7 @@ def prepared_task_set(
         delay_function_factory=factory,
     ).rate_monotonic()
     try:
-        return assign_npr_lengths(tasks, policy="fp", fraction=q_fraction)
+        return assign_npr_lengths(tasks, policy=policy, fraction=q_fraction)
     except ValueError:
         return None
 

@@ -18,6 +18,7 @@ from repro.experiments.fig5 import (
     Fig5Data,
     Fig5Row,
     default_q_grid,
+    fig5_campaign_spec,
     generate_fig5,
     write_fig5_csv,
 )
@@ -40,6 +41,7 @@ from repro.experiments.runner import ReproductionSummary, generate_all
 from repro.experiments.schedulability_study import (
     StudyPoint,
     acceptance_study,
+    study_campaign_spec,
     study_scenarios,
     study_series,
 )
@@ -58,6 +60,7 @@ __all__ = [
     "Fig5Data",
     "Fig5Row",
     "default_q_grid",
+    "fig5_campaign_spec",
     "generate_fig5",
     "write_fig5_csv",
     "Figure2Demo",
@@ -71,6 +74,7 @@ __all__ = [
     "CapPoint",
     "StudyPoint",
     "acceptance_study",
+    "study_campaign_spec",
     "study_scenarios",
     "study_series",
     "line_plot",

@@ -90,6 +90,42 @@ def default_q_grid(
     return [q_min * ratio**k for k in range(points)]
 
 
+def fig5_campaign_spec(
+    points: int = 40,
+    knots: int = 2048,
+    interpretation: str = "literal",
+) -> dict:
+    """The Figure 5 grid as a declarative campaign spec.
+
+    ``repro.campaign.compile_campaign`` turns this spec into exactly
+    the scenario stream of ``q_sweep_scenarios(default_q_grid(points),
+    knots=knots)`` — same floats, same order, same store keys — so
+    ``python -m repro campaign fig5`` is byte-identical to
+    ``python -m repro sweep`` (asserted end-to-end in the CLI tests).
+
+    Args:
+        points: Q grid points (scenarios = 3x this).
+        knots: Benchmark-function resolution.
+        interpretation: Benchmark parameter interpretation.
+    """
+    return {
+        "name": "fig5",
+        "description": "Algorithm 1 vs Eq. 4 over the paper's Q grid",
+        "family": "bound",
+        "axes": {
+            "q": {
+                "logspace": {
+                    "start": FIG4_MAX + 2.0,
+                    "stop": FIG4_WCET / 2.0,
+                    "points": points,
+                }
+            },
+            "function": {"grid": list(FIG4_NAMES)},
+        },
+        "defaults": {"interpretation": interpretation, "knots": knots},
+    }
+
+
 def generate_fig5(
     qs: list[float] | None = None,
     interpretation: str = "literal",

@@ -102,6 +102,48 @@ def study_scenarios(
     ]
 
 
+def study_campaign_spec(
+    utilizations: list[float] | None = None,
+    sets_per_point: int = 40,
+    n_tasks: int = 6,
+    q_fraction: float = 0.5,
+    delay_height: float = 0.05,
+    seed: int = 2012,
+    methods: list[str] | None = None,
+) -> dict:
+    """The acceptance study as a declarative campaign spec.
+
+    The campaign form draws per-scenario seeds from the SplitMix64
+    ``seeds`` sampler (one shared seed stream across utilization
+    levels) instead of the legacy ``seed + level * 10_000 + k``
+    formula, so it scales past 10^4 sets per point; ratios therefore
+    differ statistically (not structurally) from
+    :func:`acceptance_study` with the same arguments.
+    """
+    from repro.sched.crpd_rta import METHODS
+
+    utilizations = (
+        utilizations
+        if utilizations is not None
+        else [0.3, 0.5, 0.65, 0.8, 0.9]
+    )
+    return {
+        "name": "study",
+        "description": "FP delay-aware acceptance ratios vs utilization",
+        "family": "study",
+        "axes": {
+            "utilization": {"grid": list(utilizations)},
+            "seed": {"seeds": {"base": seed, "count": sets_per_point}},
+        },
+        "defaults": {
+            "n_tasks": n_tasks,
+            "q_fraction": q_fraction,
+            "delay_height": delay_height,
+            "methods": list(methods) if methods is not None else list(METHODS),
+        },
+    }
+
+
 def acceptance_study(
     utilizations: list[float],
     methods: list[str],

@@ -23,24 +23,51 @@ import math
 from repro.tasks.task import TaskSet
 from repro.utils.checks import require
 
+#: Relative tolerance for float comparisons at Lehoczky points.  Period
+#: multiples are computed as ``k * period``, which can land one ulp away
+#: from an exactly-intended boundary (``3 * 0.1 > 0.3``); exact
+#: comparisons would then drop a testing point or over-count a release,
+#: understating the blocking tolerance ``beta_i``.
+_REL_TOL = 1e-9
+
+
+def _released_jobs(t: float, period: float) -> int:
+    """``ceil(t / T_j)`` with a relative tolerance.
+
+    At a testing point that is (mathematically) an exact multiple of
+    ``period``, float rounding can push ``t / period`` infinitesimally
+    above the integer (``2.1 / 0.7 -> 3.0000000000000004``), making a
+    plain ``ceil`` charge one spurious whole job.  Nudging the ratio
+    down by a relative epsilon keeps genuinely fractional ratios intact
+    but snaps within-tolerance ratios back to the intended integer.
+    """
+    return math.ceil((t / period) * (1.0 - _REL_TOL))
+
 
 def _level_i_workload(tasks: list, i: int, t: float) -> float:
     """``W_i(t)``: task i's WCET plus higher-priority interference."""
     total = tasks[i].wcet
     for j in range(i):
-        total += math.ceil(t / tasks[j].period) * tasks[j].wcet
+        total += _released_jobs(t, tasks[j].period) * tasks[j].wcet
     return total
 
 
 def _testing_set(tasks: list, i: int) -> list[float]:
-    """Lehoczky points for level i: ``k * T_j <= D_i`` plus ``D_i``."""
+    """Lehoczky points for level i: ``k * T_j <= D_i`` plus ``D_i``.
+
+    Membership is tested with a relative tolerance so a multiple that
+    float-rounds one ulp above the deadline (``3 * 0.1`` vs ``0.3``) is
+    still a testing point; it is clamped to the deadline so no point
+    ever exceeds ``D_i``.
+    """
     deadline = tasks[i].deadline
     points = {deadline}
     for j in range(i):
         period = tasks[j].period
+        limit = deadline * (1.0 + _REL_TOL)
         k = 1
-        while k * period <= deadline:
-            points.add(k * period)
+        while k * period <= limit:
+            points.add(min(k * period, deadline))
             k += 1
     return sorted(points)
 

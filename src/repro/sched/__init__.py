@@ -18,6 +18,7 @@ from repro.sched.edf_delay_aware import (
     EdfDelayAwareResult,
     edf_acceptance_ratio,
     edf_delay_aware,
+    edf_delay_aware_verdicts,
 )
 from repro.sched.joint_rta import (
     JointRtaResult,
@@ -60,6 +61,7 @@ __all__ = [
     "EDF_METHODS",
     "EdfDelayAwareResult",
     "edf_delay_aware",
+    "edf_delay_aware_verdicts",
     "edf_acceptance_ratio",
     "JointRtaResult",
     "joint_rta",

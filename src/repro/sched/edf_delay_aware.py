@@ -83,6 +83,20 @@ def edf_delay_aware(tasks: TaskSet, method: str) -> EdfDelayAwareResult:
     )
 
 
+def edf_delay_aware_verdicts(
+    tasks: TaskSet, methods: tuple[str, ...] | list[str]
+) -> tuple[bool, ...]:
+    """Run several EDF delay-aware tests; one verdict per method.
+
+    The batched shape the engine's ``edf-study`` scenario family
+    consumes: verdicts align with ``methods``.
+    """
+    require(len(methods) > 0, "need at least one method")
+    return tuple(
+        edf_delay_aware(tasks, method).schedulable for method in methods
+    )
+
+
 def edf_acceptance_ratio(task_sets: list[TaskSet], method: str) -> float:
     """Fraction of task sets accepted by the given EDF test."""
     require(bool(task_sets), "need at least one task set")

@@ -38,11 +38,17 @@ _TIME_EPS = 1e-9
 
 
 def worst_case_delay_model(job: Job, progression: float) -> float:
-    """Charge the full ``f_i`` value — the bound-validation adversary."""
+    """Charge the full ``f_i`` value — the bound-validation adversary.
+
+    The progression is clamped to ``f``'s domain ``[0, C_i]`` on *both*
+    sides: event times carry ``_TIME_EPS``-scale noise, so a preemption
+    at the very start of a job can report a progression of ``-1e-9``,
+    which must query ``f(0)`` rather than raise a domain error.
+    """
     f = job.task.delay_function
     if f is None:
         return 0.0
-    return f.value(min(progression, f.wcet))
+    return f.value(min(max(progression, 0.0), f.wcet))
 
 
 def scaled_delay_model(fraction: float) -> DelayModel:

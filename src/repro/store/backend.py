@@ -159,6 +159,32 @@ class ResultStore:
                 "manifest", json.dumps(new, sort_keys=True, allow_nan=False)
             )
 
+    @property
+    def shard(self) -> str | None:
+        """The shard scope this store was recorded under (a canonical
+        ``i/N`` spec or ``"full"``), or ``None`` when none is set."""
+        return self._get_meta("shard")
+
+    def set_shard(self, scope: str) -> None:
+        """Record the shard scope; re-recording must be identical.
+
+        A store belongs to exactly one slice of one scenario grid.
+        Resuming (or extending) it under a *different* ``--shard`` spec
+        would silently interleave incompatible slices and emit a
+        partial result file, so a mismatch fails loudly instead.
+        """
+        existing = self.shard
+        require(
+            existing is None or existing == scope,
+            f"store {self.path} was recorded for shard {existing!r}, "
+            f"but this run requests shard {scope!r}; mixing shard "
+            "slices would silently produce a partial result file — "
+            "rerun with the recorded shard spec (or none, for 'full') "
+            "or use a fresh store",
+        )
+        if existing is None:
+            self._set_meta("shard", scope)
+
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------

@@ -1,0 +1,115 @@
+"""Tests for the campaign axis samplers."""
+
+import pytest
+
+from repro.campaign import expand_axis
+from repro.engine import derive_seed
+from repro.experiments import default_q_grid
+
+
+class TestGrid:
+    def test_explicit_values(self):
+        assert expand_axis("x", {"grid": [1, 2.5, "a", True]}) == [
+            1,
+            2.5,
+            "a",
+            True,
+        ]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            expand_axis("x", {"grid": []})
+
+    def test_non_scalar_rejected(self):
+        with pytest.raises(ValueError, match="scalars"):
+            expand_axis("x", {"grid": [{"nested": 1}]})
+
+
+class TestLinspace:
+    def test_endpoints_and_count(self):
+        values = expand_axis(
+            "x", {"linspace": {"start": 0.0, "stop": 1.0, "points": 5}}
+        )
+        assert values == [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="points >= 2"):
+            expand_axis(
+                "x", {"linspace": {"start": 0.0, "stop": 1.0, "points": 1}}
+            )
+
+
+class TestLogspace:
+    def test_matches_default_q_grid_bit_for_bit(self):
+        # The property byte-identical campaign/sweep output rests on:
+        # same ratio formula, same float operations, same values.
+        values = expand_axis(
+            "x",
+            {"logspace": {"start": 12.0, "stop": 2000.0, "points": 40}},
+        )
+        assert values == default_q_grid(points=40)
+
+    def test_positive_increasing_domain_required(self):
+        with pytest.raises(ValueError, match="0 < start < stop"):
+            expand_axis(
+                "x",
+                {"logspace": {"start": 10.0, "stop": 5.0, "points": 3}},
+            )
+
+
+class TestRange:
+    def test_python_range_semantics(self):
+        assert expand_axis(
+            "s", {"range": {"start": 0, "stop": 6, "step": 2}}
+        ) == [0, 2, 4]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            expand_axis("s", {"range": {"start": 5, "stop": 5}})
+
+    def test_float_parameters_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            expand_axis("s", {"range": {"start": 0.5, "stop": 5}})
+
+
+class TestUniform:
+    def test_deterministic_for_seed(self):
+        spec = {"uniform": {"low": 0.0, "high": 1.0, "count": 6, "seed": 9}}
+        a = expand_axis("u", spec)
+        b = expand_axis("u", spec)
+        assert a == b
+        assert all(0.0 <= v <= 1.0 for v in a)
+        c = expand_axis(
+            "u", {"uniform": {"low": 0.0, "high": 1.0, "count": 6, "seed": 10}}
+        )
+        assert a != c
+
+    def test_requires_seed(self):
+        with pytest.raises(ValueError, match="missing parameter"):
+            expand_axis(
+                "u", {"uniform": {"low": 0.0, "high": 1.0, "count": 3}}
+            )
+
+
+class TestSeeds:
+    def test_splitmix_stream(self):
+        values = expand_axis("seed", {"seeds": {"base": 2012, "count": 4}})
+        assert values == [derive_seed(2012, k) for k in range(4)]
+        assert len(set(values)) == 4
+
+
+class TestAxisShape:
+    def test_unknown_sampler_names_known_ones(self):
+        with pytest.raises(ValueError, match="known samplers"):
+            expand_axis("x", {"zipf": {}})
+
+    def test_multi_key_axis_rejected(self):
+        with pytest.raises(ValueError, match="one-key mapping"):
+            expand_axis("x", {"grid": [1], "linspace": {}})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            expand_axis(
+                "x",
+                {"linspace": {"start": 0.0, "stop": 1.0, "points": 3, "q": 1}},
+            )

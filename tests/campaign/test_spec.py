@@ -1,0 +1,290 @@
+"""Tests for campaign spec validation and compilation."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    builtin_campaign,
+    builtin_names,
+    compile_campaign,
+    load_spec,
+)
+from repro.engine import (
+    BoundScenario,
+    EdfStudyScenario,
+    SimScenario,
+    q_sweep_scenarios,
+)
+from repro.experiments import default_q_grid, fig5_campaign_spec
+from repro.store import canonical_bytes
+
+
+def bound_spec(**defaults):
+    merged = {"knots": 64, **defaults}
+    return {
+        "family": "bound",
+        "axes": {
+            "q": {"grid": [50.0, 100.0]},
+            "function": {"grid": ["gaussian1", "bimodal"]},
+        },
+        "defaults": merged,
+    }
+
+
+class TestCompile:
+    def test_row_major_product_first_axis_outermost(self):
+        compiled = compile_campaign(bound_spec())
+        assert [(s.q, s.function) for s in compiled.scenarios] == [
+            (50.0, "gaussian1"),
+            (50.0, "bimodal"),
+            (100.0, "gaussian1"),
+            (100.0, "bimodal"),
+        ]
+        assert all(
+            isinstance(s, BoundScenario) for s in compiled.scenarios
+        )
+
+    def test_fig5_spec_reproduces_sweep_scenarios_and_keys(self):
+        compiled = compile_campaign(fig5_campaign_spec(points=6, knots=128))
+        reference = q_sweep_scenarios(default_q_grid(points=6), knots=128)
+        assert compiled.scenarios == reference
+        # Equality is not enough for store addressing (12 == 12.0):
+        # the canonical bytes must agree too.
+        assert [canonical_bytes(s) for s in compiled.scenarios] == [
+            canonical_bytes(s) for s in reference
+        ]
+
+    def test_int_literals_feed_float_fields_exactly(self):
+        spec = bound_spec()
+        spec["axes"]["q"] = {"grid": [50, 100]}  # JSON ints
+        compiled = compile_campaign(spec)
+        reference = compile_campaign(bound_spec())
+        assert [canonical_bytes(s) for s in compiled.scenarios] == [
+            canonical_bytes(s) for s in reference.scenarios
+        ]
+
+    def test_lists_feed_tuple_fields(self):
+        compiled = compile_campaign(
+            {
+                "family": "edf-study",
+                "axes": {"seed": {"range": {"start": 0, "stop": 2}}},
+                "defaults": {
+                    "utilization": 0.5,
+                    "methods": ["eq4", "algorithm1"],
+                },
+            }
+        )
+        scenario = compiled.scenarios[0]
+        assert isinstance(scenario, EdfStudyScenario)
+        assert scenario.methods == ("eq4", "algorithm1")
+
+    def test_defaults_fill_unswept_fields(self):
+        compiled = compile_campaign(
+            {
+                "family": "sim",
+                "axes": {"seed": {"range": {"start": 0, "stop": 3}}},
+                "defaults": {"utilization": 0.5, "policy": "edf"},
+            }
+        )
+        assert all(
+            isinstance(s, SimScenario) and s.policy == "edf"
+            for s in compiled.scenarios
+        )
+
+    def test_normalized_spec_recompiles_identically(self):
+        compiled = compile_campaign(bound_spec())
+        # The manifest round trip sorts keys; axis order must survive
+        # because the normalized form stores axes as ordered pairs.
+        round_tripped = json.loads(
+            json.dumps(compiled.spec, sort_keys=True)
+        )
+        again = compile_campaign(round_tripped)
+        assert again.scenarios == compiled.scenarios
+
+
+class TestValidation:
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="registered families"):
+            compile_campaign(
+                {"family": "nope", "axes": {"q": {"grid": [1.0]}}}
+            )
+
+    def test_unknown_top_level_key(self):
+        spec = bound_spec()
+        spec["extra"] = 1
+        with pytest.raises(ValueError, match="unknown key"):
+            compile_campaign(spec)
+
+    def test_axis_naming_unknown_field(self):
+        spec = bound_spec()
+        spec["axes"]["quax"] = {"grid": [1.0]}
+        with pytest.raises(ValueError, match="not fields of family"):
+            compile_campaign(spec)
+
+    def test_missing_required_field(self):
+        with pytest.raises(ValueError, match="requires field"):
+            compile_campaign(
+                {"family": "bound", "axes": {"q": {"grid": [50.0]}}}
+            )
+
+    def test_axis_and_default_overlap(self):
+        spec = bound_spec(q=10.0)
+        with pytest.raises(ValueError, match="both axes and defaults"):
+            compile_campaign(spec)
+
+    def test_type_mismatch_names_field_and_family(self):
+        spec = bound_spec(knots="many")
+        with pytest.raises(ValueError, match="knots.*expects an integer"):
+            compile_campaign(spec)
+
+    def test_bool_does_not_pass_as_number(self):
+        spec = bound_spec()
+        spec["axes"]["q"] = {"grid": [True]}
+        with pytest.raises(ValueError, match="expects a number"):
+            compile_campaign(spec)
+
+    def test_duplicate_axis_pairs_rejected(self):
+        with pytest.raises(ValueError, match="repeat name"):
+            compile_campaign(
+                {
+                    "family": "bound",
+                    "axes": [
+                        ["q", {"grid": [1.0]}],
+                        ["q", {"grid": [2.0]}],
+                    ],
+                    "defaults": {"function": "gaussian1"},
+                }
+            )
+
+
+class TestLoadSpec:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(bound_spec()))
+        assert (
+            compile_campaign(load_spec(path)).scenarios
+            == compile_campaign(bound_spec()).scenarios
+        )
+
+    def test_toml_round_trip(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'family = "bound"',
+                    "[axes.q]",
+                    "grid = [50.0, 100.0]",
+                    "[axes.function]",
+                    'grid = ["gaussian1", "bimodal"]',
+                    "[defaults]",
+                    "knots = 64",
+                ]
+            )
+        )
+        assert (
+            compile_campaign(load_spec(path)).scenarios
+            == compile_campaign(bound_spec()).scenarios
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            load_spec(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_spec(path)
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("family: bound")
+        with pytest.raises(ValueError, match="unsupported"):
+            load_spec(path)
+
+
+class TestBuiltins:
+    def test_names_cover_the_four_campaigns(self):
+        assert set(builtin_names()) == {
+            "fig5",
+            "study",
+            "sim-validate",
+            "edf-study",
+        }
+
+    def test_every_builtin_compiles(self):
+        for name in builtin_names():
+            compiled = compile_campaign(builtin_campaign(name))
+            assert len(compiled.scenarios) > 0
+
+    def test_parameter_overrides(self):
+        compiled = compile_campaign(
+            builtin_campaign("fig5", points=3, knots=32)
+        )
+        assert len(compiled.scenarios) == 9
+        assert compiled.scenarios[0].knots == 32
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ValueError, match="available"):
+            builtin_campaign("nope")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            builtin_campaign("fig5", sides=3)
+
+
+class TestManifestNormalization:
+    """JSON-equivalent specs must normalize to the *same* manifest —
+    the manifest gates --resume, so ``1`` vs ``1.0`` or an implicit vs
+    explicit range step must not read as different campaigns."""
+
+    def test_int_vs_float_literals_normalize_identically(self):
+        int_spec = {
+            "family": "sim",
+            "axes": {"seed": {"range": {"start": 0, "stop": 2}}},
+            "defaults": {"utilization": 1, "q_fraction": 1},
+        }
+        float_spec = {
+            "family": "sim",
+            "axes": {"seed": {"range": {"start": 0, "stop": 2}}},
+            "defaults": {"utilization": 1.0, "q_fraction": 1.0},
+        }
+        a = compile_campaign(int_spec)
+        b = compile_campaign(float_spec)
+        assert a.spec == b.spec
+        assert json.dumps(a.spec, sort_keys=True) == json.dumps(
+            b.spec, sort_keys=True
+        )
+
+    def test_sampler_params_normalize_identically(self):
+        def spec(start, step):
+            axes = {"q": {"logspace": {"start": start, "stop": 200.0,
+                                       "points": 3}},
+                    "knots": {"range": {"start": 64, "stop": 65,
+                                        **step}}}
+            return {
+                "family": "bound",
+                "axes": axes,
+                "defaults": {"function": "gaussian1"},
+            }
+
+        a = compile_campaign(spec(40, {}))
+        b = compile_campaign(spec(40.0, {"step": 1}))
+        assert a.scenarios == b.scenarios
+        assert a.spec == b.spec
+
+    def test_tuple_defaults_survive_the_store_json_round_trip(self):
+        spec = {
+            "family": "edf-study",
+            "axes": {"seed": {"range": {"start": 0, "stop": 2}}},
+            "defaults": {"utilization": 0.5, "methods": ["eq4"]},
+        }
+        compiled = compile_campaign(spec)
+        round_tripped = json.loads(
+            json.dumps(compiled.spec, sort_keys=True)
+        )
+        # What set_manifest compares on resume: the recompiled
+        # normalized spec must equal the JSON-loaded recorded one.
+        assert compile_campaign(round_tripped).spec == round_tripped

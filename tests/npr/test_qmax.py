@@ -130,3 +130,61 @@ class TestAssignment:
             assign_npr_lengths(ts, policy="fp")
         assigned = assign_npr_lengths(ts.rate_monotonic(), policy="fp")
         assert all(t.npr_length is not None for t in assigned)
+
+
+class TestLehoczkyFloatRobustness:
+    """Exact float comparisons at Lehoczky points (regression tests).
+
+    ``k * period`` can land one ulp away from an exactly-intended
+    boundary: ``3 * 0.1 = 0.30000000000000004`` (so a testing point
+    equal to the deadline was dropped by ``k * T <= D``) and
+    ``2.1 / 0.7 = 3.0000000000000004`` (so the workload ``ceil``
+    charged one spurious whole job at a testing point, understating
+    ``beta_i``).  Both comparisons now carry a relative tolerance.
+    """
+
+    def test_testing_set_keeps_deadline_coincident_multiple(self):
+        from repro.npr.qmax_fp import _testing_set
+
+        ts = TaskSet(
+            [Task("hp", 0.02, 0.1), Task("lo", 0.05, 0.4, deadline=0.3)]
+        ).rate_monotonic()
+        ordered = list(ts.sorted_by_priority())
+        points = _testing_set(ordered, 1)
+        # 0.1, 0.2 and the third multiple (3 * 0.1, float-rounded just
+        # above 0.3) clamped onto the deadline.
+        assert points == [0.1, 0.2, 0.3]
+        assert max(points) <= 0.3  # clamped, never beyond D_i
+
+    def test_workload_does_not_overcount_at_exact_multiple(self):
+        from repro.npr.qmax_fp import _level_i_workload
+
+        ordered = list(
+            TaskSet([Task("hp", 0.2, 0.7), Task("lo", 0.5, 2.1)])
+            .rate_monotonic()
+            .sorted_by_priority()
+        )
+        # 2.1 / 0.7 float-rounds to 3.0000000000000004; a plain ceil
+        # charged 4 jobs of hp (W = 1.3) instead of 3 (W = 1.1).
+        assert _level_i_workload(ordered, 1, 2.1) == pytest.approx(1.1)
+
+    def test_blocking_tolerance_not_understated_by_rounding(self):
+        ts = TaskSet(
+            [Task("hp", 0.25, 0.7), Task("lo", 0.5, 2.1)]
+        ).rate_monotonic()
+        beta = fp_blocking_tolerances(ts)["lo"]
+        # Exact slack at t = D = 2.1: 2.1 - (0.5 + 3 * 0.25).  The
+        # pre-fix code evaluated ceil(2.1 / 0.7) = 4 there and fell
+        # back to the one-ulp-lower point 3 * 0.7, understating beta.
+        assert beta == 2.1 - (0.5 + 3 * 0.25)
+
+    def test_decimal_periods_unaffected_elsewhere(self):
+        # The tolerance must not change genuinely fractional ratios:
+        # a deadline strictly between multiples keeps its testing set.
+        from repro.npr.qmax_fp import _testing_set
+
+        ts = TaskSet(
+            [Task("hp", 0.02, 0.1), Task("lo", 0.05, 0.4, deadline=0.25)]
+        ).rate_monotonic()
+        ordered = list(ts.sorted_by_priority())
+        assert _testing_set(ordered, 1) == [0.1, 0.2, 0.25]

@@ -225,3 +225,29 @@ class TestStructuralInvariants:
             sim.run([], horizon=0.0)
         with pytest.raises(ValueError):
             FloatingNPRSimulator(ts, policy="weird")
+
+
+class TestDelayModelDomainClamp:
+    def test_negative_progression_clamps_to_zero(self):
+        # Event times carry _TIME_EPS-scale noise, so a preemption at
+        # the very start of a job can report progression -1e-9; the
+        # model must query f(0), not raise a domain error (regression).
+        from repro.sim.jobs import Job
+
+        f = PreemptionDelayFunction.from_points(
+            [0.0, 5.0, 10.0], [4.0, 2.0, 0.0]
+        )
+        task = Task("a", 10.0, 100.0, delay_function=f)
+        job = Job(task=task, release_time=0.0, job_id=0)
+        job.progression = -1e-9
+        assert worst_case_delay_model(job, job.progression) == f.value(0.0)
+
+    def test_progression_beyond_wcet_clamps_to_wcet(self):
+        from repro.sim.jobs import Job
+
+        f = PreemptionDelayFunction.from_points(
+            [0.0, 5.0, 10.0], [4.0, 2.0, 0.0]
+        )
+        task = Task("a", 10.0, 100.0, delay_function=f)
+        job = Job(task=task, release_time=0.0, job_id=0)
+        assert worst_case_delay_model(job, 10.0 + 1e-9) == f.value(10.0)

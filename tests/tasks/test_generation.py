@@ -74,6 +74,33 @@ class TestGenerateTaskSet:
         for t in ts:
             assert t.wcet <= t.deadline <= t.period + 1e-9
 
+    def test_constrained_same_seed_reproduces_identical_set(self):
+        # The constrained branch draws one extra uniform per task; the
+        # whole set must still be a pure function of the seed.
+        a = generate_task_set(6, 0.6, seed=11, deadline_style="constrained")
+        b = generate_task_set(6, 0.6, seed=11, deadline_style="constrained")
+        assert [
+            (t.name, t.wcet, t.period, t.deadline) for t in a
+        ] == [(t.name, t.wcet, t.period, t.deadline) for t in b]
+
+    def test_constrained_draws_strictly_inside_the_period(self):
+        constrained = generate_task_set(
+            5, 0.5, seed=7, deadline_style="constrained"
+        )
+        implicit = generate_task_set(5, 0.5, seed=7)
+        # Implicit sets D = T; the constrained branch draws D in
+        # [C, T] (strictly below T with overwhelming probability).
+        assert all(t.deadline == t.period for t in implicit)
+        assert any(t.deadline < t.period for t in constrained)
+        assert all(
+            t.wcet <= t.deadline <= t.period for t in constrained
+        )
+
+    def test_constrained_different_seeds_differ(self):
+        a = generate_task_set(5, 0.5, seed=1, deadline_style="constrained")
+        b = generate_task_set(5, 0.5, seed=2, deadline_style="constrained")
+        assert [t.deadline for t in a] != [t.deadline for t in b]
+
     def test_unknown_style_rejected(self):
         with pytest.raises(ValueError):
             generate_task_set(3, 0.5, seed=0, deadline_style="weird")

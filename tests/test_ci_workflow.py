@@ -97,6 +97,16 @@ class TestJobCommands:
         commands = _steps_commands(job)
         assert "benchmarks/bench_*.py" in commands
 
+    def test_bench_smoke_job_runs_a_campaign_end_to_end(self, workflow):
+        # The campaign subsystem must be exercised for real on every
+        # push: a cold store run, a --resume re-emission, and a
+        # byte-identity check between the two.
+        commands = _steps_commands(workflow["jobs"]["bench-smoke"])
+        assert "python -m repro campaign fig5" in commands
+        assert "--resume" in commands
+        assert "cmp" in commands
+        assert "sim-validate" in commands
+
     def test_workflow_paths_exist(self, workflow):
         # Any repo path named in a run command must exist.
         commands = "\n".join(

@@ -356,3 +356,62 @@ class TestSweepErrors:
         captured = capsys.readouterr()
         assert code == 1
         assert "manifest" in captured.err
+
+
+class TestShardConsistency:
+    def test_sweep_resume_with_different_shard_fails_clearly(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        store = tmp_path / "shard.sqlite"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                *_SWEEP,
+                "--out", str(tmp_path / "s1.jsonl"),
+                "--store", str(store),
+                "--shard", "1/3",
+            ],
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                *_SWEEP,
+                "--out", str(tmp_path / "s2.jsonl"),
+                "--store", str(store),
+                "--shard", "2/3",
+                "--resume",
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "recorded for shard '1/3'" in captured.err
+        assert "partial result file" in captured.err
+
+    def test_sweep_unsharded_store_rejects_sharded_resume(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        store = tmp_path / "full.sqlite"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [*_SWEEP, "--out", str(tmp_path / "f.jsonl"), "--store", str(store)],
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                *_SWEEP,
+                "--out", str(tmp_path / "p.jsonl"),
+                "--store", str(store),
+                "--shard", "1/2",
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "recorded for shard 'full'" in captured.err

@@ -1,0 +1,424 @@
+"""End-to-end CLI tests for ``python -m repro campaign``.
+
+The acceptance surface of the campaign subsystem: a spec covering the
+Figure 5 grid must produce output byte-identical to the hand-coded
+``repro sweep`` path, a killed-and-resumed simulation campaign must be
+byte-identical to an uninterrupted one, and shard slices must merge
+back losslessly — while shard/resume misuse fails loudly instead of
+silently emitting partial result files.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(tmp_path, monkeypatch, argv):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    return main(argv)
+
+
+_FIG5 = [
+    "campaign", "fig5", "--set", "points=5", "--set", "knots=64",
+]
+_SIM = [
+    "campaign", "sim-validate",
+    "--set", "sets_per_point=3",
+    "--set", "utilizations=[0.4, 0.6]",
+]
+
+
+class TestCampaignMatchesSweep:
+    def test_fig5_campaign_is_byte_identical_to_sweep(
+        self, tmp_path, monkeypatch
+    ):
+        sweep_out = tmp_path / "sweep.jsonl"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                "sweep", "--points", "5", "--knots", "64",
+                "--out", str(sweep_out),
+            ],
+        )
+        assert code == 0
+        camp_out = tmp_path / "campaign.jsonl"
+        code = _run(
+            tmp_path, monkeypatch, [*_FIG5, "--out", str(camp_out)]
+        )
+        assert code == 0
+        assert camp_out.read_bytes() == sweep_out.read_bytes()
+
+    def test_campaign_refuses_a_store_recorded_by_sweep(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # The CLI scopes every store to one manifest: a store the
+        # sweep command filled records kind 'qsweep', so a campaign
+        # run (kind 'campaign') must refuse it rather than mix grids —
+        # even though the underlying scenario keys coincide (see
+        # test_campaign_reuses_sweep_rows_through_the_api below).
+        store = tmp_path / "shared.sqlite"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                "sweep", "--points", "5", "--knots", "64",
+                "--store", str(store),
+                "--out", str(tmp_path / "sweep.jsonl"),
+            ],
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [*_FIG5, "--store", str(store), "--out", str(tmp_path / "c.jsonl")],
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "manifest" in captured.err
+
+    def test_campaign_reuses_sweep_rows_through_the_api(self, tmp_path):
+        # Same scenarios -> same content-addressed keys: at the
+        # run_cached_batch level (no manifest scoping) a campaign
+        # against a store a sweep filled recomputes nothing.
+        from repro.campaign import builtin_campaign, compile_campaign
+        from repro.engine import (
+            evaluate_bound_scenario,
+            q_sweep_scenarios,
+            run_cached_batch,
+        )
+        from repro.experiments import default_q_grid
+        from repro.store import ResultStore, package_fingerprint
+
+        with ResultStore(
+            tmp_path / "shared.sqlite",
+            fingerprint=package_fingerprint("repro"),
+        ) as store:
+            sweep_scenarios = q_sweep_scenarios(
+                default_q_grid(points=4), knots=64
+            )
+            first = run_cached_batch(
+                evaluate_bound_scenario, sweep_scenarios, store
+            )
+            assert first.computed == len(sweep_scenarios)
+
+            compiled = compile_campaign(
+                builtin_campaign("fig5", points=4, knots=64)
+            )
+            second = run_cached_batch(
+                compiled.family.worker, compiled.scenarios, store
+            )
+            assert second.computed == 0
+            assert second.cached == len(compiled.scenarios)
+
+
+class TestCampaignResume:
+    def test_killed_sim_campaign_resumes_byte_identical(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        plain = tmp_path / "plain.jsonl"
+        assert _run(tmp_path, monkeypatch, [*_SIM, "--out", str(plain)]) == 0
+
+        out = tmp_path / "resumed.jsonl"
+        store = tmp_path / "sim.sqlite"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                *_SIM,
+                "--out", str(out),
+                "--store", str(store),
+                "--fail-after", "2",
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "interrupted" in captured.err
+        assert "--resume" in captured.err
+
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [*_SIM, "--out", str(out), "--store", str(store), "--resume"],
+        )
+        assert code == 0
+        assert out.read_bytes() == plain.read_bytes()
+
+    def test_resume_requires_store(self, tmp_path, monkeypatch, capsys):
+        code = _run(tmp_path, monkeypatch, [*_FIG5, "--resume"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--resume requires --store" in captured.err
+
+    def test_resume_requires_existing_store(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [*_FIG5, "--store", str(tmp_path / "absent.sqlite"), "--resume"],
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "does not exist" in captured.err
+
+
+class TestCampaignShards:
+    def test_sharded_campaign_merges_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        plain = tmp_path / "plain.jsonl"
+        assert _run(tmp_path, monkeypatch, [*_FIG5, "--out", str(plain)]) == 0
+
+        shards = []
+        for i in (1, 2):
+            store = tmp_path / f"shard{i}.sqlite"
+            shards.append(str(store))
+            code = _run(
+                tmp_path,
+                monkeypatch,
+                [
+                    *_FIG5,
+                    "--out", str(tmp_path / f"shard{i}.jsonl"),
+                    "--store", str(store),
+                    "--shard", f"{i}/2",
+                ],
+            )
+            assert code == 0
+
+        merged_out = tmp_path / "merged.jsonl"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                "merge", str(tmp_path / "merged.sqlite"), *shards,
+                "--out", str(merged_out),
+            ],
+        )
+        assert code == 0
+        assert merged_out.read_bytes() == plain.read_bytes()
+
+    def test_resume_with_different_shard_fails_clearly(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        store = tmp_path / "shard.sqlite"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                *_FIG5,
+                "--out", str(tmp_path / "s1.jsonl"),
+                "--store", str(store),
+                "--shard", "1/2",
+            ],
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                *_FIG5,
+                "--out", str(tmp_path / "s2.jsonl"),
+                "--store", str(store),
+                "--shard", "2/2",
+                "--resume",
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "recorded for shard '1/2'" in captured.err
+        assert "partial result file" in captured.err
+
+    def test_shard_spec_is_canonicalized_in_the_store(
+        self, tmp_path, monkeypatch
+    ):
+        # Leading zeros are cosmetic: 01/02 and 1/2 are the same slice
+        # and must not trip the shard-consistency check.
+        store = tmp_path / "shard.sqlite"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                *_FIG5,
+                "--out", str(tmp_path / "a.jsonl"),
+                "--store", str(store),
+                "--shard", "01/02",
+            ],
+        )
+        assert code == 0
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                *_FIG5,
+                "--out", str(tmp_path / "b.jsonl"),
+                "--store", str(store),
+                "--shard", "1/2",
+                "--resume",
+            ],
+        )
+        assert code == 0
+
+
+class TestCampaignSpecResolution:
+    def test_spec_file_runs(self, tmp_path, monkeypatch):
+        spec = {
+            "name": "mini",
+            "family": "bound",
+            "axes": {
+                "q": {"grid": [50.0, 100.0]},
+                "function": {"grid": ["gaussian1"]},
+            },
+            "defaults": {"knots": 64},
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        out = tmp_path / "mini.jsonl"
+        code = _run(
+            tmp_path, monkeypatch, ["campaign", str(path), "--out", str(out)]
+        )
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["function"] == "gaussian1"
+
+    def test_set_overrides_spec_file_defaults(self, tmp_path, monkeypatch):
+        spec = {
+            "family": "bound",
+            "axes": {
+                "q": {"grid": [50.0]},
+                "function": {"grid": ["gaussian1"]},
+            },
+            "defaults": {"knots": 64},
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        out_a = tmp_path / "a.jsonl"
+        out_b = tmp_path / "b.jsonl"
+        assert _run(
+            tmp_path,
+            monkeypatch,
+            ["campaign", str(path), "--out", str(out_a)],
+        ) == 0
+        assert _run(
+            tmp_path,
+            monkeypatch,
+            [
+                "campaign", str(path), "--set", "knots=128",
+                "--out", str(out_b),
+            ],
+        ) == 0
+        # Different resolution -> different bound values.
+        assert out_a.read_bytes() != out_b.read_bytes()
+
+    def test_builtin_name_not_shadowed_by_directory(
+        self, tmp_path, monkeypatch
+    ):
+        # A directory (or stray extensionless file) named like a
+        # builtin must not hijack the name (regression: Path.exists()
+        # used to win over the builtin table).
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "fig5").mkdir()
+        out = tmp_path / "out.jsonl"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                "campaign", "fig5",
+                "--set", "points=3", "--set", "knots=64",
+                "--out", str(out),
+            ],
+        )
+        assert code == 0
+        assert len(out.read_text().splitlines()) == 9
+
+    def test_unknown_name_lists_builtins(self, tmp_path, monkeypatch, capsys):
+        code = _run(tmp_path, monkeypatch, ["campaign", "nope"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "neither an existing spec file nor a built-in" in captured.err
+        assert "fig5" in captured.err
+
+    def test_malformed_set_flag(self, tmp_path, monkeypatch, capsys):
+        code = _run(
+            tmp_path, monkeypatch, ["campaign", "fig5", "--set", "points"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "expected key=value" in captured.err
+
+    def test_csv_output(self, tmp_path, monkeypatch):
+        out = tmp_path / "campaign.csv"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [*_FIG5, "--format", "csv", "--out", str(out)],
+        )
+        assert code == 0
+        header = out.read_text().splitlines()[0]
+        assert header.split(",")[:2] == ["function", "q"]
+
+    def test_worker_failure_exits_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # knots=0 makes every bound worker raise while building its
+        # benchmark function.
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                "campaign", "fig5",
+                "--set", "points=2", "--set", "knots=0",
+                "--out", str(tmp_path / "bad.jsonl"),
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error: worker failed on scenario" in captured.err
+
+
+@pytest.mark.parametrize(
+    "spec,message",
+    [
+        ("0/0", "shard count N must be >= 1"),
+        ("2/0", "shard count N must be >= 1"),
+        ("0/4", "need 1 <= I <= N"),
+        ("5/4", "need 1 <= I <= N"),
+    ],
+)
+def test_parse_shard_messages(spec, message):
+    from repro.cli import parse_shard
+
+    with pytest.raises(ValueError, match=message):
+        parse_shard(spec)
+
+
+def test_parse_shard_normalizes_leading_zeros():
+    from repro.cli import format_shard, parse_shard
+
+    assert parse_shard("01/04") == (1, 4)
+    assert format_shard(*parse_shard("01/04")) == "1/4"
+
+
+def test_typoed_policy_fails_loudly_not_vacuously(
+    tmp_path, monkeypatch, capsys
+):
+    # Regression: --set policy=rm used to exit 0 with every record
+    # admitted=false (a vacuously 'passing' validation campaign).
+    code = _run(
+        tmp_path,
+        monkeypatch,
+        [
+            "campaign", "sim-validate",
+            "--set", "sets_per_point=2", "--set", "policy=rm",
+            "--out", str(tmp_path / "bad.jsonl"),
+        ],
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "error: worker failed on scenario" in captured.err
+    assert "unknown policy" in captured.err
