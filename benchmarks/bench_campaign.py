@@ -11,7 +11,9 @@ evaluated by the plain engine.  Asserted claims:
    scenarios with ``run_batch`` — declarativeness is free at sweep
    scale.
 
-Artifact: ``results/bench_campaign.txt`` with the timing table.
+Artifacts: ``results/bench_campaign.txt`` with the timing table and the
+machine-readable ``results/BENCH_campaign.json`` (ops/sec, overhead
+ratio) for cross-PR perf tracking.
 
 Run with::
 
@@ -22,10 +24,10 @@ from __future__ import annotations
 
 import time
 
-from conftest import save_text, scaled
+from conftest import save_text, scaled, update_bench_json
 
 from repro.campaign import compile_campaign
-from repro.engine import q_sweep_scenarios, run_batch
+from repro.engine import clear_context_cache, q_sweep_scenarios, run_batch
 from repro.engine.sweeps import benchmark_function, evaluate_bound_scenario
 from repro.experiments import default_q_grid, render_table
 from repro.piecewise import clear_segment_index_cache
@@ -80,6 +82,7 @@ def test_spec_compilation_overhead_is_negligible(artifacts_dir):
 
     benchmark_function.cache_clear()
     clear_segment_index_cache()
+    clear_context_cache()
     started = time.perf_counter()
     results = run_batch(evaluate_bound_scenario, compiled.scenarios)
     t_run = time.perf_counter() - started
@@ -98,6 +101,19 @@ def test_spec_compilation_overhead_is_negligible(artifacts_dir):
         ],
     )
     save_text(artifacts_dir, "bench_campaign.txt", table)
+    update_bench_json(
+        artifacts_dir,
+        "campaign",
+        {
+            "spec_compilation": {
+                "scenarios": len(compiled.scenarios),
+                "compile_s": round(t_compile, 5),
+                "run_s": round(t_run, 4),
+                "run_ops_per_s": round(len(compiled.scenarios) / t_run, 1),
+                "compile_overhead_ratio": round(overhead, 5),
+            }
+        },
+    )
     print()
     print(table)
 

@@ -1,26 +1,35 @@
 """BENCH-ENGINE: batched engine throughput vs the sequential baselines.
 
-Three comparisons on a ≥1000-scenario delay-bound sweep, with the
-claims *asserted* so a regression fails the benchmark run instead of
-silently shipping:
+Four comparisons with the claims *asserted* so a regression fails the
+benchmark run instead of silently shipping:
 
-1. **Engine vs the single-shot API path.**  The baseline runs the full
-   public single-scenario recipe per scenario — build the benchmark
-   function, run both bounds — which is what a caller without a batch
-   API writes.  The engine amortises function construction across the
-   batch via the per-worker LRU cache and must win clearly.
+1. **Engine vs the single-shot API path** on a ≥1000-scenario
+   delay-bound sweep.  The baseline runs the full public
+   single-scenario recipe per scenario — build the benchmark function,
+   run both bounds — which is what a caller without a batch API writes.
+   The engine amortises function construction across the batch via the
+   shared-artifact context layer and must win clearly.
 2. **Engine vs a hand-hoisted loop.**  The strongest sequential
    baseline: functions hoisted out of the loop by hand (what the
    pre-engine ``generate_fig5`` did internally).  The engine cannot
    beat this on one core — the point asserted is that its batching
    overhead is *negligible* (within a small factor), i.e. the engine's
    conveniences (chunking, sinks, pooling) come for free.
-3. **Vectorized piecewise kernel vs the scalar ``f.value`` loop** on a
+3. **Grouped context evaluation vs per-scenario rebuild** on a
+   fig5-shaped acceptance grid (many ``q_fraction`` points per
+   generated task set).  The ungrouped baseline re-derives the task
+   set, its Lehoczky/safe-Q curves and delay maxima for every scenario
+   (the pre-context worker); the grouped path resolves them once per
+   :class:`repro.engine.context.ContextKey`.  Must be ≥2x faster and
+   bit-identical.
+4. **Vectorized piecewise kernel vs the scalar ``f.value`` loop** on a
    large sample grid.
 
 All comparisons also assert bit-identical results.
 
-Artifacts: ``results/bench_engine.txt`` with the timing table.
+Artifacts: ``results/bench_engine.txt`` with the timing table and the
+machine-readable ``results/BENCH_engine.json`` (ops/sec, speedup
+ratios) for cross-PR perf tracking.
 
 Run with::
 
@@ -31,14 +40,27 @@ from __future__ import annotations
 
 import time
 
-from conftest import save_text, scaled
+from conftest import save_text, scaled, update_bench_json
 
 from repro.core.bounds import compare_bounds
-from repro.engine import evaluate_bound_scenario, q_sweep_scenarios, run_batch
-from repro.engine.sweeps import benchmark_function
+from repro.engine import (
+    StudyScenario,
+    clear_context_cache,
+    evaluate_bound_scenario,
+    evaluate_study_scenario,
+    q_sweep_scenarios,
+    run_batch,
+)
+from repro.engine.sweeps import (
+    StudyResult,
+    benchmark_function,
+    prepared_task_set,
+    study_context_key,
+)
 from repro.experiments import default_q_grid, render_table
 from repro.experiments.functions_fig4 import fig4_delay_function
 from repro.piecewise import clear_segment_index_cache, evaluate_sorted
+from repro.sched.crpd_rta import METHODS, delay_aware_rta
 
 #: Sweep shape: 350 Q points x 3 functions = 1050 scenarios (>= 1000);
 #: smoke mode shrinks the grid but keeps every assertion.
@@ -55,6 +77,15 @@ MAX_OVERHEAD = scaled(1.25, 1.5)
 #: Repetitions for the tight hoisted-vs-engine comparison; best-of-N
 #: wall clock absorbs scheduler hiccups on shared machines.
 TIMING_REPS = scaled(2, 1)
+
+#: Shape of the fig5-shaped acceptance grid: many q_fraction points per
+#: generated task set, fraction-major so the task-set groups interleave
+#: in the stream (the worst case for locality, the case grouping fixes).
+GRID_UTILIZATIONS = scaled([0.5, 0.6, 0.7], [0.5, 0.65])
+GRID_SEEDS = scaled(5, 3)
+GRID_Q_FRACTIONS = scaled(6, 4)
+#: The context layer must at least halve the grid's wall clock.
+MIN_GROUPED_SPEEDUP = 2.0
 
 
 def _best_of(reps, fn, *, before=None):
@@ -173,6 +204,21 @@ def test_engine_vs_sequential_baselines(artifacts_dir):
         ],
     )
     save_text(artifacts_dir, "bench_engine.txt", table)
+    update_bench_json(
+        artifacts_dir,
+        "engine",
+        {
+            "engine_vs_sequential": {
+                "scenarios": len(scenarios),
+                "single_shot_s": round(t_single_shot, 4),
+                "hoisted_s": round(t_hoisted, 4),
+                "engine_s": round(t_engine, 4),
+                "engine_ops_per_s": round(len(scenarios) / t_engine, 1),
+                "speedup_vs_single_shot": round(t_single_shot / t_engine, 2),
+                "overhead_vs_hoisted": round(t_engine / t_hoisted, 3),
+            }
+        },
+    )
     print()
     print(table)
 
@@ -188,7 +234,116 @@ def test_engine_vs_sequential_baselines(artifacts_dir):
     )
 
 
-def test_vectorized_kernel_beats_scalar_loop():
+def _uncontexted_study(scenario: StudyScenario) -> StudyResult:
+    """The pre-context ``study`` worker: every scenario re-derives its
+    task set, safe-Q curves and delay maxima from scratch (what
+    ``evaluate_study_scenario`` did before the context layer)."""
+    task_set = prepared_task_set(
+        scenario.n_tasks,
+        scenario.utilization,
+        seed=scenario.seed,
+        q_fraction=scenario.q_fraction,
+        delay_height=scenario.delay_height,
+    )
+    if task_set is None:
+        return StudyResult(
+            utilization=scenario.utilization,
+            seed=scenario.seed,
+            admitted=False,
+            accepted=tuple(False for _ in scenario.methods),
+        )
+    return StudyResult(
+        utilization=scenario.utilization,
+        seed=scenario.seed,
+        admitted=True,
+        accepted=tuple(
+            delay_aware_rta(task_set, method).schedulable
+            for method in scenario.methods
+        ),
+    )
+
+
+def test_grouped_context_beats_ungrouped_rebuild(artifacts_dir):
+    """Shared-artifact contexts must give ≥2x on a multi-q-per-task-set
+    grid, with bit-identical results."""
+    # Fraction-major stream: all task sets at fraction[0], then
+    # fraction[1], ... — the fig5 shape, where group members interleave.
+    fractions = [
+        (k + 1) / GRID_Q_FRACTIONS for k in range(GRID_Q_FRACTIONS)
+    ]
+    scenarios = [
+        StudyScenario(
+            utilization=utilization,
+            seed=1000 + seed,
+            n_tasks=5,
+            q_fraction=fraction,
+            delay_height=0.05,
+            methods=METHODS,
+        )
+        for fraction in fractions
+        for utilization in GRID_UTILIZATIONS
+        for seed in range(GRID_SEEDS)
+    ]
+    groups = len(GRID_UTILIZATIONS) * GRID_SEEDS
+
+    started = time.perf_counter()
+    ungrouped = [_uncontexted_study(s) for s in scenarios]
+    t_ungrouped = time.perf_counter() - started
+
+    clear_context_cache()
+    started = time.perf_counter()
+    grouped = run_batch(
+        evaluate_study_scenario, scenarios, group_by=study_context_key
+    )
+    t_grouped = time.perf_counter() - started
+
+    assert grouped == ungrouped  # bit-identical verdicts
+    speedup = t_ungrouped / t_grouped
+
+    table = render_table(
+        ["path", "seconds", "scenarios/s"],
+        [
+            [
+                "ungrouped (rebuild per scenario)",
+                f"{t_ungrouped:.2f}",
+                f"{len(scenarios) / t_ungrouped:.0f}",
+            ],
+            [
+                "grouped (shared AnalysisContext)",
+                f"{t_grouped:.2f}",
+                f"{len(scenarios) / t_grouped:.0f}",
+            ],
+            ["speedup", f"{speedup:.1f}x", ""],
+            ["task-set groups", groups, ""],
+            ["scenarios per group", len(scenarios) // groups, ""],
+        ],
+    )
+    save_text(artifacts_dir, "bench_engine_grouped.txt", table)
+    update_bench_json(
+        artifacts_dir,
+        "engine",
+        {
+            "grouped_vs_ungrouped": {
+                "scenarios": len(scenarios),
+                "groups": groups,
+                "ungrouped_s": round(t_ungrouped, 4),
+                "grouped_s": round(t_grouped, 4),
+                "grouped_ops_per_s": round(len(scenarios) / t_grouped, 1),
+                "speedup": round(speedup, 2),
+            }
+        },
+    )
+    print()
+    print(table)
+
+    assert speedup >= MIN_GROUPED_SPEEDUP, (
+        f"grouped evaluation ({t_grouped:.2f}s) is only {speedup:.2f}x "
+        f"faster than per-scenario rebuild ({t_ungrouped:.2f}s); "
+        f"the context layer must deliver >= {MIN_GROUPED_SPEEDUP}x"
+    )
+
+
+def test_vectorized_kernel_beats_scalar_loop(artifacts_dir):
     f = fig4_delay_function("bimodal", knots=scaled(4096, 1024))
     wcet = f.wcet
     samples = scaled(40_000, 10_000)
@@ -204,6 +359,19 @@ def test_vectorized_kernel_beats_scalar_loop():
     t_vectorized = time.perf_counter() - started
 
     assert vectorized == scalar  # bit-identical
+    update_bench_json(
+        artifacts_dir,
+        "engine",
+        {
+            "vectorized_kernel": {
+                "samples": samples,
+                "scalar_s": round(t_scalar, 4),
+                "vectorized_s": round(t_vectorized, 4),
+                "vectorized_ops_per_s": round(samples / t_vectorized, 1),
+                "speedup": round(t_scalar / t_vectorized, 2),
+            }
+        },
+    )
     print(
         f"\nscalar: {t_scalar:.3f}s  vectorized: {t_vectorized:.3f}s  "
         f"speedup: {t_scalar / t_vectorized:.1f}x"

@@ -16,6 +16,7 @@ benchmarks by hand.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -47,4 +48,39 @@ def save_text(directory: Path, name: str, content: str) -> Path:
     """Write a text artifact and return its path."""
     path = directory / name
     path.write_text(content + "\n")
+    return path
+
+
+def update_bench_json(directory: Path, name: str, metrics: dict) -> Path:
+    """Merge one benchmark's metrics into ``BENCH_<name>.json``.
+
+    The machine-readable companion of the ``.txt`` tables: ops/sec and
+    speedup ratios keyed by benchmark section, so the perf trajectory
+    can be diffed across PRs.  Each test of a benchmark module merges
+    its own section (read-modify-write); every section is stamped with
+    the ``mode`` (full / smoke) of the run that produced *it*, so a
+    partial smoke re-run can never mislabel numbers measured at full
+    scale.
+
+    Args:
+        directory: The results directory.
+        name: Benchmark family (``engine``, ``campaign``, …).
+        metrics: ``{section: {metric: value}}`` to merge.
+    """
+    path = directory / f"BENCH_{name}.json"
+    payload: dict = {"benchmark": name, "sections": {}}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            pass  # regenerate a corrupt artifact from scratch
+    payload["benchmark"] = name
+    payload.pop("mode", None)  # superseded by the per-section stamp
+    mode = "smoke" if smoke_mode() else "full"
+    stamped = {
+        section: {**values, "mode": mode}
+        for section, values in metrics.items()
+    }
+    payload.setdefault("sections", {}).update(stamped)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -278,6 +278,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         run_batch,
         run_cached_batch,
     )
+    from repro.engine.sweeps import bound_context_key
     from repro.experiments import default_q_grid, render_table
     from repro.experiments.io import results_dir
 
@@ -320,6 +321,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                         sink=sink,
                         collect=False,
                         on_result=_abort_hook,
+                        group_by=bound_context_key,
                     )
                     cached, computed = run.cached, run.computed
             else:
@@ -333,6 +335,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     chunk_size=args.chunk,
                     sink=sink,
                     collect=False,
+                    group_by=bound_context_key,
                 )
                 computed = len(scenarios)
             converged = sink.converged
@@ -475,6 +478,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                         sink=sink,
                         collect=False,
                         on_result=_abort_hook,
+                        group_by=compiled.family.context_key,
                     )
                     cached, computed = run.cached, run.computed
             else:
@@ -485,6 +489,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     chunk_size=args.chunk,
                     sink=sink,
                     collect=False,
+                    group_by=compiled.family.context_key,
                 )
                 computed = len(scenarios)
     except KeyboardInterrupt:

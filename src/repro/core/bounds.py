@@ -57,6 +57,7 @@ def compare_bounds(
     q: float,
     include_naive: bool = False,
     naive_grid_step: float = 1.0,
+    f_max: float | None = None,
 ) -> BoundComparison:
     """Compute every implemented bound for ``(f, q)``.
 
@@ -65,11 +66,15 @@ def compare_bounds(
         q: The floating-NPR length.
         include_naive: Also run the (unsound) naive packing.
         naive_grid_step: Grid pitch for the naive DP.
+        f_max: Precomputed ``f.max_value()`` for the Eq. 4 recurrence
+            (see :func:`repro.core.state_of_the_art_delay_bound`); a
+            context-holding sweep passes it so the global maximum is
+            found once per function instead of once per ``(f, q)`` pair.
     """
     return BoundComparison(
         q=q,
         algorithm1=floating_npr_delay_bound(f, q),
-        state_of_the_art=state_of_the_art_delay_bound(f, q),
+        state_of_the_art=state_of_the_art_delay_bound(f, q, f_max=f_max),
         naive=(
             naive_point_selection_bound(f, q, naive_grid_step)
             if include_naive

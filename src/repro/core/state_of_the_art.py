@@ -60,6 +60,7 @@ def state_of_the_art_delay_bound(
     f: PreemptionDelayFunction,
     q: float,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    f_max: float | None = None,
 ) -> StateOfTheArtBound:
     """Compute the Eq. 4 bound for delay function ``f`` and NPR length ``q``.
 
@@ -72,6 +73,12 @@ def state_of_the_art_delay_bound(
         f: Preemption-delay function (only ``C`` and ``max f`` are used).
         q: Floating-NPR length (> 0).
         max_iterations: Safety cap on fixpoint iterations.
+        f_max: Precomputed ``f.max_value()``.  The recurrence only ever
+            reads ``C`` and ``max f``, and the maximum is the expensive
+            part — a sweep evaluating many Q against one ``f`` (the
+            shared-artifact context layer, :mod:`repro.engine.context`)
+            computes it once and passes it here.  Must equal
+            ``f.max_value()`` exactly; ``None`` computes it.
 
     Raises:
         ValueError: if the cap is exhausted before reaching a fixpoint even
@@ -79,7 +86,7 @@ def state_of_the_art_delay_bound(
     """
     require_positive(q, "q")
     wcet = f.wcet
-    max_delay = f.max_value()
+    max_delay = f.max_value() if f_max is None else f_max
     require_non_negative(max_delay, "max f")
 
     if max_delay == 0.0:

@@ -27,6 +27,14 @@ registered under a stable name — ``bound`` and ``study`` in
 :mod:`repro.engine.families`.  The registry is what lets declarative
 campaign specs (:mod:`repro.campaign`) reach any workload by name.
 
+Families evaluate against *shared-artifact contexts*
+(:mod:`repro.engine.context`): expensive per-task-set / per-function
+state — generated task sets, safe-Q vectors, delay maxima, segment
+indices — is built once per :class:`ContextKey` through a per-process
+memo, and ``run_batch(..., group_by=family.context_key)`` shapes pooled
+chunks so each worker builds every context exactly once while output
+order and results stay bit-identical to the ungrouped path.
+
 Layering: ``engine`` sits above ``core``/``sched``/``sim``/``tasks``
 (whose analyses it invokes through the family workers) and below
 :mod:`repro.experiments` and :mod:`repro.campaign`, whose public
@@ -38,7 +46,21 @@ from repro.engine.cached import (
     emit_from_store,
     run_cached_batch,
 )
-from repro.engine.chunking import chunk_bounds, default_chunk_size, derive_seed
+from repro.engine.chunking import (
+    chunk_bounds,
+    default_chunk_size,
+    derive_seed,
+    grouped_chunk_plan,
+)
+from repro.engine.context import (
+    AnalysisContext,
+    ContextKey,
+    benchmark_context_key,
+    build_context,
+    clear_context_cache,
+    get_context,
+    taskset_context_key,
+)
 from repro.engine.families import (
     EdfStudyResult,
     EdfStudyScenario,
@@ -88,6 +110,14 @@ __all__ = [
     "chunk_bounds",
     "default_chunk_size",
     "derive_seed",
+    "grouped_chunk_plan",
+    "AnalysisContext",
+    "ContextKey",
+    "benchmark_context_key",
+    "build_context",
+    "clear_context_cache",
+    "get_context",
+    "taskset_context_key",
     "EngineConfig",
     "BatchEngine",
     "run_batch",

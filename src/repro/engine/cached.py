@@ -24,7 +24,7 @@ unsharded run (:func:`emit_from_store`).
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Hashable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
@@ -146,6 +146,7 @@ def run_cached_batch(
     chunk_size: int | None = None,
     executor: str = "process",
     on_result: Callable[[int], None] | None = None,
+    group_by: Callable[[S], Hashable] | None = None,
 ) -> CachedRun:
     """Evaluate ``scenarios``, serving and checkpointing via ``store``.
 
@@ -166,6 +167,13 @@ def run_cached_batch(
         executor: ``"process"`` or ``"thread"``.
         on_result: Hook called with the running count after each fresh
             record is checkpointed.
+        group_by: Optional shared-artifact grouping key, forwarded to
+            :func:`repro.engine.run_batch` for the cache-miss subset.
+            Store keys stay strictly per-scenario — resume and shard
+            semantics are untouched — but the misses are partitioned
+            group-wise, so a warm store never forces a context rebuild
+            for a group whose remaining scenarios are all cached, and a
+            half-warm group is still evaluated against one context.
 
     Returns:
         A :class:`CachedRun` with results and cache statistics.
@@ -188,6 +196,7 @@ def run_cached_batch(
                     store, [keys[i] for i in missing], on_result
                 ),
                 collect=False,
+                group_by=group_by,
             )
         except WorkerError as exc:
             # run_batch saw only the uncached subset; re-pin the index

@@ -1,17 +1,24 @@
 """Deterministic chunking and seed derivation for the batch engine.
 
-Both primitives are pure functions of their inputs so a sweep's
+All primitives are pure functions of their inputs so a sweep's
 decomposition — and therefore its results — never depends on worker
 count, executor kind or scheduling order:
 
 * :func:`chunk_bounds` splits ``n`` scenarios into contiguous
   ``[start, stop)`` index ranges;
+* :func:`grouped_chunk_plan` splits a scenario stream into index chunks
+  that never span two shared-artifact groups (the
+  :class:`repro.engine.context.ContextKey` partition), so each pool
+  worker builds a group's context once and evaluates its whole slice —
+  while the engine still emits results in original scenario order;
 * :func:`derive_seed` maps ``(base_seed, scenario_index)`` to an
   independent 63-bit stream seed with a SplitMix64 finalizer, so every
   scenario owns its randomness no matter which worker executes it.
 """
 
 from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
 
 from repro.utils.checks import require
 
@@ -47,6 +54,50 @@ def default_chunk_size(total: int, workers: int) -> int:
     if total <= 0:
         return 1
     return max(1, -(-total // (workers * 4)))
+
+
+def grouped_chunk_plan(
+    group_keys: Sequence[Hashable], chunk_size: int
+) -> list[list[int]]:
+    """Index chunks that respect shared-artifact group boundaries.
+
+    Scenarios are partitioned by their (hashable) group key; indices
+    inside a group keep ascending (stream) order, each group is cut
+    into chunks of at most ``chunk_size`` — so no chunk ever mixes two
+    groups, and a worker evaluating one chunk touches exactly one
+    context.  Groups do *not* have to be contiguous in the stream (a
+    q-major Figure 5 grid interleaves its three functions); the engine
+    scatters results back into scenario order.
+
+    Chunks are ordered by their smallest contained index: when groups
+    interleave, the chunks covering the front of the stream are
+    submitted (and typically finished) first, so the engine's ordered
+    flush holds at most the in-flight chunks' results instead of
+    buffering whole trailing groups — streaming stays bounded-memory
+    even for fully interleaved grids.  Per-worker context builds are
+    unaffected: the per-process memo serves every later chunk of an
+    already-seen group.
+
+    A pure function of ``(group_keys, chunk_size)``: the plan — and
+    therefore the result stream — is identical for every worker count.
+
+    Args:
+        group_keys: One hashable key per scenario, in stream order.
+        chunk_size: Maximum scenarios per chunk (> 0).
+
+    Returns:
+        Index chunks covering ``range(len(group_keys))`` exactly once.
+    """
+    require(chunk_size > 0, f"chunk_size must be > 0, got {chunk_size}")
+    groups: dict[Hashable, list[int]] = {}
+    for index, key in enumerate(group_keys):
+        groups.setdefault(key, []).append(index)
+    plan: list[list[int]] = []
+    for indices in groups.values():
+        for start in range(0, len(indices), chunk_size):
+            plan.append(indices[start : start + chunk_size])
+    plan.sort(key=lambda chunk: chunk[0])
+    return plan
 
 
 def derive_seed(base_seed: int, index: int) -> int:

@@ -27,7 +27,7 @@ randomised analyses stay reproducible under any parallelism.
 from __future__ import annotations
 
 import os
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Hashable, Sequence
 from concurrent.futures import (
     Executor,
     FIRST_COMPLETED,
@@ -39,7 +39,11 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import TypeVar
 
-from repro.engine.chunking import chunk_bounds, default_chunk_size
+from repro.engine.chunking import (
+    chunk_bounds,
+    default_chunk_size,
+    grouped_chunk_plan,
+)
 from repro.engine.sinks import ResultSink, as_record
 from repro.utils.checks import require
 
@@ -160,6 +164,28 @@ def _run_chunk(
     return results
 
 
+def _run_chunk_indexed(
+    worker: Callable[[S], R],
+    scenarios: Sequence[S],
+    indices: Sequence[int],
+) -> list[R]:
+    """Evaluate one (possibly non-contiguous) index chunk sequentially.
+
+    The grouped counterpart of :func:`_run_chunk`: scenario ``k`` of the
+    chunk carries original stream index ``indices[k]``, which is what a
+    :class:`WorkerError` must pin.
+    """
+    results: list[R] = []
+    for offset, scenario in enumerate(scenarios):
+        try:
+            results.append(worker(scenario))
+        except WorkerError:
+            raise
+        except Exception as exc:
+            raise _worker_error(indices[offset], scenario, exc) from exc
+    return results
+
+
 class BatchEngine:
     """Evaluates scenario batches according to an :class:`EngineConfig`."""
 
@@ -172,6 +198,7 @@ class BatchEngine:
         scenarios: Sequence[S],
         sink: ResultSink | None = None,
         collect: bool = True,
+        group_by: Callable[[S], Hashable] | None = None,
     ) -> list[R] | None:
         """Evaluate ``worker`` over ``scenarios``; results in input order.
 
@@ -185,6 +212,21 @@ class BatchEngine:
             collect: When ``False`` (requires a ``sink``), results are
                 *only* streamed and never accumulated — the constant-
                 memory mode for 10^5+-scenario sweeps.
+            group_by: Optional ``scenario -> hashable key`` naming the
+                shared-artifact group (typically a family's
+                ``context_key``).  On the pooled path, chunks then
+                respect group boundaries
+                (:func:`~repro.engine.chunking.grouped_chunk_plan`) so
+                each worker process builds every context once; results
+                are still emitted in scenario order and are bit-identical
+                to the ungrouped decomposition.  The inline path keeps
+                plain scenario order — the per-process context memo
+                already amortises there — so grouping never changes the
+                reference results.  Chunks are planned in stream-front
+                order (see
+                :func:`~repro.engine.chunking.grouped_chunk_plan`), so
+                the ordered flush buffers at most the in-flight chunks
+                even when groups interleave.
 
         Returns:
             One result per scenario, ordered like ``scenarios``; ``None``
@@ -206,6 +248,10 @@ class BatchEngine:
                 if results is not None:
                     results.append(result)
             return results
+        if group_by is not None:
+            return self._map_pooled_grouped(
+                worker, scenarios, sink, collect, group_by
+            )
         return self._map_pooled(worker, scenarios, sink, collect)
 
     def _map_pooled(
@@ -260,6 +306,72 @@ class BatchEngine:
                     next_chunk += 1
         return ordered
 
+    def _map_pooled_grouped(
+        self,
+        worker: Callable[[S], R],
+        scenarios: Sequence[S],
+        sink: ResultSink | None,
+        collect: bool,
+        group_by: Callable[[S], Hashable],
+    ) -> list[R] | None:
+        """Pooled evaluation over a group-respecting chunk plan.
+
+        Chunks are single-group slices (possibly non-contiguous in the
+        stream), so results are scattered back index by index and
+        flushed in scenario order.  Submission is gated on the futures
+        backlog; because the plan is ordered by smallest contained
+        index, the chunk holding the next index to flush is always the
+        oldest unfinished one, so the out-of-order buffer never exceeds
+        the in-flight window of results.
+        """
+        workers = resolve_workers(self.config.max_workers)
+        chunk_size = self.config.chunk_size or default_chunk_size(
+            len(scenarios), workers
+        )
+        keys = [group_by(scenario) for scenario in scenarios]
+        plan = grouped_chunk_plan(keys, chunk_size)
+        if not plan:
+            return [] if collect else None
+        executor_cls: type[Executor] = (
+            ProcessPoolExecutor
+            if self.config.executor == "process"
+            else ThreadPoolExecutor
+        )
+        buffer: dict[int, R] = {}  # completed, not yet flushed, by index
+        ordered: list[R] | None = [] if collect else None
+        next_index = 0  # next scenario index to flush
+        max_inflight = workers * _MAX_INFLIGHT_FACTOR
+        with executor_cls(max_workers=workers) as pool:
+            pending: dict[Future[list[R]], int] = {}
+            submit_cursor = 0
+            while submit_cursor < len(plan) or pending:
+                while (
+                    submit_cursor < len(plan)
+                    and len(pending) < max_inflight
+                ):
+                    indices = plan[submit_cursor]
+                    future = pool.submit(
+                        _run_chunk_indexed,
+                        worker,
+                        [scenarios[i] for i in indices],
+                        indices,
+                    )
+                    pending[future] = submit_cursor
+                    submit_cursor += 1
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    chunk = plan[pending.pop(future)]
+                    for index, result in zip(chunk, future.result()):
+                        buffer[index] = result
+                while next_index in buffer:
+                    result = buffer.pop(next_index)
+                    if sink is not None:
+                        sink.write(as_record(result))
+                    if ordered is not None:
+                        ordered.append(result)
+                    next_index += 1
+        return ordered
+
 
 def run_batch(
     worker: Callable[[S], R],
@@ -270,6 +382,7 @@ def run_batch(
     executor: str = "process",
     sink: ResultSink | None = None,
     collect: bool = True,
+    group_by: Callable[[S], Hashable] | None = None,
 ) -> list[R] | None:
     """One-call batch evaluation (the functional face of the engine).
 
@@ -283,13 +396,21 @@ def run_batch(
         sink: Optional streaming sink (records in scenario order).
         collect: ``False`` (with a ``sink``) streams without
             accumulating — constant memory for arbitrarily large sweeps.
+        group_by: Optional shared-artifact grouping key (a family's
+            ``context_key``); pooled chunks then respect group
+            boundaries so each worker builds every
+            :class:`repro.engine.context.AnalysisContext` once.  Purely
+            a locality knob: results stay bit-identical and in scenario
+            order.
 
     Returns:
         One result per scenario, in scenario order — identical for every
-        ``(max_workers, chunk_size, executor)`` configuration — or
-        ``None`` when ``collect`` is ``False``.
+        ``(max_workers, chunk_size, executor, group_by)`` configuration —
+        or ``None`` when ``collect`` is ``False``.
     """
     config = EngineConfig(
         max_workers=max_workers, chunk_size=chunk_size, executor=executor
     )
-    return BatchEngine(config).map(worker, scenarios, sink=sink, collect=collect)
+    return BatchEngine(config).map(
+        worker, scenarios, sink=sink, collect=collect, group_by=group_by
+    )

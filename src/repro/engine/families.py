@@ -20,7 +20,11 @@ Like every family, workers are module-level (picklable), results are
 frozen dataclasses, scenarios carry their own seeds (results never
 depend on which pool worker evaluates them), and each result has a
 ``*_from_record`` decoder so the family is fully servable from a
-:class:`repro.store.ResultStore`.
+:class:`repro.store.ResultStore`.  Both workers resolve their generated
+task set (and its safe-Q curves) through the shared-artifact
+:class:`~repro.engine.context.AnalysisContext`, so a grid sweeping
+``q_fraction`` or ``policy`` over the same seeds generates and analyses
+each set once per process.
 """
 
 from __future__ import annotations
@@ -30,7 +34,16 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.engine.chunking import derive_seed
-from repro.engine.sweeps import _record_float, prepared_task_set
+from repro.engine.context import (
+    DELAY_MAXIMA,
+    EDF_CURVES,
+    FP_CURVES,
+    TASK_SET,
+    ContextKey,
+    get_context,
+    taskset_context_key,
+)
+from repro.engine.sweeps import _record_float
 from repro.sched.edf_delay_aware import EDF_METHODS, edf_delay_aware_verdicts
 from repro.sim.release import periodic_releases, sporadic_releases
 from repro.sim.simulator import FloatingNPRSimulator, worst_case_delay_model
@@ -97,16 +110,28 @@ class SimResult:
     bound_respected: bool
 
 
+#: Context artifacts the ``sim`` family consumes.  Both safe-Q vectors
+#: are declared because the scenario's ``policy`` field (not the key)
+#: selects the NPR length criterion at evaluation time.
+SIM_ARTIFACTS = (TASK_SET, FP_CURVES, EDF_CURVES)
+
+
+def sim_context_key(scenario: SimScenario) -> ContextKey:
+    """The shared-artifact key of one sim scenario: its task set."""
+    return taskset_context_key(
+        scenario.n_tasks,
+        scenario.utilization,
+        scenario.seed,
+        scenario.delay_height,
+    )
+
+
 def evaluate_sim_scenario(scenario: SimScenario) -> SimResult:
     """Engine worker: simulate one generated task set and validate the
     observed preemption delays against Algorithm 1's bounds."""
-    task_set = prepared_task_set(
-        scenario.n_tasks,
-        scenario.utilization,
-        seed=scenario.seed,
-        q_fraction=scenario.q_fraction,
-        delay_height=scenario.delay_height,
-        policy=scenario.policy,
+    context = get_context(sim_context_key(scenario), SIM_ARTIFACTS)
+    task_set = context.prepared_task_set(
+        scenario.policy, scenario.q_fraction
     )
     if task_set is None:
         return SimResult(
@@ -206,18 +231,33 @@ class EdfStudyResult:
     accepted: tuple[bool, ...]
 
 
+#: Context artifacts the ``edf-study`` family consumes.
+EDF_STUDY_ARTIFACTS = (TASK_SET, DELAY_MAXIMA, EDF_CURVES)
+
+
+def edf_study_context_key(scenario: EdfStudyScenario) -> ContextKey:
+    """The shared-artifact key of one EDF study scenario."""
+    return taskset_context_key(
+        scenario.n_tasks,
+        scenario.utilization,
+        scenario.seed,
+        scenario.delay_height,
+    )
+
+
 def evaluate_edf_study_scenario(
     scenario: EdfStudyScenario,
 ) -> EdfStudyResult:
-    """Engine worker: generate one task set and run every EDF test."""
-    task_set = prepared_task_set(
-        scenario.n_tasks,
-        scenario.utilization,
-        seed=scenario.seed,
-        q_fraction=scenario.q_fraction,
-        delay_height=scenario.delay_height,
-        policy="edf",
+    """Engine worker: run every EDF test against one task set.
+
+    The generated set, its Bertogna-Baruah safe-Q vector and the delay
+    maxima come from the shared context; per scenario only the
+    ``q_fraction`` scaling and the Q-dependent bounds remain.
+    """
+    context = get_context(
+        edf_study_context_key(scenario), EDF_STUDY_ARTIFACTS
     )
+    task_set = context.prepared_task_set("edf", scenario.q_fraction)
     if task_set is None:
         return EdfStudyResult(
             utilization=scenario.utilization,
@@ -229,7 +269,9 @@ def evaluate_edf_study_scenario(
         utilization=scenario.utilization,
         seed=scenario.seed,
         admitted=True,
-        accepted=edf_delay_aware_verdicts(task_set, scenario.methods),
+        accepted=edf_delay_aware_verdicts(
+            task_set, scenario.methods, delay_maxima=context.delay_maxima
+        ),
     )
 
 

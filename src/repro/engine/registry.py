@@ -8,7 +8,14 @@ compiler need to know about one kind of scenario:
   fans out over process pools);
 * the record decoder rebuilding a typed result from a sink/store
   record (what makes the family servable from a
-  :class:`repro.store.ResultStore`).
+  :class:`repro.store.ResultStore`);
+* its *shared-artifact declaration* — a ``context_key`` function mapping
+  a scenario to the :class:`repro.engine.context.ContextKey` it shares
+  with its grid neighbours, plus the ``artifacts`` the family consumes
+  from the built :class:`~repro.engine.context.AnalysisContext`.  The
+  engine groups scenario streams by this key
+  (:func:`repro.engine.run_batch` with ``group_by``) so each worker
+  builds every context once and evaluates its whole slice against it.
 
 The built-in families — ``bound`` and ``study`` from
 :mod:`repro.engine.sweeps`, ``sim`` and ``edf-study`` from
@@ -42,6 +49,14 @@ class ScenarioFamily:
             :func:`repro.engine.sinks.as_record` after the strict-JSON
             round trip).
         summary: One-line description for ``--help``-style listings.
+        context_key: Optional callable ``scenario ->``
+            :class:`repro.engine.context.ContextKey` naming the shared
+            artifacts the scenario evaluates against; ``None`` for
+            families without shared state.  Passed as ``group_by`` to
+            the engine so grid slices sharing a key are evaluated
+            together.
+        artifacts: The artifact names (see :mod:`repro.engine.context`)
+            the family's worker consumes from the built context.
     """
 
     name: str
@@ -49,6 +64,8 @@ class ScenarioFamily:
     worker: Callable[[Any], Any]
     decoder: Callable[[Mapping[str, Any]], Any]
     summary: str
+    context_key: Callable[[Any], Any] | None = None
+    artifacts: tuple[str, ...] = ()
 
 
 _FAMILIES: dict[str, ScenarioFamily] = {}
@@ -103,6 +120,8 @@ def _register_builtins() -> None:
             decoder=sweeps.bound_result_from_record,
             summary="Algorithm 1 vs Eq. 4 delay bounds over (function, Q) "
             "grids (the Figure 5 shape)",
+            context_key=sweeps.bound_context_key,
+            artifacts=sweeps.BOUND_ARTIFACTS,
         )
     )
     register_family(
@@ -113,6 +132,8 @@ def _register_builtins() -> None:
             decoder=sweeps.study_result_from_record,
             summary="fixed-priority delay-aware acceptance studies on "
             "generated task sets (the EXT-D shape)",
+            context_key=sweeps.study_context_key,
+            artifacts=sweeps.STUDY_ARTIFACTS,
         )
     )
     register_family(
@@ -123,6 +144,8 @@ def _register_builtins() -> None:
             decoder=families.sim_result_from_record,
             summary="simulator runs comparing observed preemption delay "
             "against Algorithm 1's bound (Theorem 1 at sweep scale)",
+            context_key=families.sim_context_key,
+            artifacts=families.SIM_ARTIFACTS,
         )
     )
     register_family(
@@ -133,6 +156,8 @@ def _register_builtins() -> None:
             decoder=families.edf_study_result_from_record,
             summary="EDF delay-aware acceptance studies with "
             "Bertogna-Baruah NPR lengths",
+            context_key=families.edf_study_context_key,
+            artifacts=families.EDF_STUDY_ARTIFACTS,
         )
     )
 

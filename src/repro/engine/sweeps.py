@@ -6,14 +6,21 @@ surface (the simulation-validation and EDF families live in
 :mod:`repro.engine.registry`):
 
 * :class:`BoundScenario` — one ``(benchmark function, Q)`` point of a
-  delay-bound sweep (the Figure 5 shape).  The worker resolves the
-  function through a per-process LRU cache, so a 10^5-scenario sweep
-  builds each distinct function once per worker instead of once per
-  scenario.
+  delay-bound sweep (the Figure 5 shape).
 * :class:`StudyScenario` — one randomly generated task set of a
   schedulability acceptance study (the Section VI / EXT-D shape).  The
   scenario carries its own seed, making results independent of which
   worker evaluates it.
+
+Both workers evaluate against a shared-artifact
+:class:`~repro.engine.context.AnalysisContext` resolved through the
+per-process memo :func:`repro.engine.context.get_context`: the bound
+worker reuses one built benchmark function (and its precomputed global
+maximum) across every Q of a sweep, the study worker reuses one
+generated task set, its Lehoczky/safe-Q curves and delay maxima across
+every ``q_fraction``.  The context-served results are bit-identical to
+the single-shot recipes (:func:`prepared_task_set` + the ``sched``
+tests), which the context tests assert.
 
 Workers are module-level functions (hence picklable) returning frozen
 dataclasses, which :func:`repro.engine.sinks.as_record` flattens for the
@@ -30,6 +37,16 @@ from functools import lru_cache
 
 from repro.core.bounds import compare_bounds
 from repro.core.delay_function import PreemptionDelayFunction
+from repro.engine.context import (
+    BENCHMARK_FUNCTION,
+    DELAY_MAXIMA,
+    FP_CURVES,
+    TASK_SET,
+    ContextKey,
+    benchmark_context_key,
+    get_context,
+    taskset_context_key,
+)
 from repro.npr.assignment import assign_npr_lengths
 from repro.sched.crpd_rta import delay_aware_rta
 from repro.tasks.generation import gaussian_delay_factory, generate_task_set
@@ -90,19 +107,37 @@ def benchmark_function(
     Building a 2048-knot benchmark function costs orders of magnitude
     more than one bound evaluation; caching it per ``(name,
     interpretation, knots)`` is what makes the batched path beat the
-    single-shot path even on one core.
+    single-shot path even on one core.  The benchmark-kind
+    :class:`~repro.engine.context.AnalysisContext` builds its function
+    through this cache, so both layers share one instance.
     """
     from repro.experiments.functions_fig4 import fig4_delay_function
 
     return fig4_delay_function(name, interpretation, knots)
 
 
-def evaluate_bound_scenario(scenario: BoundScenario) -> BoundResult:
-    """Engine worker: compute Algorithm 1 and Eq. 4 for one scenario."""
-    f = benchmark_function(
+#: Context artifacts the ``bound`` family consumes.
+BOUND_ARTIFACTS = (BENCHMARK_FUNCTION,)
+
+
+def bound_context_key(scenario: BoundScenario) -> ContextKey:
+    """The shared-artifact key of one bound scenario: its function."""
+    return benchmark_context_key(
         scenario.function, scenario.interpretation, scenario.knots
     )
-    comparison = compare_bounds(f, scenario.q)
+
+
+def evaluate_bound_scenario(scenario: BoundScenario) -> BoundResult:
+    """Engine worker: compute Algorithm 1 and Eq. 4 for one scenario.
+
+    The benchmark function and its global maximum come from the shared
+    :class:`~repro.engine.context.AnalysisContext`, so a whole Q sweep
+    against one function builds (and maximises) it once per process.
+    """
+    context = get_context(bound_context_key(scenario), BOUND_ARTIFACTS)
+    comparison = compare_bounds(
+        context.function, scenario.q, f_max=context.function_max
+    )
     return BoundResult(
         function=scenario.function,
         q=scenario.q,
@@ -242,6 +277,11 @@ def prepared_task_set(
 ) -> TaskSet | None:
     """Generate, prioritise and NPR-annotate one task set.
 
+    The single-shot recipe; sweep workers resolve the same artifacts
+    through :func:`repro.engine.context.get_context` instead, so one
+    generated set serves every swept fraction.  Both paths produce
+    bit-identical task sets (asserted in the context tests).
+
     Returns ``None`` when the set admits no NPR assignment (negative
     blocking tolerance / negative EDF slack): every delay-aware test
     counts it as a rejection.
@@ -281,15 +321,37 @@ def prepared_task_set(
         return None
 
 
-def evaluate_study_scenario(scenario: StudyScenario) -> StudyResult:
-    """Engine worker: generate one task set and run every test method."""
-    task_set = prepared_task_set(
+#: Context artifacts the ``study`` family consumes.
+STUDY_ARTIFACTS = (TASK_SET, DELAY_MAXIMA, FP_CURVES)
+
+
+def study_context_key(scenario: StudyScenario) -> ContextKey:
+    """The shared-artifact key of one study scenario: its task set.
+
+    ``q_fraction`` (and ``methods``) are deliberately excluded — every
+    fractional assignment of the same generated set shares one context.
+    """
+    return taskset_context_key(
         scenario.n_tasks,
         scenario.utilization,
-        seed=scenario.seed,
-        q_fraction=scenario.q_fraction,
-        delay_height=scenario.delay_height,
+        scenario.seed,
+        scenario.delay_height,
     )
+
+
+def evaluate_study_scenario(scenario: StudyScenario) -> StudyResult:
+    """Engine worker: run every test method against one task set.
+
+    The generated set, its blocking tolerances / safe-Q vector and the
+    per-task delay maxima come from the shared
+    :class:`~repro.engine.context.AnalysisContext`; only the
+    ``q_fraction`` scaling and the Q-dependent Algorithm 1 bound are
+    computed per scenario.  Bit-identical to the
+    :func:`prepared_task_set` + :func:`repro.sched.delay_aware_rta`
+    recipe.
+    """
+    context = get_context(study_context_key(scenario), STUDY_ARTIFACTS)
+    task_set = context.prepared_task_set("fp", scenario.q_fraction)
     if task_set is None:
         return StudyResult(
             utilization=scenario.utilization,
@@ -302,7 +364,9 @@ def evaluate_study_scenario(scenario: StudyScenario) -> StudyResult:
         seed=scenario.seed,
         admitted=True,
         accepted=tuple(
-            delay_aware_rta(task_set, method).schedulable
+            delay_aware_rta(
+                task_set, method, delay_maxima=context.delay_maxima
+            ).schedulable
             for method in scenario.methods
         ),
     )

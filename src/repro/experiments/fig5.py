@@ -159,6 +159,7 @@ def generate_fig5(
         run_batch,
         run_cached_batch,
     )
+    from repro.engine.sweeps import bound_context_key
 
     qs = qs if qs is not None else default_q_grid()
     scenarios = q_sweep_scenarios(
@@ -172,6 +173,7 @@ def generate_fig5(
             decode=bound_result_from_record,
             max_workers=max_workers,
             chunk_size=chunk_size,
+            group_by=bound_context_key,
         ).results
     else:
         results = run_batch(
@@ -179,6 +181,7 @@ def generate_fig5(
             scenarios,
             max_workers=max_workers,
             chunk_size=chunk_size,
+            group_by=bound_context_key,
         )
     per_q = len(FIG4_NAMES)
     rows: list[Fig5Row] = []

@@ -26,6 +26,7 @@ from repro.engine.sweeps import (
     StudyScenario,
     evaluate_study_scenario,
     prepared_task_set,
+    study_context_key,
     study_result_from_record,
 )
 from repro.tasks.task import TaskSet
@@ -196,6 +197,7 @@ def acceptance_study(
             decode=study_result_from_record,
             max_workers=max_workers,
             chunk_size=chunk_size,
+            group_by=study_context_key,
         ).results
     else:
         results = run_batch(
@@ -203,6 +205,7 @@ def acceptance_study(
             scenarios,
             max_workers=max_workers,
             chunk_size=chunk_size,
+            group_by=study_context_key,
         )
     points: list[StudyPoint] = []
     for level, utilization in enumerate(utilizations):

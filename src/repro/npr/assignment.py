@@ -1,11 +1,53 @@
-"""Assigning floating-NPR lengths to whole task sets."""
+"""Assigning floating-NPR lengths to whole task sets.
+
+:func:`assign_npr_lengths` is the one-call recipe (derive the maximal
+safe lengths, scale, attach); :func:`apply_npr_lengths` is the scaling
+step alone, for callers that already hold a safe-Q vector — the
+:class:`repro.engine.context.AnalysisContext` computes the vector once
+per task set and applies it at every swept fraction.
+"""
 
 from __future__ import annotations
+
+from collections.abc import Mapping
 
 from repro.npr.qmax_edf import edf_max_npr_lengths
 from repro.npr.qmax_fp import fp_max_npr_lengths
 from repro.tasks.task import TaskSet
 from repro.utils.checks import require
+
+
+def apply_npr_lengths(
+    tasks: TaskSet,
+    lengths: Mapping[str, float],
+    fraction: float = 1.0,
+) -> TaskSet:
+    """Attach ``fraction``-scaled NPR lengths to a task set.
+
+    Args:
+        tasks: The task set to annotate.
+        lengths: Maximal safe NPR length per task name (e.g. from
+            :func:`repro.npr.fp_max_npr_lengths` /
+            :func:`repro.npr.edf_max_npr_lengths`).
+        fraction: Scale factor in ``(0, 1]`` applied to each length.
+
+    Returns:
+        A new :class:`~repro.tasks.TaskSet` with ``npr_length`` set.
+
+    Raises:
+        ValueError: for out-of-range fractions or lengths that scale to
+            a non-positive NPR (the set admits no assignment).
+    """
+    require(0.0 < fraction <= 1.0, f"fraction must lie in (0, 1], got {fraction}")
+    scaled = {}
+    for name, q in lengths.items():
+        value = q * fraction
+        require(
+            value > 0,
+            f"task {name} admits no positive NPR length (Q_max = {q})",
+        )
+        scaled[name] = value
+    return tasks.map(lambda t: t.with_npr_length(scaled[t.name]))
 
 
 def assign_npr_lengths(
@@ -37,12 +79,4 @@ def assign_npr_lengths(
         lengths = edf_max_npr_lengths(tasks)
     else:
         lengths = fp_max_npr_lengths(tasks)
-    scaled = {}
-    for name, q in lengths.items():
-        value = q * fraction
-        require(
-            value > 0,
-            f"task {name} admits no positive NPR length (Q_max = {q})",
-        )
-        scaled[name] = value
-    return tasks.map(lambda t: t.with_npr_length(scaled[t.name]))
+    return apply_npr_lengths(tasks, lengths, fraction)

@@ -15,20 +15,86 @@ minimum slack over all levels that τ_k's NPR could block — i.e. every
 
 For the task with the smallest relative deadline no level can be blocked,
 so its NPR is bounded only by its own WCET.
+
+Float robustness mirrors :mod:`repro.npr.qmax_fp`: demand step points are
+``k * T_i + D_i`` and deadlines are arbitrary floats, so a level that is
+*mathematically* coincident with a deadline can float-round one ulp to
+either side of it (``2 * 0.7 + 0.7 = 2.0999999999999996`` vs ``2.1``).
+Exact comparisons then treat the same level inconsistently — kept below
+one deadline, dropped below another — and the demand ``floor`` can miss a
+whole released job at an exact multiple, overstating the slack (and
+therefore ``Q_k``, which is unsafe).  All boundary comparisons and the
+job count here carry a relative tolerance instead.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.sched.dbf import demand_bound_function, testing_points
 from repro.tasks.task import TaskSet
 from repro.utils.checks import require
 
+#: Relative tolerance for float comparisons at demand step points — the
+#: EDF mirror of the Lehoczky-point tolerance in
+#: :mod:`repro.npr.qmax_fp`.  ``k * T + D`` can land one ulp away from an
+#: exactly-intended boundary; exact comparisons would then drop or keep a
+#: deadline-coincident level inconsistently, or undercount the released
+#: jobs at an exact multiple (overstating the slack ``beta``).
+_REL_TOL = 1e-9
+
+
+def _released_jobs(t: float, deadline: float, period: float) -> int:
+    """``floor((t - D) / T) + 1`` with a relative tolerance.
+
+    At a level that is (mathematically) an exact step point of the task,
+    float rounding can push the ratio infinitesimally *below* the integer
+    (``(2.0999999999999996 - 0.7) / 0.7 -> 1.9999999999999998``), making
+    a plain ``floor`` miss one whole released job — demand understated,
+    slack overstated, ``Q_k`` unsafe.  Nudging the ratio up by a relative
+    epsilon keeps genuinely fractional ratios intact but snaps
+    within-tolerance ratios back to the intended integer.
+    """
+    if t < deadline:
+        return 0
+    return math.floor(((t - deadline) / period) * (1.0 + _REL_TOL)) + 1
+
+
+def _demand(tasks: TaskSet, t: float) -> float:
+    """``dbf(t)`` with the tolerant per-task job count."""
+    return sum(
+        _released_jobs(t, task.deadline, task.period) * task.wcet
+        for task in tasks
+    )
+
+
+def _testing_levels(tasks: TaskSet, bound: float) -> list[float]:
+    """Demand step points ``k * T_i + D_i`` strictly below ``bound``.
+
+    Strictness carries the relative tolerance: a step point within
+    tolerance of ``bound`` is deemed *coincident* with it and excluded,
+    whichever side float rounding happened to land it on.
+    """
+    limit = bound * (1.0 - _REL_TOL)
+    points: set[float] = set()
+    for task in tasks:
+        k = 0
+        while True:
+            t = k * task.period + task.deadline
+            if t >= limit:
+                break
+            points.add(t)
+            k += 1
+    return sorted(points)
+
 
 def edf_blocking_tolerance(tasks: TaskSet, level: float) -> float:
-    """Slack ``beta(level) = level - dbf(level)`` of the demand criterion."""
-    return level - demand_bound_function(tasks, level)
+    """Slack ``beta(level) = level - dbf(level)`` of the demand criterion.
+
+    The demand uses the tolerance-robust job count (see
+    :func:`_released_jobs`), so the slack at a level coincident with a
+    step point is never overstated by one-ulp rounding.
+    """
+    return level - _demand(tasks, level)
 
 
 def edf_max_npr_lengths(
@@ -54,11 +120,16 @@ def edf_max_npr_lengths(
     ordered = tasks.sorted_by_deadline()
     deadlines = [t.deadline for t in ordered]
     d_max = deadlines[-1]
-    points = [p for p in testing_points(tasks, d_max) if p < d_max]
+    points = _testing_levels(tasks, d_max)
+    # Boundary comparisons are tolerance-deadline-relative: a level
+    # deemed coincident with D_min is kept (the range is inclusive
+    # below), one deemed coincident with D_k is dropped (strict above).
+    lower = deadlines[0] * (1.0 - _REL_TOL)
 
     result: dict[str, float] = {}
     for task in ordered:
-        relevant = [p for p in points if deadlines[0] <= p < task.deadline]
+        upper = task.deadline * (1.0 - _REL_TOL)
+        relevant = [p for p in points if lower <= p < upper]
         if relevant:
             q = min(edf_blocking_tolerance(tasks, p) for p in relevant)
             require(

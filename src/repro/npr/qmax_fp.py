@@ -97,12 +97,19 @@ def fp_blocking_tolerances(tasks: TaskSet) -> dict[str, float]:
 def fp_max_npr_lengths(
     tasks: TaskSet,
     cap_at_wcet: bool = True,
+    tolerances: dict[str, float] | None = None,
 ) -> dict[str, float]:
     """Largest safe floating-NPR length of every task under fixed priority.
 
     Args:
         tasks: Task set with priorities assigned.
         cap_at_wcet: Also cap each ``Q_i`` at ``C_i``.
+        tolerances: Precomputed :func:`fp_blocking_tolerances` of the
+            same task set (the expensive part — the Lehoczky testing
+            sets); ``None`` computes them here.  The shared-artifact
+            context layer (:mod:`repro.engine.context`) computes the
+            tolerances once per task set and derives every fractional
+            assignment from them.
 
     Returns:
         Mapping task name -> ``Q_i``.
@@ -112,7 +119,8 @@ def fp_max_npr_lengths(
             set is unschedulable regardless of NPR lengths).
     """
     ordered = list(tasks.sorted_by_priority())
-    tolerances = fp_blocking_tolerances(tasks)
+    if tolerances is None:
+        tolerances = fp_blocking_tolerances(tasks)
     for name, beta in tolerances.items():
         require(
             beta >= 0,

@@ -50,7 +50,26 @@ class DelayAwareResult:
         return self.rta.schedulable
 
 
-def _inflated_wcets(tasks: TaskSet, use_algorithm1: bool) -> dict[str, float]:
+def _max_delay_of(
+    task, delay_maxima: dict[str, float] | None
+) -> float:
+    """``max f_i`` of one task, served from ``delay_maxima`` when given.
+
+    The fallback computes ``max_value()`` on the spot, so a partial
+    mapping is never wrong — only slower.
+    """
+    if task.delay_function is None:
+        return 0.0
+    if delay_maxima is not None and task.name in delay_maxima:
+        return delay_maxima[task.name]
+    return task.delay_function.max_value()
+
+
+def _inflated_wcets(
+    tasks: TaskSet,
+    use_algorithm1: bool,
+    delay_maxima: dict[str, float] | None = None,
+) -> dict[str, float]:
     """``C'_i`` for every task from the chosen cumulative delay bound."""
     result: dict[str, float] = {}
     for task in tasks:
@@ -63,7 +82,13 @@ def _inflated_wcets(tasks: TaskSet, use_algorithm1: bool) -> dict[str, float]:
             )
         else:
             bound = state_of_the_art_delay_bound(
-                task.delay_function, task.npr_length
+                task.delay_function,
+                task.npr_length,
+                f_max=(
+                    delay_maxima.get(task.name)
+                    if delay_maxima is not None
+                    else None
+                ),
             )
         result[task.name] = bound.inflated_wcet
     return result
@@ -73,6 +98,7 @@ def delay_aware_rta(
     tasks: TaskSet,
     method: str,
     damage_matrix: dict[str, dict[str, float]] | None = None,
+    delay_maxima: dict[str, float] | None = None,
 ) -> DelayAwareResult:
     """Run one delay-aware schedulability test.
 
@@ -82,6 +108,14 @@ def delay_aware_rta(
         method: One of :data:`METHODS`.
         damage_matrix: For ``petters``: ``{task: {preemptor: damage}}``;
             defaults to the Busquets-style maximum when missing.
+        delay_maxima: Precomputed ``{task name: max f_i}``.  Every
+            method except ``algorithm1`` reads ``f_i`` only through its
+            global maximum, and the event-accounting methods read it
+            O(n²) times per test — a sweep holding an
+            :class:`repro.engine.context.AnalysisContext` computes the
+            maxima once per task set and passes them here.  Values must
+            equal ``f_i.max_value()`` exactly; missing names fall back
+            to computing.
 
     Returns:
         The test outcome with the execution times it used.
@@ -94,7 +128,11 @@ def delay_aware_rta(
         return DelayAwareResult(method=method, rta=rta, inflated_wcets=wcets)
 
     if method in ("eq4", "algorithm1"):
-        wcets = _inflated_wcets(tasks, use_algorithm1=(method == "algorithm1"))
+        wcets = _inflated_wcets(
+            tasks,
+            use_algorithm1=(method == "algorithm1"),
+            delay_maxima=delay_maxima,
+        )
         rta = rta_fixed_priority(tasks, execution_times=wcets)
         return DelayAwareResult(method=method, rta=rta, inflated_wcets=wcets)
 
@@ -105,11 +143,7 @@ def delay_aware_rta(
     ordered = list(tasks.sorted_by_priority())
 
     def max_crpd_of(task) -> float:
-        return (
-            task.delay_function.max_value()
-            if task.delay_function is not None
-            else 0.0
-        )
+        return _max_delay_of(task, delay_maxima)
 
     inflation: dict[str, dict[str, float]] = {}
     for i, task in enumerate(ordered):

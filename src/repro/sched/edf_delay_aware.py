@@ -38,13 +38,22 @@ class EdfDelayAwareResult:
     inflated_wcets: dict[str, float]
 
 
-def edf_delay_aware(tasks: TaskSet, method: str) -> EdfDelayAwareResult:
+def edf_delay_aware(
+    tasks: TaskSet,
+    method: str,
+    delay_maxima: dict[str, float] | None = None,
+) -> EdfDelayAwareResult:
     """Run one EDF delay-aware schedulability test.
 
     Args:
         tasks: Task set with ``npr_length`` (and ``delay_function`` for
             the inflating methods) attached.
         method: ``"oblivious"``, ``"eq4"`` or ``"algorithm1"``.
+        delay_maxima: Precomputed ``{task name: max f_i}`` for the Eq. 4
+            recurrence (the shared-artifact context layer computes the
+            maxima once per task set); values must equal
+            ``f_i.max_value()`` exactly, missing names fall back to
+            computing.
 
     Returns:
         The verdict plus the inflated WCETs it used.
@@ -68,7 +77,13 @@ def edf_delay_aware(tasks: TaskSet, method: str) -> EdfDelayAwareResult:
             )
         else:
             bound = state_of_the_art_delay_bound(
-                task.delay_function, task.npr_length
+                task.delay_function,
+                task.npr_length,
+                f_max=(
+                    delay_maxima.get(task.name)
+                    if delay_maxima is not None
+                    else None
+                ),
             )
         inflated[task.name] = bound.inflated_wcet
 
@@ -84,16 +99,20 @@ def edf_delay_aware(tasks: TaskSet, method: str) -> EdfDelayAwareResult:
 
 
 def edf_delay_aware_verdicts(
-    tasks: TaskSet, methods: tuple[str, ...] | list[str]
+    tasks: TaskSet,
+    methods: tuple[str, ...] | list[str],
+    delay_maxima: dict[str, float] | None = None,
 ) -> tuple[bool, ...]:
     """Run several EDF delay-aware tests; one verdict per method.
 
     The batched shape the engine's ``edf-study`` scenario family
-    consumes: verdicts align with ``methods``.
+    consumes: verdicts align with ``methods``; ``delay_maxima`` is
+    threaded through to every test (see :func:`edf_delay_aware`).
     """
     require(len(methods) > 0, "need at least one method")
     return tuple(
-        edf_delay_aware(tasks, method).schedulable for method in methods
+        edf_delay_aware(tasks, method, delay_maxima=delay_maxima).schedulable
+        for method in methods
     )
 
 

@@ -40,19 +40,44 @@ class TestCompareBounds:
     def test_improvement_factor_nan_when_both_zero(self):
         f = PreemptionDelayFunction.from_constant(0.0, 10.0)
         report = compare_bounds(f, q=5.0)
+        assert report.algorithm1.total_delay == 0.0
+        assert report.state_of_the_art.total_delay == 0.0
+        assert math.isnan(report.improvement_factor)
+
+    def test_improvement_factor_nan_when_both_diverge(self):
+        # max f = 15 >= Q = 10 everywhere: both analyses stall.
+        f = PreemptionDelayFunction.from_constant(15.0, 100.0)
+        report = compare_bounds(f, q=10.0)
+        assert math.isinf(report.algorithm1.total_delay)
+        assert math.isinf(report.state_of_the_art.total_delay)
         assert math.isnan(report.improvement_factor)
 
     def test_improvement_factor_inf_when_only_soa_diverges(self):
-        # max f = 15 >= Q = 10 makes SOA diverge; a narrow peak lets
-        # Algorithm 1... also diverge here, so instead craft local max < Q
-        # in every window but global max >= Q is impossible — SOA and
-        # Algorithm 1 share the divergence threshold on the *reached*
-        # window.  Use a peak beyond C - Q... simpler: peak within the
-        # final, clipped window is still reached.  So verify nan for the
-        # both-diverge case instead.
-        f = PreemptionDelayFunction.from_constant(15.0, 100.0)
+        # The global max (15 >= Q = 10) sits entirely inside the initial
+        # non-preemptive region [0, Q), which Algorithm 1 never charges
+        # (no preemption can occur during the first Q units) — but the
+        # shape-oblivious Eq. 4 recurrence sees only max f and diverges.
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 1.0, 3.0, 100.0], [0.0, 15.0, 0.0]
+        )
         report = compare_bounds(f, q=10.0)
-        assert math.isnan(report.improvement_factor)
+        assert report.algorithm1.converged
+        assert math.isfinite(report.algorithm1.total_delay)
+        assert math.isinf(report.state_of_the_art.total_delay)
+        assert report.improvement_factor == math.inf
+
+    def test_improvement_factor_inf_when_only_algorithm1_is_zero(self):
+        # Same hidden-peak shape, but low enough (2 < Q) for Eq. 4 to
+        # converge to a positive bound while Algorithm 1 charges nothing:
+        # finite / 0 reports as inf.
+        f = PreemptionDelayFunction.from_step(
+            [0.0, 1.0, 3.0, 100.0], [0.0, 2.0, 0.0]
+        )
+        report = compare_bounds(f, q=10.0)
+        assert report.algorithm1.total_delay == 0.0
+        assert report.state_of_the_art.total_delay > 0.0
+        assert math.isfinite(report.state_of_the_art.total_delay)
+        assert report.improvement_factor == math.inf
 
 
 class TestDominanceTheorem:

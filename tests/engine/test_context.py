@@ -1,0 +1,476 @@
+"""Tests for the shared-artifact context layer and grouped evaluation.
+
+Three claims are locked in here:
+
+1. **Artifact fidelity** — every :class:`AnalysisContext` artifact equals
+   the value the single-shot functions produce, and the context-served
+   workers are bit-identical to the pre-context per-scenario recipes.
+2. **Plan correctness** — :func:`grouped_chunk_plan` is a pure
+   permutation-free partition: every index exactly once, no chunk mixes
+   two groups, deterministic.
+3. **Engine equivalence** — ``run_batch(..., group_by=...)`` (inline,
+   thread pool, process pool; with and without a store) emits the same
+   ordered results and the same sink bytes as the ungrouped path.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine import (
+    AnalysisContext,
+    BoundScenario,
+    ContextKey,
+    EdfStudyScenario,
+    JsonlSink,
+    SimScenario,
+    StudyScenario,
+    WorkerError,
+    benchmark_context_key,
+    build_context,
+    clear_context_cache,
+    evaluate_bound_scenario,
+    evaluate_edf_study_scenario,
+    evaluate_sim_scenario,
+    evaluate_study_scenario,
+    get_family,
+    grouped_chunk_plan,
+    run_batch,
+    run_cached_batch,
+    taskset_context_key,
+)
+from repro.engine.context import (
+    BENCHMARK_FUNCTION,
+    DELAY_MAXIMA,
+    EDF_CURVES,
+    FP_CURVES,
+    TASK_SET,
+    TASKSET_ARTIFACTS,
+)
+from repro.engine.families import (
+    edf_study_context_key,
+    sim_context_key,
+)
+from repro.engine.sweeps import (
+    bound_context_key,
+    prepared_task_set,
+    study_context_key,
+)
+from repro.npr import (
+    edf_max_npr_lengths,
+    fp_blocking_tolerances,
+    fp_max_npr_lengths,
+)
+from repro.piecewise import segment_index
+from repro.sched import delay_aware_rta
+from repro.sched.edf_delay_aware import EDF_METHODS, edf_delay_aware_verdicts
+from repro.tasks import gaussian_delay_factory, generate_task_set
+
+METHODS = ("oblivious", "busquets", "petters", "eq4", "algorithm1")
+
+
+def _task_sets_equal(left, right) -> bool:
+    """Field-exact task-set equality (delay functions by value)."""
+    if left is None or right is None:
+        return left is right
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if (a.name, a.wcet, a.period, a.deadline, a.npr_length, a.priority) != (
+            b.name,
+            b.wcet,
+            b.period,
+            b.deadline,
+            b.npr_length,
+            b.priority,
+        ):
+            return False
+        fa = None if a.delay_function is None else a.delay_function.function
+        fb = None if b.delay_function is None else b.delay_function.function
+        if fa != fb:
+            return False
+    return True
+
+
+def _base_set(n_tasks, utilization, seed, delay_height):
+    factory = gaussian_delay_factory(relative_height=delay_height)
+    return generate_task_set(
+        n_tasks, utilization, seed=seed, delay_function_factory=factory
+    ).rate_monotonic()
+
+
+class TestContextKey:
+    def test_hashable_equal_and_picklable(self):
+        key = taskset_context_key(4, 0.6, 7, 0.05)
+        again = taskset_context_key(4, 0.6, 7, 0.05)
+        assert key == again and hash(key) == hash(again)
+        assert pickle.loads(pickle.dumps(key)) == key
+        assert key["seed"] == 7 and key["n_tasks"] == 4
+
+    def test_distinct_fields_distinct_keys(self):
+        key = taskset_context_key(4, 0.6, 7, 0.05)
+        assert key != taskset_context_key(4, 0.6, 8, 0.05)
+        assert key != benchmark_context_key("bimodal", "literal", 64)
+
+    def test_unknown_param_raises(self):
+        with pytest.raises(KeyError):
+            taskset_context_key(4, 0.6, 7, 0.05)["q_fraction"]
+
+    def test_policy_is_not_part_of_the_key(self):
+        # fp and EDF scenarios over the same generated set must share
+        # one context (it carries both safe-Q vectors).
+        sim_fp = SimScenario(utilization=0.5, seed=3, policy="fp")
+        sim_edf = SimScenario(utilization=0.5, seed=3, policy="edf")
+        assert sim_context_key(sim_fp) == sim_context_key(sim_edf)
+
+
+class TestTasksetContextArtifacts:
+    KEY = taskset_context_key(5, 0.6, 11, 0.05)
+
+    def test_artifacts_match_single_shot_functions(self):
+        context = build_context(self.KEY, TASKSET_ARTIFACTS)
+        base = _base_set(5, 0.6, 11, 0.05)
+        assert _task_sets_equal(context.task_set, base)
+        assert context.delay_maxima == {
+            t.name: t.delay_function.max_value() for t in base
+        }
+        assert context.beta_fp == fp_blocking_tolerances(base)
+        assert context.safe_q_fp == fp_max_npr_lengths(base)
+        assert context.safe_q_edf == edf_max_npr_lengths(base)
+        assert context.segment_indices == {
+            t.name: segment_index(t.delay_function.function) for t in base
+        }
+
+    def test_context_is_picklable(self):
+        context = build_context(self.KEY, TASKSET_ARTIFACTS)
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone.key == context.key
+        assert clone.safe_q_fp == context.safe_q_fp
+        assert _task_sets_equal(clone.task_set, context.task_set)
+
+    def test_unrequested_artifacts_stay_none(self):
+        context = build_context(self.KEY, (TASK_SET,))
+        assert context.task_set is not None
+        assert context.delay_maxima is None
+        assert context.beta_fp is None
+        assert context.safe_q_edf is None
+        assert context.segment_indices is None
+
+    def test_wrong_kind_artifact_rejected(self):
+        with pytest.raises(ValueError, match="unknown artifact"):
+            build_context(self.KEY, (BENCHMARK_FUNCTION,))
+
+    def test_prepared_without_declared_curves_fails_loudly(self):
+        context = build_context(self.KEY, (TASK_SET,))
+        with pytest.raises(ValueError, match="artifacts"):
+            context.prepared_task_set("fp", 0.5)
+
+    @pytest.mark.parametrize("policy", ["fp", "edf"])
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 1.0])
+    def test_prepared_task_set_matches_single_shot(self, policy, fraction):
+        for seed in range(12):
+            context = build_context(
+                taskset_context_key(4, 0.75, seed, 0.05), TASKSET_ARTIFACTS
+            )
+            reference = prepared_task_set(
+                4, 0.75, seed, fraction, 0.05, policy=policy
+            )
+            served = context.prepared_task_set(policy, fraction)
+            assert _task_sets_equal(served, reference), (policy, seed)
+
+    def test_invalid_fraction_and_policy_fail_loudly(self):
+        context = build_context(self.KEY, TASKSET_ARTIFACTS)
+        with pytest.raises(ValueError, match="q_fraction"):
+            context.prepared_task_set("fp", 0.0)
+        with pytest.raises(ValueError, match="policy"):
+            context.prepared_task_set("rm", 0.5)
+
+
+class TestBenchmarkContextArtifacts:
+    def test_function_max_and_index_precomputed(self):
+        key = benchmark_context_key("bimodal", "literal", 128)
+        context = build_context(key, (BENCHMARK_FUNCTION,))
+        assert context.function is not None
+        assert context.function_max == context.function.max_value()
+        assert context.function_index == segment_index(
+            context.function.function
+        )
+
+
+class TestWorkersMatchUncontextedRecipes:
+    """Every context-served worker reproduces the per-scenario rebuild
+    bit for bit — the acceptance criterion of the refactor."""
+
+    def test_bound_worker(self):
+        from repro.core.bounds import compare_bounds
+        from repro.experiments.functions_fig4 import fig4_delay_function
+
+        clear_context_cache()
+        for q in (40.0, 120.0, 900.0):
+            scenario = BoundScenario(function="gaussian1", q=q, knots=128)
+            result = evaluate_bound_scenario(scenario)
+            f = fig4_delay_function("gaussian1", "literal", 128)
+            reference = compare_bounds(f, q)
+            assert result.algorithm1 == reference.algorithm1.total_delay
+            assert (
+                result.state_of_the_art
+                == reference.state_of_the_art.total_delay
+            )
+            assert result.preemptions == reference.algorithm1.preemptions
+
+    def test_study_worker(self):
+        clear_context_cache()
+        for seed in range(8):
+            scenario = StudyScenario(
+                utilization=0.7,
+                seed=seed,
+                n_tasks=4,
+                q_fraction=0.5,
+                delay_height=0.05,
+                methods=METHODS,
+            )
+            result = evaluate_study_scenario(scenario)
+            reference = prepared_task_set(4, 0.7, seed, 0.5, 0.05)
+            if reference is None:
+                assert not result.admitted
+                continue
+            assert result.admitted
+            assert result.accepted == tuple(
+                delay_aware_rta(reference, m).schedulable for m in METHODS
+            )
+
+    def test_edf_study_worker(self):
+        clear_context_cache()
+        for seed in range(6):
+            scenario = EdfStudyScenario(
+                utilization=0.6, seed=seed, n_tasks=4, q_fraction=0.5
+            )
+            result = evaluate_edf_study_scenario(scenario)
+            reference = prepared_task_set(
+                4, 0.6, seed, 0.5, 0.05, policy="edf"
+            )
+            if reference is None:
+                assert not result.admitted
+                continue
+            assert result.accepted == edf_delay_aware_verdicts(
+                reference, EDF_METHODS
+            )
+
+    def test_sim_worker_equals_fresh_context_evaluation(self):
+        # The sim worker's randomness is scenario-owned; two evaluations
+        # (cold and warm context) must agree exactly.
+        clear_context_cache()
+        scenario = SimScenario(utilization=0.5, seed=5, horizon_factor=2.0)
+        cold = evaluate_sim_scenario(scenario)
+        warm = evaluate_sim_scenario(scenario)
+        clear_context_cache()
+        again = evaluate_sim_scenario(scenario)
+        assert cold == warm == again
+
+
+class TestGroupedChunkPlan:
+    def test_partition_covers_every_index_once(self):
+        keys = ["a", "b", "a", "c", "b", "a", "c", "c", "c"]
+        plan = grouped_chunk_plan(keys, 2)
+        flat = sorted(i for chunk in plan for i in chunk)
+        assert flat == list(range(len(keys)))
+
+    def test_chunks_never_mix_groups(self):
+        keys = ["a", "b", "a", "c", "b", "a", "c", "c", "c"]
+        for chunk in grouped_chunk_plan(keys, 3):
+            assert len({keys[i] for i in chunk}) == 1
+
+    def test_chunk_order_and_intra_group_order(self):
+        keys = ["b", "a", "b", "a"]
+        plan = grouped_chunk_plan(keys, 10)
+        assert plan == [[0, 2], [1, 3]]  # by min index, ascending inside
+
+    def test_interleaved_chunks_ordered_by_min_index(self):
+        # With fully interleaved groups and small chunks, the plan must
+        # follow the stream front (bounded flush buffer), not emit one
+        # whole group after another.
+        keys = ["a", "b", "a", "b", "a", "b"]
+        plan = grouped_chunk_plan(keys, 1)
+        assert plan == [[0], [1], [2], [3], [4], [5]]
+        plan = grouped_chunk_plan(keys, 2)
+        assert plan == [[0, 2], [1, 3], [4], [5]]
+
+    def test_chunk_size_respected(self):
+        plan = grouped_chunk_plan(["x"] * 7, 3)
+        assert [len(chunk) for chunk in plan] == [3, 3, 1]
+
+    def test_empty_and_invalid(self):
+        assert grouped_chunk_plan([], 4) == []
+        with pytest.raises(ValueError):
+            grouped_chunk_plan(["a"], 0)
+
+
+class TestGroupedRunBatch:
+    SCENARIOS = [
+        BoundScenario(function=name, q=q, knots=64)
+        for q in (40.0, 80.0, 200.0, 700.0)
+        for name in ("gaussian1", "gaussian2", "bimodal")
+    ]
+
+    def test_pooled_grouped_matches_inline(self):
+        inline = run_batch(evaluate_bound_scenario, self.SCENARIOS)
+        for executor in ("thread", "process"):
+            grouped = run_batch(
+                evaluate_bound_scenario,
+                self.SCENARIOS,
+                max_workers=3,
+                chunk_size=2,
+                executor=executor,
+                group_by=bound_context_key,
+            )
+            assert grouped == inline, executor
+
+    def test_grouped_sink_bytes_match_ungrouped(self, tmp_path):
+        plain = tmp_path / "plain.jsonl"
+        grouped = tmp_path / "grouped.jsonl"
+        with JsonlSink(plain) as sink:
+            run_batch(
+                evaluate_bound_scenario,
+                self.SCENARIOS,
+                sink=sink,
+                collect=False,
+            )
+        with JsonlSink(grouped) as sink:
+            run_batch(
+                evaluate_bound_scenario,
+                self.SCENARIOS,
+                max_workers=2,
+                chunk_size=2,
+                executor="thread",
+                sink=sink,
+                collect=False,
+                group_by=bound_context_key,
+            )
+        assert plain.read_bytes() == grouped.read_bytes()
+
+    def test_worker_error_pins_original_index_under_grouping(self):
+        # Exactly one failing scenario: with several failures the
+        # engine surfaces whichever failing chunk completes first
+        # (same contract as the ungrouped pool).
+        def boom(scenario):
+            if scenario.q == 200.0 and scenario.function == "gaussian2":
+                raise RuntimeError("kaput")
+            return scenario.q
+
+        index = next(
+            i
+            for i, s in enumerate(self.SCENARIOS)
+            if s.q == 200.0 and s.function == "gaussian2"
+        )
+        with pytest.raises(WorkerError) as info:
+            run_batch(
+                boom,
+                self.SCENARIOS,
+                max_workers=2,
+                chunk_size=2,
+                executor="thread",
+                group_by=bound_context_key,
+            )
+        assert info.value.index == index
+
+    def test_grouped_cached_batch_byte_identical(self, tmp_path):
+        from repro.store import ResultStore, package_fingerprint
+
+        fingerprint = package_fingerprint("repro")
+        plain = tmp_path / "plain.jsonl"
+        cold = tmp_path / "cold.jsonl"
+        warm = tmp_path / "warm.jsonl"
+        with JsonlSink(plain) as sink:
+            run_batch(
+                evaluate_bound_scenario,
+                self.SCENARIOS,
+                sink=sink,
+                collect=False,
+            )
+        with ResultStore(tmp_path / "store.sqlite", fingerprint) as store:
+            with JsonlSink(cold) as sink:
+                run = run_cached_batch(
+                    evaluate_bound_scenario,
+                    self.SCENARIOS,
+                    store,
+                    sink=sink,
+                    collect=False,
+                    max_workers=2,
+                    chunk_size=2,
+                    executor="thread",
+                    group_by=bound_context_key,
+                )
+            assert run.computed == len(self.SCENARIOS)
+            with JsonlSink(warm) as sink:
+                run = run_cached_batch(
+                    evaluate_bound_scenario,
+                    self.SCENARIOS,
+                    store,
+                    sink=sink,
+                    collect=False,
+                    group_by=bound_context_key,
+                )
+            assert run.cached == len(self.SCENARIOS)
+        assert plain.read_bytes() == cold.read_bytes() == warm.read_bytes()
+
+
+class TestRegistryDeclarations:
+    @pytest.mark.parametrize(
+        "name,scenario,expected_artifacts",
+        [
+            (
+                "bound",
+                BoundScenario(function="bimodal", q=50.0, knots=64),
+                (BENCHMARK_FUNCTION,),
+            ),
+            (
+                "study",
+                StudyScenario(
+                    utilization=0.5,
+                    seed=1,
+                    n_tasks=4,
+                    q_fraction=0.5,
+                    delay_height=0.05,
+                    methods=METHODS,
+                ),
+                (TASK_SET, DELAY_MAXIMA, FP_CURVES),
+            ),
+            (
+                "sim",
+                SimScenario(utilization=0.5, seed=1),
+                (TASK_SET, FP_CURVES, EDF_CURVES),
+            ),
+            (
+                "edf-study",
+                EdfStudyScenario(utilization=0.5, seed=1),
+                (TASK_SET, DELAY_MAXIMA, EDF_CURVES),
+            ),
+        ],
+    )
+    def test_families_declare_context_and_artifacts(
+        self, name, scenario, expected_artifacts
+    ):
+        family = get_family(name)
+        assert family.artifacts == expected_artifacts
+        key = family.context_key(scenario)
+        assert isinstance(key, ContextKey)
+        # The declaration must actually build.
+        context = build_context(key, family.artifacts)
+        assert isinstance(context, AnalysisContext)
+
+    def test_family_keys_route_to_module_functions(self):
+        study = StudyScenario(
+            utilization=0.5,
+            seed=1,
+            n_tasks=4,
+            q_fraction=0.5,
+            delay_height=0.05,
+            methods=METHODS,
+        )
+        assert get_family("study").context_key(study) == study_context_key(
+            study
+        )
+        edf = EdfStudyScenario(utilization=0.5, seed=1)
+        assert get_family("edf-study").context_key(
+            edf
+        ) == edf_study_context_key(edf)

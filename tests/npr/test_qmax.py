@@ -188,3 +188,66 @@ class TestLehoczkyFloatRobustness:
         ).rate_monotonic()
         ordered = list(ts.sorted_by_priority())
         assert _testing_set(ordered, 1) == [0.1, 0.2, 0.25]
+
+
+class TestEdfSlackFloatRobustness:
+    """The EDF mirror of the Lehoczky fixes (regression tests).
+
+    The Bertogna-Baruah slack criterion shares the failure mode:
+    demand step points ``k * T + D`` float-round one ulp around
+    exactly-intended boundaries (``3 * 0.7 = 2.0999999999999996`` vs
+    ``2.1``), so exact comparisons dropped or kept deadline-coincident
+    levels inconsistently, and the demand ``floor`` missed a whole
+    released job at an exact multiple — overstating ``beta`` and hence
+    ``Q_k``, which is unsafe.  All comparisons now carry a relative
+    tolerance (see :mod:`repro.npr.qmax_edf`).
+    """
+
+    def test_demand_does_not_undercount_at_rounded_level(self):
+        from repro.npr.qmax_edf import _released_jobs
+
+        # The level 3 * 0.7 float-rounds *below* the intended 2.1, so
+        # (t - D) / T = 1.9999999999999998; a plain floor charged 2
+        # released jobs instead of 3 (deadlines 0.7, 1.4, 2.1).
+        assert _released_jobs(3 * 0.7, 0.7, 0.7) == 3
+        # Exact float levels and genuinely fractional ones unchanged.
+        assert _released_jobs(2.1, 0.7, 0.7) == 3
+        assert _released_jobs(2.0, 0.7, 0.7) == 2
+        assert _released_jobs(0.5, 0.7, 0.7) == 0
+
+    def test_slack_not_overstated_at_deadline_coincident_level(self):
+        ts = TaskSet([Task("a", 0.2, 0.7)])
+        # Exact slack at the (mathematical) level 2.1: three jobs of a
+        # have deadlines at or before it.  The pre-fix code evaluated
+        # floor(1.9999999999999998) + 1 = 2 jobs at the float-rounded
+        # level, overstating the slack by one whole WCET.
+        assert edf_blocking_tolerance(ts, 3 * 0.7) == pytest.approx(
+            2.1 - 3 * 0.2
+        )
+
+    def test_bound_coincident_levels_excluded_from_both_sides(self):
+        from repro.npr.qmax_edf import _testing_levels
+
+        # 3 * 0.7 rounds *below* 2.1: exact "< bound" kept the level
+        # even though it is deadline-coincident (to be dropped)...
+        ts = TaskSet([Task("a", 0.2, 0.7), Task("b", 0.5, 4.2, deadline=2.1)])
+        assert _testing_levels(ts, 2.1) == [0.7, 1.4]
+        # ...while 3 * 0.1 rounds *above* 0.3 and was dropped; both
+        # directions must now agree (coincident -> excluded).
+        ts2 = TaskSet([Task("a", 0.02, 0.1), Task("b", 0.05, 0.6, deadline=0.3)])
+        assert _testing_levels(ts2, 0.3) == [0.1, 0.2]
+
+    def test_strictly_interior_levels_kept(self):
+        from repro.npr.qmax_edf import _testing_levels
+
+        # The tolerance must not swallow genuinely interior levels.
+        ts = TaskSet([Task("a", 0.02, 0.1), Task("b", 0.05, 0.5, deadline=0.25)])
+        assert _testing_levels(ts, 0.25) == [0.1, 0.2]
+
+    def test_q_unchanged_on_decimal_free_sets(self):
+        # Integer-timed sets hit no rounding at all: the tolerant path
+        # must reproduce the exact arithmetic.
+        ts = implicit([("a", 1.0, 4.0), ("b", 2.0, 8.0)])
+        q = edf_max_npr_lengths(ts, cap_at_wcet=False)
+        assert q["a"] == math.inf
+        assert q["b"] == pytest.approx(3.0)

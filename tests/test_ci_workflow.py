@@ -97,6 +97,16 @@ class TestJobCommands:
         commands = _steps_commands(job)
         assert "benchmarks/bench_*.py" in commands
 
+    def test_bench_smoke_job_gates_the_grouped_speedup(self, workflow):
+        # The shared-artifact context layer's ≥2x claim is asserted
+        # inside bench_engine.py; a dedicated smoke-mode step keeps the
+        # gate visible (and failing) on its own in the job log.
+        job = workflow["jobs"]["bench-smoke"]
+        assert job["env"]["REPRO_BENCH_SMOKE"] == "1"
+        commands = _steps_commands(job)
+        assert "benchmarks/bench_engine.py" in commands
+        assert "-k grouped" in commands
+
     def test_bench_smoke_job_runs_a_campaign_end_to_end(self, workflow):
         # The campaign subsystem must be exercised for real on every
         # push: a cold store run, a --resume re-emission, and a
