@@ -9,14 +9,14 @@
 from conftest import save_text, scaled
 
 from repro.core import PreemptionDelayFunction
+from repro.core.floating_npr import floating_npr_delay_bound
+from repro.experiments import render_table
 from repro.npr import assign_npr_lengths, best_fraction, q_fraction_sweep
 from repro.sched import (
     edf_acceptance_ratio,
     joint_rta,
     rta_fixed_priority,
 )
-from repro.core.floating_npr import floating_npr_delay_bound
-from repro.experiments import render_table
 from repro.tasks import Task, TaskSet, gaussian_delay_factory, generate_task_set
 
 

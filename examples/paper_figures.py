@@ -1,39 +1,39 @@
 #!/usr/bin/env python3
-"""Regenerate every figure of the paper in one go.
+"""Regenerate every figure of the paper in one go — via the facade.
 
-Writes ``results/fig4.csv``, ``results/fig5.csv`` and prints ASCII
-renderings of Figures 4 and 5 plus the Figure 2 counterexample table.
-(The benchmark harness under ``benchmarks/`` does the same per-figure
-with timing; this script is the quick human-facing version.)
+Each figure is one typed :class:`repro.api.RunRequest` evaluated by
+the :class:`repro.api.Workbench`: the same pipeline behind ``python -m
+repro fig4/fig5/fig2``, so the CSVs written here are byte-identical to
+the CLI's.  Writes ``results/fig4.csv``, ``results/fig5.csv`` and
+prints ASCII renderings of Figures 4 and 5 plus the Figure 2
+counterexample table.
 
 Run:  python examples/paper_figures.py
 """
 
+from repro.api import RunRequest, Workbench
 from repro.experiments import (
-    generate_fig4,
-    generate_fig5,
     improvement_summary,
     line_plot,
     render_table,
-    run_figure2_demo,
-    write_fig4_csv,
-    write_fig5_csv,
 )
+
+bench = Workbench()
 
 # Figure 4 ---------------------------------------------------------------
 print("generating Figure 4 ...")
-fig4 = generate_fig4(samples=401, knots=2048)
-path4 = write_fig4_csv(fig4)
+result = bench.run(RunRequest.make("fig4", samples=401, knots=2048))
+fig4 = result.payload
 series4 = {
     name: list(zip(fig4.ts, values)) for name, values in fig4.series.items()
 }
 print(line_plot(series4, width=72, height=16, title="Figure 4"))
-print(f"-> {path4}\n")
+print(f"-> {result.artifacts[0]}  ({result.seconds:.2f}s)\n")
 
 # Figure 5 ---------------------------------------------------------------
 print("generating Figure 5 (full Q sweep) ...")
-fig5 = generate_fig5(knots=2048)
-path5 = write_fig5_csv(fig5)
+result = bench.run(RunRequest.make("fig5", points=40, knots=2048))
+fig5 = result.payload
 print(
     line_plot(
         fig5.series(), width=72, height=20, log_y=True, title="Figure 5"
@@ -46,11 +46,12 @@ print(
         [[k, v] for k, v in sorted(summary.items())],
     )
 )
-print(f"-> {path5}\n")
+print(f"-> {result.artifacts[0]}  ({result.seconds:.2f}s)\n")
 
 # Figure 2 ---------------------------------------------------------------
 print("running the Figure 2 naive-bound counterexample ...")
-demo = run_figure2_demo()
+result = bench.run(RunRequest.make("fig2"))
+demo = result.payload
 print(
     render_table(
         ["quantity", "value"],
@@ -63,3 +64,5 @@ print(
         ],
     )
 )
+assert result.ok, "Figure 2 counterexample failed to reproduce"
+print("\nall figures regenerated")

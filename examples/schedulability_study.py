@@ -11,33 +11,29 @@ schedulability tests as utilization grows:
 * ``algorithm1`` — WCETs inflated by the paper's Algorithm 1,
 * ``eq4``        — WCETs inflated by the Eq. 4 state of the art.
 
+Runs through the :mod:`repro.api` facade — the same ``study`` workload
+behind ``python -m repro study`` — so the typed :class:`RunResult`
+carries the acceptance curves, cache statistics and timing.
+
 Run:  python examples/schedulability_study.py
 """
 
+from repro.api import RunRequest, Workbench
 from repro.experiments import (
-    acceptance_study,
+    STUDY_METHODS,
     line_plot,
     render_table,
     study_series,
 )
 
-METHODS = ["oblivious", "busquets", "algorithm1", "eq4"]
-UTILIZATIONS = [0.3, 0.5, 0.65, 0.8, 0.9]
-
 print("running acceptance study (this takes a few seconds)...")
-points = acceptance_study(
-    utilizations=UTILIZATIONS,
-    methods=METHODS,
-    n_tasks=5,
-    sets_per_point=25,
-    q_fraction=0.5,
-    delay_height=0.05,
-    seed=2012,
-)
+result = Workbench().run(RunRequest.make("study", tasks=5, sets=25))
+points = result.payload
+methods = list(STUDY_METHODS)
 
-rows = [[p.utilization, *(p.ratios[m] for m in METHODS)] for p in points]
+rows = [[p.utilization, *(p.ratios[m] for m in methods)] for p in points]
 print()
-print(render_table(["U", *METHODS], rows))
+print(render_table(["U", *methods], rows))
 print()
 print(
     line_plot(
@@ -47,7 +43,8 @@ print(
         title="Acceptance ratio vs utilization",
     )
 )
+print(f"\n{result.total} task sets evaluated in {result.seconds:.2f}s")
 
 for p in points:
     assert p.ratios["oblivious"] >= p.ratios["algorithm1"] >= p.ratios["eq4"]
-print("\nordering oblivious >= algorithm1 >= eq4 confirmed at every level")
+print("ordering oblivious >= algorithm1 >= eq4 confirmed at every level")

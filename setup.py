@@ -5,13 +5,33 @@ PEP 660 editable wheels cannot be built; this legacy script lets
 ``pip install -e . --no-build-isolation`` fall back to the
 ``setup.py develop`` code path.  The package is pure standard library —
 no install requirements.
+
+The version is single-sourced from ``repro.__version__`` (read
+textually, so building does not import the package);
+``tests/test_version.py`` asserts ``python setup.py --version`` and the
+package agree.
 """
+
+import re
+from pathlib import Path
 
 from setuptools import find_packages, setup
 
+
+def read_version() -> str:
+    """Extract ``__version__`` from the package source."""
+    source = (
+        Path(__file__).parent / "src" / "repro" / "__init__.py"
+    ).read_text()
+    match = re.search(r'^__version__ = "([^"]+)"$', source, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
 setup(
     name="repro",
-    version="1.0.0",
+    version=read_version(),
     description=(
         "Reproduction of 'Preemption delay analysis for floating "
         "non-preemptive region scheduling' (DATE 2012) with a batch "

@@ -17,6 +17,14 @@ Quick start::
     bound = floating_npr_delay_bound(f, q=100.0)
     print(bound.total_delay, bound.inflated_wcet)
 
+Whole workloads — figures, validation fuzzing, engine sweeps,
+declarative campaigns — run through the typed facade
+(:mod:`repro.api`)::
+
+    from repro.api import RunRequest, Workbench
+
+    result = Workbench().run(RunRequest.make("fig5", points=8, knots=256))
+
 Large scenario grids route through the batch engine
 (:mod:`repro.engine`): deterministic chunking, ``concurrent.futures``
 worker pools and streaming JSONL/CSV sinks, with results bit-identical

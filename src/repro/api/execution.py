@@ -1,0 +1,281 @@
+"""The one scenario-evaluation pipeline behind every facade workload.
+
+Before the facade, five entry points — ``experiments.generate_fig5``,
+``engine.run_batch``, ``engine.run_cached_batch``, the campaign CLI and
+the sweep CLI — each re-implemented the ``--jobs/--store/--resume/
+--shard`` semantics.  :func:`execute_scenarios` is that logic exactly
+once: shard slicing, resume validation, store lifecycle (manifest +
+shard scope recording), cached-vs-fresh evaluation and the
+``fail_after`` interruption seam, all driven by one
+:class:`~repro.api.options.ExecutionOptions`.
+
+Output-byte guarantees are inherited, not re-proven: the store path is
+:func:`repro.engine.run_cached_batch` (byte-identical resume/merge) and
+the direct path is :func:`repro.engine.run_batch` (bit-identical for
+every worker count), so every workload built on this function gets the
+same guarantees for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Mapping, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.api.options import ExecutionOptions, SinkSpec
+from repro.engine.cached import Decoder, run_cached_batch
+from repro.engine.engine import run_batch
+from repro.engine.sinks import CsvSink, JsonlSink, ResultSink
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """Outcome of one :func:`execute_scenarios` call.
+
+    Attributes:
+        scenarios: The scenarios actually evaluated (the shard slice,
+            when one was requested).
+        results: Collected results in scenario order, or ``None`` for
+            stream-only (``collect=False``) runs.
+        total: ``len(scenarios)``.
+        cached: Scenarios served from the store without recomputation.
+        computed: Scenarios freshly evaluated this run.
+    """
+
+    scenarios: list[Any]
+    results: list[Any] | None
+    total: int
+    cached: int
+    computed: int
+
+
+def effective_results_dir(options: ExecutionOptions) -> Path:
+    """The artifact directory an options object selects.
+
+    ``options.results_dir`` wins; otherwise the environment-driven
+    default of :func:`repro.experiments.io.results_dir` applies.  The
+    directory is created on demand either way.
+    """
+    if options.results_dir is None:
+        from repro.experiments.io import results_dir
+
+        return results_dir()
+    root = Path(options.results_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def resolve_sinks(
+    options: ExecutionOptions, default_name: str | None
+) -> tuple[SinkSpec, ...]:
+    """The final-output sinks of a run.
+
+    Explicit ``options.sinks`` win; otherwise a single default sink
+    ``<results_dir>/<default_name>.<format>`` is used (``None`` means
+    the workload has no record output and the result is empty).
+    """
+    if options.sinks:
+        return options.sinks
+    if default_name is None:
+        return ()
+    path = effective_results_dir(options) / f"{default_name}.{options.format}"
+    return (SinkSpec(str(path), options.format),)
+
+
+class TeeSink(ResultSink):
+    """Fan one record stream out to several sinks."""
+
+    def __init__(self, sinks: Sequence[ResultSink]) -> None:
+        self._sinks = list(sinks)
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        for sink in self._sinks:
+            sink.write(record)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+
+def open_sink(specs: Sequence[SinkSpec]) -> ResultSink | None:
+    """Open the sink(s) a spec list describes (``None`` for empty)."""
+    if not specs:
+        return None
+    sinks: list[ResultSink] = [
+        CsvSink(spec.path)
+        if spec.resolved_format == "csv"
+        else JsonlSink(spec.path)
+        for spec in specs
+    ]
+    return sinks[0] if len(sinks) == 1 else TeeSink(sinks)
+
+
+def check_resume(options: ExecutionOptions) -> None:
+    """Validate the ``resume``/``store`` combination.
+
+    Raises:
+        ValueError: when ``resume`` is set without a store, or with a
+            store path that does not exist yet.
+    """
+    if not options.resume:
+        return
+    if options.store is None:
+        raise ValueError("--resume requires --store")
+    if isinstance(options.store, (str, Path)) and not Path(
+        options.store
+    ).exists():
+        raise ValueError(
+            f"--resume: store {options.store} does not exist"
+        )
+
+
+@contextmanager
+def open_store(options: ExecutionOptions):
+    """Yield ``(store, owned)`` for the options' store setting.
+
+    A path opens a :class:`repro.store.ResultStore` under the package
+    fingerprint and closes it afterwards (``owned=True`` — the runner
+    records manifest and shard scope).  An already-open store instance
+    is passed through untouched (``owned=False`` — the caller owns its
+    lifecycle, manifest and scope), which is what keeps the legacy
+    ``store=`` parameters of :func:`repro.experiments.generate_fig5`
+    and friends byte-compatible.
+    """
+    check_resume(options)
+    if options.store is None:
+        yield None, False
+        return
+    if isinstance(options.store, (str, Path)):
+        from repro.store import ResultStore, package_fingerprint
+
+        with ResultStore(
+            options.store, fingerprint=package_fingerprint("repro")
+        ) as store:
+            yield store, True
+        return
+    yield options.store, False
+
+
+def execute_scenarios(
+    worker: Callable[[Any], Any],
+    scenarios: Sequence[Any],
+    *,
+    options: ExecutionOptions | None = None,
+    manifest: Mapping[str, Any] | None = None,
+    group_by: Callable[[Any], Hashable] | None = None,
+    decode: Decoder | None = None,
+    collect: bool = True,
+    sink: ResultSink | None = None,
+) -> ScenarioRun:
+    """Evaluate a scenario grid under one set of execution options.
+
+    Args:
+        worker: Module-level callable ``scenario -> result`` (a
+            family's worker).
+        scenarios: The *full* grid; shard slicing happens here.
+        options: Execution options (default: inline, store-less).
+        manifest: Grid-regeneration parameters, recorded into stores
+            this call opens itself (path stores) so ``repro merge``
+            can re-emit the final output.
+        group_by: Shared-artifact grouping key (a family's
+            ``context_key``).
+        decode: Record decoder for store-served results, so cached and
+            fresh results come back as the same types.
+        collect: ``False`` streams to ``sink`` only (constant memory).
+        sink: Optional final-output sink, written in scenario order.
+
+    Returns:
+        The :class:`ScenarioRun` with results and cache statistics.
+    """
+    if options is None:
+        options = ExecutionOptions()
+    pair = options.shard_pair
+    sliced = (
+        list(scenarios)
+        if pair is None
+        else list(scenarios[pair[0] - 1 :: pair[1]])
+    )
+
+    fail_after = options.fail_after
+    on_result: Callable[[int], None] | None = None
+    if fail_after is not None:
+
+        def on_result(count: int) -> None:
+            if count >= fail_after:
+                raise KeyboardInterrupt
+
+    with open_store(options) as (store, owned):
+        if store is not None:
+            if owned:
+                if manifest is not None:
+                    store.set_manifest(dict(manifest))
+                store.set_shard(options.shard_scope)
+            run = run_cached_batch(
+                worker,
+                sliced,
+                store,
+                sink=sink,
+                collect=collect,
+                decode=decode,
+                max_workers=options.jobs,
+                chunk_size=options.chunk,
+                on_result=on_result,
+                group_by=group_by,
+            )
+            return ScenarioRun(
+                scenarios=sliced,
+                results=run.results,
+                total=run.total,
+                cached=run.cached,
+                computed=run.computed,
+            )
+    results = run_batch(
+        worker,
+        sliced,
+        max_workers=options.jobs,
+        chunk_size=options.chunk,
+        sink=sink,
+        collect=collect,
+        group_by=group_by,
+    )
+    return ScenarioRun(
+        scenarios=sliced,
+        results=results,
+        total=len(sliced),
+        cached=0,
+        computed=len(sliced),
+    )
+
+
+def manifest_scenarios(manifest: Mapping[str, Any]) -> list[Any]:
+    """Rebuild the scenario grid a store manifest describes.
+
+    The inverse of the ``manifest=`` argument above, used by ``repro
+    merge`` to re-emit a merged store's final output in the original
+    stream order.  Knows every grid-shaped workload's manifest kind.
+    """
+    kind = manifest.get("kind")
+    if kind == "qsweep":
+        from repro.engine import q_sweep_scenarios
+        from repro.experiments import default_q_grid
+
+        qs = default_q_grid(points=manifest["points"])
+        return q_sweep_scenarios(qs, knots=manifest["knots"])
+    if kind == "study":
+        from repro.experiments.schedulability_study import (
+            reference_study_scenarios,
+        )
+
+        return reference_study_scenarios(
+            n_tasks=manifest["tasks"], sets_per_point=manifest["sets"]
+        )
+    if kind == "campaign":
+        from repro.campaign import compile_campaign
+
+        return compile_campaign(manifest["spec"]).scenarios
+    raise ValueError(
+        f"unsupported sweep manifest {dict(manifest)!r}; expected kind "
+        "'qsweep', 'study' or 'campaign'"
+    )

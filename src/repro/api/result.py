@@ -1,0 +1,66 @@
+"""Typed run results: everything one workload evaluation produced.
+
+Every facade run — figure regeneration, validation fuzzing, engine
+sweep, declarative campaign — returns one :class:`RunResult`: the
+records it streamed, the typed payload it built (``Fig5Data``, a
+``ValidationReport``, study points…), the artifact files it wrote, the
+manifest regenerating its scenario grid, cache statistics and timing.
+Frontends render from this object; nothing about a run's outcome lives
+only in printed text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.request import RunRequest
+
+
+class RunError(RuntimeError):
+    """A run that failed for a non-usage reason (CLI exit code 1).
+
+    Distinct from :class:`ValueError` (invalid parameters / store
+    misuse, CLI exit code 2) and from
+    :class:`repro.engine.WorkerError` (a failing scenario worker).
+    """
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one :meth:`repro.api.Workbench.run` call.
+
+    Attributes:
+        request: The request that produced this result.
+        ok: Whether the workload's own acceptance check passed (e.g.
+            Theorem 1 held, the Figure 2 counterexample reproduced);
+            always ``True`` for workloads without one.
+        payload: The workload's typed result object (``Fig4Data``,
+            ``Fig5Data``, ``Figure2Demo``, ``ValidationReport``, a list
+            of ``StudyPoint``…), or ``None`` for stream-only runs.
+        records: Collected result records/objects in scenario order, or
+            ``None`` when the run streamed without collecting.
+        manifest: The parameters that regenerate the run's scenario
+            grid (what a store-backed run records so ``repro merge``
+            can re-emit it), or ``None`` for non-grid workloads.
+        artifacts: Files written (figure CSVs, sink outputs, stores).
+        total: Scenarios evaluated (post-shard), for grid workloads.
+        cached: Scenarios served from the store without recomputation.
+        computed: Scenarios freshly evaluated this run.
+        seconds: Wall-clock duration of the workload runner.
+        extra: Workload-specific rendering details (e.g. the campaign
+            name, convergence counts).
+    """
+
+    request: RunRequest
+    ok: bool = True
+    payload: Any = None
+    records: tuple[Any, ...] | None = None
+    manifest: Mapping[str, Any] | None = None
+    artifacts: tuple[str, ...] = field(default=())
+    total: int = 0
+    cached: int = 0
+    computed: int = 0
+    seconds: float = 0.0
+    extra: Mapping[str, Any] = field(default_factory=dict)

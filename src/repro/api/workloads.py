@@ -1,0 +1,968 @@
+"""The workload registry: every runnable surface of the reproduction.
+
+A *workload* is one named unit of work the facade can evaluate — the
+paper's figures (``fig2``/``fig4``/``fig5``), the Theorem 1 validation
+fuzz (``validate``), the acceptance study (``study``), the engine Q
+sweep (``sweep``), declarative campaigns over any registered scenario
+family (``campaign``), shard-store merging (``merge``) and the registry
+listing itself (``families``).  Each entry declares:
+
+* its **parameters** (name, type, default, help) — what the CLI turns
+  into flags and :class:`~repro.api.request.RunRequest` validates;
+* which **shared execution flag groups** apply (``engine`` =
+  ``--jobs/--chunk``, ``store`` = ``--store/--resume``, ``shard`` =
+  ``--shard``, ``sink`` = ``--format/--out``), so every sweep-shaped
+  command exposes the same caching/resume/shard surface;
+* a **runner** evaluating a request into a typed
+  :class:`~repro.api.result.RunResult` (grid workloads route through
+  :func:`repro.api.execution.execute_scenarios` — the one pipeline);
+* a **renderer** producing the CLI's stdout from the result, so the
+  command bodies in :mod:`repro.cli` are pure dispatch.
+
+:class:`Workbench` is the evaluation front door:
+``Workbench().run(RunRequest.make("fig5", knots=256))``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from time import perf_counter
+from typing import Any
+
+from repro.api.execution import (
+    check_resume,
+    effective_results_dir,
+    execute_scenarios,
+    manifest_scenarios,
+    open_sink,
+    open_store,
+    resolve_sinks,
+)
+from repro.api.options import ExecutionOptions
+from repro.api.request import RunRequest
+from repro.api.result import RunError, RunResult
+from repro.engine.sinks import ResultSink
+from repro.utils.checks import require
+
+#: Sentinel for parameters without a default (must be supplied).
+REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One declared workload parameter.
+
+    Attributes:
+        name: Parameter (and CLI ``--flag``) name.
+        type: Expected Python type (``int``/``float``/``str``), or
+            ``None`` for untyped parameters (e.g. a spec that may be a
+            path or a mapping).
+        default: Default value, or :data:`REQUIRED`.
+        help: One-line description (CLI help, generated docs).
+        choices: Allowed values, when closed.
+        positional: Render as a positional CLI argument.
+        repeatable: Accept multiple values (CLI ``append``/``nargs``).
+        hidden: Programmatic-only — not rendered as a CLI flag.
+    """
+
+    name: str
+    type: type | None = None
+    default: Any = REQUIRED
+    help: str = ""
+    choices: tuple[Any, ...] | None = None
+    positional: bool = False
+    repeatable: bool = False
+    hidden: bool = False
+
+    def resolve(self, workload: str, value: Any) -> Any:
+        """Validate/coerce one supplied value against this declaration."""
+        if self.type is float and isinstance(value, int) and not isinstance(
+            value, bool
+        ):
+            value = float(value)
+        if self.type is not None and not isinstance(value, self.type):
+            raise ValueError(
+                f"workload {workload!r} parameter {self.name!r} expects "
+                f"{self.type.__name__}, got {value!r}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ValueError(
+                f"workload {workload!r} parameter {self.name!r} must be "
+                f"one of {', '.join(map(str, self.choices))}; "
+                f"got {value!r}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered workload: parameters, runner and renderer.
+
+    Attributes:
+        name: Registry key (the CLI subcommand name).
+        summary: One-line description (CLI help).
+        parameters: Declared parameters.
+        runner: ``(request, resolved_params) -> RunResult``.
+        render: ``RunResult -> str`` — the CLI's stdout.
+        exit_code: ``RunResult -> int`` (default: 0 iff ``result.ok``).
+        flags: Shared execution-flag groups that apply: any of
+            ``"engine"``, ``"store"``, ``"shard"``, ``"sink"``.
+    """
+
+    name: str
+    summary: str
+    parameters: tuple[Parameter, ...]
+    runner: Callable[[RunRequest, dict[str, Any]], RunResult]
+    render: Callable[[RunResult], str]
+    exit_code: Callable[[RunResult], int] = field(
+        default=lambda result: 0 if result.ok else 1
+    )
+    flags: frozenset[str] = field(default=frozenset())
+
+    def resolve_params(self, supplied: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate supplied parameters and fill in declared defaults."""
+        declared = {param.name: param for param in self.parameters}
+        unknown = sorted(set(supplied) - set(declared))
+        require(
+            not unknown,
+            f"unknown parameter(s) {', '.join(unknown)} for workload "
+            f"{self.name!r}; valid parameters: "
+            f"{', '.join(declared) or '(none)'}",
+        )
+        resolved: dict[str, Any] = {}
+        for name, param in declared.items():
+            if name in supplied:
+                resolved[name] = param.resolve(self.name, supplied[name])
+            else:
+                require(
+                    param.default is not REQUIRED,
+                    f"workload {self.name!r} requires parameter {name!r}",
+                )
+                resolved[name] = param.default
+        return resolved
+
+
+_WORKLOADS: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload, replace: bool = False) -> None:
+    """Register a workload under its name (duplicates fail loudly)."""
+    require(
+        replace or workload.name not in _WORKLOADS,
+        f"workload {workload.name!r} is already registered",
+    )
+    _WORKLOADS[workload.name] = workload
+
+
+def get_workload(name: str) -> Workload:
+    """The registered workload called ``name`` (unknown names fail
+    with the valid choices listed)."""
+    require(
+        name in _WORKLOADS,
+        f"unknown workload {name!r}; registered workloads: "
+        f"{', '.join(workload_names())}",
+    )
+    return _WORKLOADS[name]
+
+
+def workload_names() -> tuple[str, ...]:
+    """All registered workload names, in registration order."""
+    return tuple(_WORKLOADS)
+
+
+class Workbench:
+    """Evaluate :class:`RunRequest` objects into :class:`RunResult`.
+
+    The facade's single execution front door: every workload —
+    figures, validation, sweeps, campaigns, merges — goes through
+    :meth:`run`, which resolves the workload, validates parameters,
+    times the evaluation and stamps the duration onto the result.
+    """
+
+    def run(self, request: RunRequest) -> RunResult:
+        """Evaluate one request; raises the workload's errors as-is
+        (:class:`ValueError` for usage problems,
+        :class:`repro.engine.WorkerError` for failing scenarios,
+        :class:`~repro.api.result.RunError` for failed runs)."""
+        workload = get_workload(request.workload)
+        params = workload.resolve_params(request.params_dict())
+        started = perf_counter()
+        result = workload.runner(request, params)
+        elapsed = perf_counter() - started
+        return replace(result, request=request, seconds=elapsed)
+
+
+def run(
+    workload: str,
+    options: ExecutionOptions | None = None,
+    **params: Any,
+) -> RunResult:
+    """One-call convenience: build the request and run it."""
+    return Workbench().run(RunRequest.make(workload, options, **params))
+
+
+# ----------------------------------------------------------------------
+# helpers shared by the grid-shaped runners
+# ----------------------------------------------------------------------
+
+
+class _ConvergenceCounter(ResultSink):
+    """Sink wrapper counting converged records as they stream past."""
+
+    def __init__(self, inner: ResultSink | None) -> None:
+        self._inner = inner
+        self.total = 0
+        self.converged = 0
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        self.total += 1
+        if record.get("converged"):
+            self.converged += 1
+        if self._inner is not None:
+            self._inner.write(record)
+
+    def close(self) -> None:
+        if self._inner is not None:
+            self._inner.close()
+
+
+def _require_store_for_shard(options: ExecutionOptions, name: str) -> None:
+    """Grid workloads whose artifact needs the *full* grid can only
+    shard into a store (merged later); fail loudly otherwise."""
+    if options.shard is not None and options.store is None:
+        raise ValueError(
+            f"--shard on {name} requires --store: a shard computes only "
+            "its slice, so the final artifact is produced by merging "
+            "the shard stores ('repro merge') and re-running with the "
+            "merged store"
+        )
+
+
+def _artifact_directory(options: ExecutionOptions) -> Path | None:
+    """Explicit artifact directory, or ``None`` for the env default."""
+    if options.results_dir is None:
+        return None
+    return effective_results_dir(options)
+
+
+def _shard_result(
+    request: RunRequest, run, manifest: Mapping[str, Any]
+) -> RunResult:
+    """The result of a shard-slice run (no final artifact yet)."""
+    return RunResult(
+        request=request,
+        records=tuple(run.results) if run.results is not None else None,
+        manifest=manifest,
+        total=run.total,
+        cached=run.cached,
+        computed=run.computed,
+        extra={"sharded": True, "store": str(request.options.store)},
+    )
+
+
+def _render_shard(result: RunResult, name: str) -> str:
+    from repro.experiments import render_table
+
+    rows = [
+        ["scenarios (this shard)", result.total],
+        ["cached", result.cached],
+        ["computed", result.computed],
+        ["store", result.extra["store"]],
+    ]
+    return "\n".join(
+        [
+            render_table(["quantity", "value"], rows),
+            f"shard checkpointed — merge the shard stores with "
+            f"'repro merge' and rerun {name} with the merged store to "
+            f"emit the final artifact",
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# fig4
+# ----------------------------------------------------------------------
+
+
+def _run_fig4(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.experiments import generate_fig4, write_fig4_csv
+
+    options = request.options
+    manifest = {
+        "kind": "fig4",
+        "samples": params["samples"],
+        "knots": params["knots"],
+    }
+    with open_store(options) as (store, owned):
+        if store is not None and owned:
+            # Same one-store-one-shape guard as the grid workloads: a
+            # store filled by sweep/campaign (or a different fig4
+            # parameterization) is refused instead of silently mixed.
+            store.set_manifest(manifest)
+            store.set_shard(options.shard_scope)
+        data = generate_fig4(
+            samples=params["samples"], knots=params["knots"], store=store
+        )
+    path = write_fig4_csv(data, directory=_artifact_directory(options))
+    return RunResult(
+        request=request,
+        payload=data,
+        manifest=manifest,
+        artifacts=(str(path),),
+        total=1,
+        computed=1,
+    )
+
+
+def _render_fig4(result: RunResult) -> str:
+    from repro.experiments import line_plot
+
+    data = result.payload
+    series = {
+        name: list(zip(data.ts, values))
+        for name, values in data.series.items()
+    }
+    return "\n".join(
+        [
+            line_plot(series, width=72, height=16, title="Figure 4"),
+            f"wrote {result.artifacts[0]}",
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# fig5
+# ----------------------------------------------------------------------
+
+
+def _run_fig5(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.engine import (
+        bound_result_from_record,
+        evaluate_bound_scenario,
+        q_sweep_scenarios,
+    )
+    from repro.engine.sweeps import bound_context_key
+    from repro.experiments.fig5 import (
+        default_q_grid,
+        fig5_data_from_results,
+        write_fig5_csv,
+    )
+
+    options = request.options
+    points, knots = params["points"], params["knots"]
+    _require_store_for_shard(options, "fig5")
+    manifest = {"kind": "qsweep", "points": points, "knots": knots}
+    qs = default_q_grid(points=points)
+    scenarios = q_sweep_scenarios(qs, knots=knots)
+    run = execute_scenarios(
+        evaluate_bound_scenario,
+        scenarios,
+        options=options,
+        manifest=manifest,
+        group_by=bound_context_key,
+        decode=bound_result_from_record,
+    )
+    if options.shard is not None:
+        return _shard_result(request, run, manifest)
+    data = fig5_data_from_results(qs, run.results)
+    path = write_fig5_csv(data, directory=_artifact_directory(options))
+    return RunResult(
+        request=request,
+        payload=data,
+        records=tuple(run.results),
+        manifest=manifest,
+        artifacts=(str(path),),
+        total=run.total,
+        cached=run.cached,
+        computed=run.computed,
+    )
+
+
+def _render_fig5(result: RunResult) -> str:
+    if result.extra.get("sharded"):
+        return _render_shard(result, "fig5")
+    from repro.experiments import (
+        improvement_summary,
+        line_plot,
+        render_table,
+    )
+
+    data = result.payload
+    summary = improvement_summary(data)
+    return "\n".join(
+        [
+            line_plot(
+                data.series(), width=72, height=20, log_y=True,
+                title="Figure 5",
+            ),
+            render_table(
+                ["function", "median SOA / Algorithm 1"],
+                [[k, v] for k, v in sorted(summary.items())],
+            ),
+            f"wrote {result.artifacts[0]}",
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# fig2
+# ----------------------------------------------------------------------
+
+
+def _run_fig2(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.experiments import run_figure2_demo
+
+    demo = run_figure2_demo(q=params["q"])
+    return RunResult(
+        request=request,
+        ok=demo.naive_is_violated and demo.algorithm1_is_safe,
+        payload=demo,
+        total=1,
+        computed=1,
+    )
+
+
+def _render_fig2(result: RunResult) -> str:
+    from repro.experiments import render_table
+
+    demo = result.payload
+    return render_table(
+        ["quantity", "value"],
+        [
+            ["Q", demo.q],
+            ["naive packing 'bound'", demo.naive_bound],
+            ["simulated run delay", demo.simulated_delay],
+            ["Algorithm 1 bound", demo.algorithm1_bound],
+            ["naive violated", demo.naive_is_violated],
+            ["Algorithm 1 safe", demo.algorithm1_is_safe],
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# validate
+# ----------------------------------------------------------------------
+
+
+def _run_validate(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.sim import reference_validation_task_set, validation_campaign
+
+    tasks = reference_validation_task_set(params["q"])
+    report = validation_campaign(
+        tasks,
+        policy=params["policy"],
+        seeds=range(params["seeds"]),
+        horizon=params["horizon"],
+    )
+    return RunResult(
+        request=request,
+        ok=report.passed,
+        payload=report,
+        total=params["seeds"],
+        computed=params["seeds"],
+    )
+
+
+def _render_validate(result: RunResult) -> str:
+    report = result.payload
+    return (
+        f"jobs checked: {report.checked_jobs}; "
+        f"max measured/bound: {report.max_tightness:.3f}; "
+        f"passed: {report.passed}"
+    )
+
+
+# ----------------------------------------------------------------------
+# study
+# ----------------------------------------------------------------------
+
+
+def _run_study(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.engine.sweeps import (
+        evaluate_study_scenario,
+        study_context_key,
+        study_result_from_record,
+    )
+    from repro.experiments.schedulability_study import (
+        STUDY_METHODS,
+        STUDY_UTILIZATIONS,
+        fold_study_points,
+        reference_study_scenarios,
+    )
+
+    options = request.options
+    tasks, sets = params["tasks"], params["sets"]
+    _require_store_for_shard(options, "study")
+    manifest = {"kind": "study", "tasks": tasks, "sets": sets}
+    scenarios = reference_study_scenarios(tasks, sets)
+    run = execute_scenarios(
+        evaluate_study_scenario,
+        scenarios,
+        options=options,
+        manifest=manifest,
+        group_by=study_context_key,
+        decode=study_result_from_record,
+    )
+    if options.shard is not None:
+        return _shard_result(request, run, manifest)
+    points = fold_study_points(
+        list(STUDY_UTILIZATIONS), list(STUDY_METHODS), sets, run.results
+    )
+    return RunResult(
+        request=request,
+        payload=points,
+        records=tuple(run.results),
+        manifest=manifest,
+        total=run.total,
+        cached=run.cached,
+        computed=run.computed,
+    )
+
+
+def _render_study(result: RunResult) -> str:
+    if result.extra.get("sharded"):
+        return _render_shard(result, "study")
+    from repro.experiments import line_plot, render_table, study_series
+    from repro.experiments.schedulability_study import STUDY_METHODS
+
+    points = result.payload
+    methods = list(STUDY_METHODS)
+    rows = [
+        [p.utilization, *(p.ratios[m] for m in methods)] for p in points
+    ]
+    return "\n".join(
+        [
+            render_table(["U", *methods], rows),
+            line_plot(
+                study_series(points),
+                width=64,
+                height=14,
+                title="Acceptance ratio vs utilization",
+            ),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# sweep
+# ----------------------------------------------------------------------
+
+
+def _run_sweep(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.engine import evaluate_bound_scenario, q_sweep_scenarios
+    from repro.engine.sweeps import bound_context_key
+    from repro.experiments import default_q_grid
+
+    options = request.options
+    check_resume(options)  # before the sink truncates any output file
+    points, knots = params["points"], params["knots"]
+    manifest = {"kind": "qsweep", "points": points, "knots": knots}
+    qs = default_q_grid(points=points)
+    scenarios = q_sweep_scenarios(qs, knots=knots)
+    specs = resolve_sinks(options, "sweep")
+    counter = _ConvergenceCounter(open_sink(specs))
+    with counter:
+        run = execute_scenarios(
+            evaluate_bound_scenario,
+            scenarios,
+            options=options,
+            manifest=manifest,
+            group_by=bound_context_key,
+            collect=False,
+            sink=counter,
+        )
+    return RunResult(
+        request=request,
+        manifest=manifest,
+        artifacts=tuple(spec.path for spec in specs),
+        total=run.total,
+        cached=run.cached,
+        computed=run.computed,
+        extra={
+            "converged": counter.converged,
+            "store_used": options.store is not None,
+        },
+    )
+
+
+def _render_stream_table(
+    result: RunResult, head_rows: list[list[Any]]
+) -> str:
+    """The sweep/campaign summary table (shared row tail)."""
+    from repro.experiments import render_table
+
+    rows = list(head_rows)
+    if result.extra.get("store_used"):
+        rows += [["cached", result.cached], ["computed", result.computed]]
+    elapsed = result.seconds
+    rate = result.total / elapsed if elapsed > 0 else math.inf
+    rows += [
+        ["seconds", f"{elapsed:.2f}"],
+        ["scenarios/s", f"{rate:.0f}"],
+        ["output", ", ".join(result.artifacts)],
+    ]
+    return render_table(["quantity", "value"], rows)
+
+
+def _render_sweep(result: RunResult) -> str:
+    return _render_stream_table(
+        result,
+        [
+            ["scenarios", result.total],
+            ["converged", result.extra["converged"]],
+            ["diverged", result.total - result.extra["converged"]],
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# campaign
+# ----------------------------------------------------------------------
+
+
+def _campaign_overrides(raw: Any) -> dict[str, Any]:
+    """Normalize the ``set`` parameter: a mapping, ``(key, value)``
+    pairs, or CLI-style ``key=value`` strings."""
+    from repro.campaign import parse_set_overrides
+
+    if not raw:
+        return {}
+    if isinstance(raw, Mapping):
+        return dict(raw)
+    items = list(raw)
+    if all(isinstance(item, str) for item in items):
+        return parse_set_overrides(items)
+    return {key: value for key, value in items}
+
+
+def _run_campaign(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.campaign import compile_campaign, resolve_spec
+
+    options = request.options
+    check_resume(options)  # before the sink truncates any output file
+    spec = resolve_spec(params["spec"], _campaign_overrides(params["set"]))
+    compiled = compile_campaign(spec)
+    manifest = {"kind": "campaign", "spec": compiled.spec}
+    collect = params["collect"]
+    specs = resolve_sinks(options, f"campaign-{compiled.name}")
+    sink = open_sink(specs)
+    try:
+        run = execute_scenarios(
+            compiled.family.worker,
+            compiled.scenarios,
+            options=options,
+            manifest=manifest,
+            group_by=compiled.family.context_key,
+            decode=compiled.family.decoder,
+            collect=collect,
+            sink=sink,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    return RunResult(
+        request=request,
+        records=tuple(run.results) if run.results is not None else None,
+        manifest=manifest,
+        artifacts=tuple(spec.path for spec in specs),
+        total=run.total,
+        cached=run.cached,
+        computed=run.computed,
+        extra={
+            "campaign": compiled.name,
+            "family": compiled.family.name,
+            "store_used": options.store is not None,
+        },
+    )
+
+
+def _render_campaign(result: RunResult) -> str:
+    return _render_stream_table(
+        result,
+        [
+            ["campaign", result.extra["campaign"]],
+            ["family", result.extra["family"]],
+            ["scenarios", result.total],
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# merge
+# ----------------------------------------------------------------------
+
+
+def _run_merge(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.store import ResultStore, merge_stores, package_fingerprint
+
+    sources_arg = list(params["sources"])
+    missing = [path for path in sources_arg if not Path(path).exists()]
+    if missing:
+        raise ValueError(
+            f"input store(s) not found: {', '.join(missing)}"
+        )
+    fingerprint = package_fingerprint("repro")
+    artifacts = [str(params["target"])]
+    with ResultStore(params["target"], fingerprint=fingerprint) as target:
+        sources: list[ResultStore] = []
+        try:
+            for path in sources_arg:
+                sources.append(ResultStore(path))
+            added = merge_stores(target, sources)
+        finally:
+            for source in sources:
+                source.close()
+        total = len(target)
+        out = params["out"]
+        if out is not None:
+            from repro.engine import CsvSink, JsonlSink, emit_from_store
+
+            manifest = target.manifest
+            if manifest is None:
+                raise RunError(
+                    "merged store has no sweep manifest; cannot emit a "
+                    "result file (were the shards produced by 'repro "
+                    "sweep --store'?)"
+                )
+            scenarios = manifest_scenarios(manifest)
+            sink_cls = JsonlSink if params["format"] == "jsonl" else CsvSink
+            with sink_cls(out) as sink:
+                emit_from_store(target, scenarios, sink=sink, collect=False)
+            artifacts.append(str(out))
+    return RunResult(
+        request=request,
+        artifacts=tuple(artifacts),
+        total=total,
+        computed=added,
+        extra={
+            "inputs": len(sources_arg),
+            "added": added,
+            "out": params["out"],
+        },
+    )
+
+
+def _render_merge(result: RunResult) -> str:
+    from repro.experiments import render_table
+
+    rows = [
+        ["input stores", result.extra["inputs"]],
+        ["rows added", result.extra["added"]],
+        ["rows total", result.total],
+        ["merged store", result.artifacts[0]],
+    ]
+    if result.extra["out"] is not None:
+        rows.append(["output", result.extra["out"]])
+    return render_table(["quantity", "value"], rows)
+
+
+# ----------------------------------------------------------------------
+# families
+# ----------------------------------------------------------------------
+
+
+def _run_families(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.engine.registry import family_names, get_family
+
+    listing = tuple(
+        (get_family(name), get_family(name).axes())
+        for name in family_names()
+    )
+    return RunResult(request=request, payload=listing)
+
+
+def _render_families(result: RunResult) -> str:
+    from repro.experiments import render_table
+
+    blocks = []
+    for family, axes in result.payload:
+        rows = [
+            [
+                axis.name,
+                axis.type_name,
+                "(required)" if axis.required else axis.default,
+                axis.help,
+            ]
+            for axis in axes
+        ]
+        blocks.append(
+            f"{family.name} — {family.summary}\n"
+            + render_table(["axis", "type", "default", "description"], rows)
+        )
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# registration
+# ----------------------------------------------------------------------
+
+
+def _register_builtins() -> None:
+    register_workload(
+        Workload(
+            name="fig4",
+            summary="sample the benchmark f functions",
+            parameters=(
+                Parameter("samples", int, 401, "sample points over [0, C]"),
+                Parameter(
+                    "knots", int, 2048,
+                    "piecewise resolution of the functions",
+                ),
+            ),
+            runner=_run_fig4,
+            render=_render_fig4,
+            flags=frozenset({"store"}),
+        )
+    )
+    register_workload(
+        Workload(
+            name="fig5",
+            summary="the headline Q sweep",
+            parameters=(
+                Parameter("points", int, 40, "Q grid points"),
+                Parameter(
+                    "knots", int, 2048,
+                    "benchmark-function resolution",
+                ),
+            ),
+            runner=_run_fig5,
+            render=_render_fig5,
+            flags=frozenset({"engine", "store", "shard"}),
+        )
+    )
+    register_workload(
+        Workload(
+            name="fig2",
+            summary="naive-bound counterexample",
+            parameters=(
+                Parameter("q", float, 100.0, "NPR length of the target"),
+            ),
+            runner=_run_fig2,
+            render=_render_fig2,
+        )
+    )
+    register_workload(
+        Workload(
+            name="validate",
+            summary="Theorem 1 fuzzing campaign",
+            parameters=(
+                Parameter("q", float, 120.0, "target NPR length"),
+                Parameter(
+                    "policy", str, "fp", "scheduling policy",
+                    choices=("fp", "edf"),
+                ),
+                Parameter("seeds", int, 6, "fuzzing seeds"),
+                Parameter(
+                    "horizon", float, 60_000.0, "simulated time per run"
+                ),
+            ),
+            runner=_run_validate,
+            render=_render_validate,
+        )
+    )
+    register_workload(
+        Workload(
+            name="study",
+            summary="schedulability study",
+            parameters=(
+                Parameter("tasks", int, 5, "tasks per generated set"),
+                Parameter(
+                    "sets", int, 25, "task sets per utilization level"
+                ),
+            ),
+            runner=_run_study,
+            render=_render_study,
+            flags=frozenset({"engine", "store", "shard"}),
+        )
+    )
+    register_workload(
+        Workload(
+            name="sweep",
+            summary="large-scale batch Q sweep via the engine",
+            parameters=(
+                Parameter(
+                    "points", int, 400,
+                    "Q grid points (scenarios = 3x this)",
+                ),
+                Parameter("knots", int, 1024, "function resolution"),
+            ),
+            runner=_run_sweep,
+            render=_render_sweep,
+            flags=frozenset({"engine", "store", "shard", "sink"}),
+        )
+    )
+    register_workload(
+        Workload(
+            name="campaign",
+            summary="run a declarative scenario campaign from a spec "
+            "file or built-in name",
+            parameters=(
+                Parameter(
+                    "spec", None,
+                    help="spec file (.json/.toml), inline mapping, or a "
+                    "built-in campaign name (fig5, study, sim-validate, "
+                    "edf-study)",
+                    positional=True,
+                ),
+                Parameter(
+                    "set", None, (),
+                    "override a builtin parameter (e.g. points=5) or a "
+                    "spec file default; repeatable",
+                    repeatable=True,
+                ),
+                Parameter(
+                    "collect", bool, False,
+                    "collect decoded per-scenario results onto "
+                    "RunResult.records (programmatic only; the CLI "
+                    "streams to sinks)",
+                    hidden=True,
+                ),
+            ),
+            runner=_run_campaign,
+            render=_render_campaign,
+            flags=frozenset({"engine", "store", "shard", "sink"}),
+        )
+    )
+    register_workload(
+        Workload(
+            name="merge",
+            summary="merge shard stores; optionally emit the final "
+            "result file",
+            parameters=(
+                Parameter(
+                    "target", str, help="merged (output) store path",
+                    positional=True,
+                ),
+                Parameter(
+                    "sources", None, help="input shard store paths",
+                    positional=True, repeatable=True,
+                ),
+                Parameter(
+                    "out", None, None,
+                    "also emit the final result file from the merged "
+                    "store",
+                ),
+                Parameter(
+                    "format", str, "jsonl", "result file format",
+                    choices=("jsonl", "csv"),
+                ),
+            ),
+            runner=_run_merge,
+            render=_render_merge,
+        )
+    )
+    register_workload(
+        Workload(
+            name="families",
+            summary="list the registered scenario families and their axes",
+            parameters=(),
+            runner=_run_families,
+            render=_render_families,
+        )
+    )
+
+
+_register_builtins()

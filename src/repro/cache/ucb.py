@@ -24,8 +24,8 @@ per-block CRPD bound takes the maximum over all of them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
 
 from repro.cache.geometry import CacheGeometry
 from repro.cfg.graph import ControlFlowGraph

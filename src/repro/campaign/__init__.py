@@ -26,6 +26,7 @@ from repro.campaign.builtin import (
     edf_study_campaign_spec,
     sim_validate_campaign_spec,
 )
+from repro.campaign.resolve import parse_set_overrides, resolve_spec, run
 from repro.campaign.samplers import SAMPLERS, expand_axis
 from repro.campaign.spec import (
     SPEC_KEYS,
@@ -45,4 +46,7 @@ __all__ = [
     "builtin_names",
     "sim_validate_campaign_spec",
     "edf_study_campaign_spec",
+    "parse_set_overrides",
+    "resolve_spec",
+    "run",
 ]

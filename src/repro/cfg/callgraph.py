@@ -12,9 +12,10 @@ hull (sound for the ``BB(t)`` envelope: a larger window can only raise
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections.abc import Mapping
+from dataclasses import dataclass
 
+from repro.cfg.delay_profile import delay_envelope
 from repro.cfg.graph import BasicBlock, ControlFlowGraph
 from repro.cfg.intervals import (
     ExecutionWindow,
@@ -22,7 +23,6 @@ from repro.cfg.intervals import (
     windows_with_loops,
 )
 from repro.core.delay_function import PreemptionDelayFunction
-from repro.cfg.delay_profile import delay_envelope
 from repro.utils.checks import require
 
 

@@ -10,9 +10,8 @@ exact sweep over window endpoints, yielding a piecewise-constant
 
 from __future__ import annotations
 
-from collections.abc import Mapping
-
 import heapq
+from collections.abc import Mapping
 
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.intervals import ExecutionWindow, path_extremes, windows_with_loops

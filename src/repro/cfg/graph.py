@@ -11,8 +11,8 @@ executing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
 from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, replace
 
 from repro.utils.checks import require
 

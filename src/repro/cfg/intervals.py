@@ -20,8 +20,8 @@ iteration of the loop).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections.abc import Mapping
+from dataclasses import dataclass
 
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.loops import CollapseResult, collapse_loops

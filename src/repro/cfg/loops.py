@@ -22,8 +22,8 @@ back to member blocks (see :mod:`repro.cfg.delay_profile`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections.abc import Mapping
+from dataclasses import dataclass
 
 from repro.cfg.dominators import dominators
 from repro.cfg.graph import BasicBlock, ControlFlowGraph

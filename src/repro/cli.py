@@ -1,733 +1,227 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands regenerate the paper's artifacts without writing any code:
+The CLI is a *thin, generated* frontend over the :mod:`repro.api`
+facade: every subcommand is one entry of the workload registry
+(:mod:`repro.api.workloads`), its flags are generated from the
+workload's declared parameters, and the shared execution surface —
+``--jobs/--chunk``, ``--store/--resume``, ``--shard``, ``--format/
+--out`` — is parsed once into a single
+:class:`~repro.api.ExecutionOptions` and interpreted identically for
+every command.  A command body is pure dispatch: build the
+:class:`~repro.api.RunRequest`, evaluate it through
+:class:`~repro.api.Workbench`, print the workload's rendering.
 
-* ``fig4``      — sample the three benchmark delay functions.
-* ``fig5``      — the headline Q sweep (Algorithm 1 vs Eq. 4).
-* ``fig2``      — the naive-bound counterexample run.
+Commands (see ``python -m repro --help``):
+
+* ``fig4``/``fig5``/``fig2`` — regenerate the paper's figures.
 * ``validate``  — Theorem 1 fuzzing campaign against the simulator.
 * ``study``     — acceptance-ratio schedulability study.
-* ``sweep``     — large-scale batch Q sweep through :mod:`repro.engine`,
-  streamed to JSONL/CSV; with ``--store`` it becomes *incremental*:
-  results checkpoint into a persistent :mod:`repro.store` cache, an
-  interrupted run resumes with ``--resume`` (final output byte-identical
-  to an uninterrupted run), and ``--shard i/N`` deterministically
-  partitions the grid across machines.
-* ``campaign``  — run a declarative scenario campaign
-  (:mod:`repro.campaign`): a JSON/TOML spec (or a built-in name)
-  naming a scenario family, its axes and defaults is compiled into a
-  deterministic scenario stream and evaluated exactly like ``sweep`` —
-  same ``--store``/``--resume``/``--shard``/``--jobs`` semantics, same
-  byte-identical resume and merge guarantees.
-* ``merge``     — combine shard stores into one and (optionally) emit
-  the final result file, byte-identical to a single unsharded sweep.
+* ``sweep``     — large-scale batch Q sweep streamed to JSONL/CSV.
+* ``campaign``  — run a declarative scenario campaign (spec file or
+  built-in name) over any registered scenario family.
+* ``merge``     — combine shard stores and re-emit the final result
+  file, byte-identical to a single unsharded run.
+* ``families``  — list the registered scenario families and their axes.
 
-All commands print ASCII renderings and write artifacts under
-``results/`` (override with ``REPRO_RESULTS_DIR``).  Sweep-shaped
-commands accept ``--jobs N`` to fan the work out over the batch
-engine's worker pool; results are bit-identical for every ``N``.  A
-worker failure aborts the sweep with a clear message and a non-zero
-exit code (the failing scenario is identified by index and repr).
+Every sweep-shaped command (``fig5``, ``study``, ``sweep``,
+``campaign``) accepts ``--store`` (checkpoint into a persistent
+:mod:`repro.store` cache), ``--resume`` (continue an interrupted run,
+final output byte-identical to an uninterrupted one) and ``--shard
+i/N`` (deterministically partition the grid across machines; combine
+with ``merge``).  ``--jobs N`` fans work over the batch engine's
+worker pool with bit-identical results for every ``N``.  A worker
+failure aborts with a clear message and exit code 1; invalid arguments
+or incompatible stores exit 2; ``Ctrl-C`` exits 130 — uniformly, with
+a resume hint whenever a store was attached.
 """
 
 from __future__ import annotations
 
 import argparse
-import re
 import sys
 from collections.abc import Sequence
-from pathlib import Path
+
+from repro.api.options import format_shard, parse_shard
+
+__all__ = ["build_parser", "main", "parse_shard", "format_shard"]
+
+#: argparse kwargs of each shared execution-flag group (see
+#: ``Workload.flags``); parsed once, consumed as one ExecutionOptions.
+_EXECUTION_FLAGS: dict[str, list[tuple[str, dict]]] = {
+    "engine": [
+        (
+            "--jobs",
+            dict(
+                type=int, default=None,
+                help="batch-engine workers (default: inline)",
+            ),
+        ),
+        (
+            "--chunk",
+            dict(
+                type=int, default=None,
+                help="scenarios per engine chunk (default: auto)",
+            ),
+        ),
+    ],
+    "sink": [
+        ("--format", dict(choices=["jsonl", "csv"], default="jsonl")),
+        (
+            "--out",
+            dict(
+                default=None,
+                help="output path (default: results/<command>.<format>)",
+            ),
+        ),
+    ],
+    "store": [
+        (
+            "--store",
+            dict(
+                default=None,
+                help="persistent result store (SQLite); already-computed "
+                "scenarios are skipped and fresh ones checkpointed",
+            ),
+        ),
+        (
+            "--resume",
+            dict(
+                action="store_true",
+                help="continue an interrupted run from an existing "
+                "--store",
+            ),
+        ),
+        (
+            # Test hook: deterministically simulate a mid-run kill by
+            # aborting after N freshly computed results.
+            "--fail-after",
+            dict(type=int, default=None, help=argparse.SUPPRESS),
+        ),
+    ],
+    "shard": [
+        (
+            "--shard",
+            dict(
+                default=None, metavar="I/N",
+                help="evaluate only shard I of N (1-based); combine "
+                "shard stores with 'repro merge'",
+            ),
+        ),
+    ],
+}
 
 
-def _cmd_fig4(args: argparse.Namespace) -> int:
-    from repro.experiments import generate_fig4, line_plot, write_fig4_csv
+def _add_parameter(parser: argparse.ArgumentParser, param) -> None:
+    """Generate the argparse argument for one declared parameter."""
+    kwargs: dict = {"help": param.help or None}
+    if param.choices is not None:
+        kwargs["choices"] = list(param.choices)
+    if param.type is not None:
+        kwargs["type"] = param.type
+    if param.positional:
+        if param.repeatable:
+            kwargs["nargs"] = "+"
+        parser.add_argument(param.name, **kwargs)
+        return
+    from repro.api.workloads import REQUIRED
 
-    data = generate_fig4(samples=args.samples, knots=args.knots)
-    path = write_fig4_csv(data)
-    series = {
-        name: list(zip(data.ts, values))
-        for name, values in data.series.items()
-    }
-    print(line_plot(series, width=72, height=16, title="Figure 4"))
-    print(f"wrote {path}")
-    return 0
-
-
-def _cmd_fig5(args: argparse.Namespace) -> int:
-    from repro.experiments import (
-        generate_fig5,
-        improvement_summary,
-        line_plot,
-        render_table,
-        write_fig5_csv,
-    )
-
-    data = generate_fig5(knots=args.knots, max_workers=args.jobs)
-    path = write_fig5_csv(data)
-    print(
-        line_plot(
-            data.series(), width=72, height=20, log_y=True, title="Figure 5"
+    if param.repeatable:
+        kwargs["action"] = "append"
+        kwargs["default"] = []
+        kwargs["metavar"] = "KEY=VALUE"
+    else:
+        kwargs["default"] = (
+            None if param.default is REQUIRED else param.default
         )
-    )
-    summary = improvement_summary(data)
-    print(
-        render_table(
-            ["function", "median SOA / Algorithm 1"],
-            [[k, v] for k, v in sorted(summary.items())],
-        )
-    )
-    print(f"wrote {path}")
-    return 0
-
-
-def _cmd_fig2(args: argparse.Namespace) -> int:
-    from repro.experiments import render_table, run_figure2_demo
-
-    demo = run_figure2_demo(q=args.q)
-    print(
-        render_table(
-            ["quantity", "value"],
-            [
-                ["Q", demo.q],
-                ["naive packing 'bound'", demo.naive_bound],
-                ["simulated run delay", demo.simulated_delay],
-                ["Algorithm 1 bound", demo.algorithm1_bound],
-                ["naive violated", demo.naive_is_violated],
-                ["Algorithm 1 safe", demo.algorithm1_is_safe],
-            ],
-        )
-    )
-    return 0 if demo.naive_is_violated and demo.algorithm1_is_safe else 1
-
-
-def _cmd_validate(args: argparse.Namespace) -> int:
-    from repro.experiments import fig4_delay_function
-    from repro.sim import validation_campaign
-    from repro.tasks import Task, TaskSet
-
-    f = fig4_delay_function("gaussian2", knots=512)
-    target = Task(
-        "target", 4000.0, 40_000.0, npr_length=args.q, delay_function=f
-    )
-    hp1 = Task("hp1", 40.0, 900.0)
-    hp2 = Task("hp2", 25.0, 2100.0)
-    tasks = TaskSet([target, hp1, hp2]).rate_monotonic()
-    report = validation_campaign(
-        tasks,
-        policy=args.policy,
-        seeds=range(args.seeds),
-        horizon=args.horizon,
-    )
-    print(
-        f"jobs checked: {report.checked_jobs}; "
-        f"max measured/bound: {report.max_tightness:.3f}; "
-        f"passed: {report.passed}"
-    )
-    return 0 if report.passed else 1
-
-
-def _cmd_study(args: argparse.Namespace) -> int:
-    from repro.experiments import (
-        acceptance_study,
-        line_plot,
-        render_table,
-        study_series,
-    )
-
-    methods = ["oblivious", "busquets", "algorithm1", "eq4"]
-    points = acceptance_study(
-        utilizations=[0.3, 0.5, 0.65, 0.8, 0.9],
-        methods=methods,
-        n_tasks=args.tasks,
-        sets_per_point=args.sets,
-        max_workers=args.jobs,
-    )
-    rows = [[p.utilization, *(p.ratios[m] for m in methods)] for p in points]
-    print(render_table(["U", *methods], rows))
-    print(
-        line_plot(
-            study_series(points),
-            width=64,
-            height=14,
-            title="Acceptance ratio vs utilization",
-        )
-    )
-    return 0
-
-
-class _ConvergenceCounter:
-    """Sink wrapper counting converged records as they stream past."""
-
-    def __init__(self, inner):
-        self._inner = inner
-        self.total = 0
-        self.converged = 0
-
-    def write(self, record) -> None:
-        self.total += 1
-        if record.get("converged"):
-            self.converged += 1
-        self._inner.write(record)
-
-    def close(self) -> None:
-        self._inner.close()
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc_info):
-        self.close()
-
-
-def parse_shard(spec: str) -> tuple[int, int]:
-    """Parse a ``i/N`` shard spec into ``(index, count)``.
-
-    ``index`` is 1-based: ``1/4`` … ``4/4`` partition a sweep into four
-    disjoint, deterministic slices (scenario ``k`` belongs to shard
-    ``(k % N) + 1``), so independent machines can each run one shard
-    and ``repro merge`` reassembles the full result set.
-
-    Cosmetic variants (leading zeros, e.g. ``01/04``) parse to the
-    same pair; :func:`format_shard` renders the canonical form, which
-    is what gets recorded in stores so equal specs always compare
-    equal.
-    """
-    match = re.fullmatch(r"(\d+)/(\d+)", spec)
-    if match is None:
-        raise ValueError(
-            f"invalid shard spec {spec!r}: expected I/N, e.g. 2/4"
-        )
-    index, count = int(match.group(1)), int(match.group(2))
-    if count < 1:
-        raise ValueError(
-            f"invalid shard spec {spec!r}: shard count N must be >= 1"
-        )
-    if not 1 <= index <= count:
-        raise ValueError(
-            f"invalid shard spec {spec!r}: need 1 <= I <= N"
-        )
-    return index, count
-
-
-def format_shard(index: int, count: int) -> str:
-    """Canonical ``i/N`` rendering of a parsed shard spec."""
-    return f"{index}/{count}"
-
-
-def _shard_scope(shard: str | None) -> str:
-    """The canonical shard scope a store records: ``i/N`` or ``full``."""
-    if shard is None:
-        return "full"
-    return format_shard(*parse_shard(shard))
-
-
-def _check_resume(args: argparse.Namespace) -> int:
-    """Validate the ``--resume``/``--store`` combination; 0 when fine."""
-    if args.resume and args.store is None:
-        print("error: --resume requires --store", file=sys.stderr)
-        return 2
-    if args.resume and not Path(args.store).exists():
-        print(
-            f"error: --resume: store {args.store} does not exist",
-            file=sys.stderr,
-        )
-        return 2
-    return 0
-
-
-def _sweep_manifest(args: argparse.Namespace) -> dict:
-    """The parameters that regenerate this sweep's scenario grid.
-
-    Recorded in every (shard) store so ``repro merge`` can rebuild the
-    grid — and the final output file — without re-specifying them.
-    """
-    return {
-        "kind": "qsweep",
-        "points": args.points,
-        "knots": args.knots,
-    }
-
-
-def _manifest_scenarios(manifest: dict) -> list:
-    """Rebuild the scenario grid a manifest describes."""
-    kind = manifest.get("kind")
-    if kind == "qsweep":
-        from repro.engine import q_sweep_scenarios
-        from repro.experiments import default_q_grid
-
-        qs = default_q_grid(points=manifest["points"])
-        return q_sweep_scenarios(qs, knots=manifest["knots"])
-    if kind == "campaign":
-        from repro.campaign import compile_campaign
-
-        return compile_campaign(manifest["spec"]).scenarios
-    raise ValueError(
-        f"unsupported sweep manifest {manifest!r}; expected kind "
-        "'qsweep' or 'campaign'"
-    )
-
-
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    import time
-
-    from repro.engine import (
-        CsvSink,
-        JsonlSink,
-        evaluate_bound_scenario,
-        q_sweep_scenarios,
-        run_batch,
-        run_cached_batch,
-    )
-    from repro.engine.sweeps import bound_context_key
-    from repro.experiments import default_q_grid, render_table
-    from repro.experiments.io import results_dir
-
-    code = _check_resume(args)
-    if code:
-        return code
-
-    qs = default_q_grid(points=args.points)
-    scenarios = q_sweep_scenarios(qs, knots=args.knots)
-    if args.shard is not None:
-        shard_index, shard_count = parse_shard(args.shard)
-        scenarios = scenarios[shard_index - 1 :: shard_count]
-    out = args.out or str(results_dir() / f"sweep.{args.format}")
-    sink_cls = JsonlSink if args.format == "jsonl" else CsvSink
-
-    fail_after = args.fail_after
-
-    def _abort_hook(count: int) -> None:
-        if fail_after is not None and count >= fail_after:
-            raise KeyboardInterrupt
-
-    started = time.perf_counter()
-    cached = computed = 0
-    try:
-        with _ConvergenceCounter(sink_cls(out)) as sink:
-            if args.store is not None:
-                from repro.store import ResultStore, package_fingerprint
-
-                with ResultStore(
-                    args.store, fingerprint=package_fingerprint("repro")
-                ) as store:
-                    store.set_manifest(_sweep_manifest(args))
-                    store.set_shard(_shard_scope(args.shard))
-                    run = run_cached_batch(
-                        evaluate_bound_scenario,
-                        scenarios,
-                        store,
-                        max_workers=args.jobs,
-                        chunk_size=args.chunk,
-                        sink=sink,
-                        collect=False,
-                        on_result=_abort_hook,
-                        group_by=bound_context_key,
-                    )
-                    cached, computed = run.cached, run.computed
-            else:
-                # collect=False: stream-only, so the sweep runs in
-                # constant memory no matter how many scenarios are
-                # requested.
-                run_batch(
-                    evaluate_bound_scenario,
-                    scenarios,
-                    max_workers=args.jobs,
-                    chunk_size=args.chunk,
-                    sink=sink,
-                    collect=False,
-                    group_by=bound_context_key,
-                )
-                computed = len(scenarios)
-            converged = sink.converged
-    except KeyboardInterrupt:
-        if args.store is not None:
-            print(
-                f"sweep interrupted — completed scenarios are "
-                f"checkpointed in {args.store}; rerun with "
-                "--store/--resume to continue",
-                file=sys.stderr,
-            )
-        else:
-            print(
-                "sweep interrupted — no --store given, nothing was "
-                "checkpointed",
-                file=sys.stderr,
-            )
-        return 130
-    elapsed = time.perf_counter() - started
-    rows = [
-        ["scenarios", len(scenarios)],
-        ["converged", converged],
-        ["diverged", len(scenarios) - converged],
-    ]
-    if args.store is not None:
-        rows += [["cached", cached], ["computed", computed]]
-    rows += [
-        ["seconds", f"{elapsed:.2f}"],
-        ["scenarios/s", f"{len(scenarios) / elapsed:.0f}"],
-        ["output", out],
-    ]
-    print(render_table(["quantity", "value"], rows))
-    return 0
-
-
-def _parse_set_overrides(pairs: list[str]) -> dict:
-    """Parse repeated ``--set key=value`` flags.
-
-    Values are decoded as JSON when possible (``5`` -> int, ``0.5`` ->
-    float, ``[1,2]`` -> list, ``true`` -> bool) and fall back to plain
-    strings, so ``--set policy=edf`` needs no quoting.
-    """
-    import json
-
-    overrides: dict = {}
-    for pair in pairs:
-        key, sep, value = pair.partition("=")
-        if not sep or not key:
-            raise ValueError(
-                f"invalid --set {pair!r}: expected key=value"
-            )
-        try:
-            overrides[key] = json.loads(value)
-        except json.JSONDecodeError:
-            overrides[key] = value
-    return overrides
-
-
-def _resolve_campaign_spec(spec_arg: str, overrides: dict) -> dict:
-    """Turn the CLI's SPEC argument into a spec mapping.
-
-    A path that exists is loaded as a spec file (``--set`` overrides
-    its ``defaults``); otherwise the argument must name a built-in
-    campaign (``--set`` feeds the builtin factory's parameters).
-    """
-    from repro.campaign import builtin_campaign, builtin_names, load_spec
-
-    path = Path(spec_arg)
-    # A spec-shaped path (.json/.toml regular file) wins; otherwise the
-    # built-in names stay reachable even when a directory or stray file
-    # happens to carry the same name.
-    is_spec_file = path.is_file() and path.suffix.lower() in (
-        ".json",
-        ".toml",
-    )
-    if not is_spec_file and spec_arg in builtin_names():
-        return builtin_campaign(spec_arg, **overrides)
-    if path.is_file():
-        spec = load_spec(path)
-        if overrides:
-            defaults = dict(spec.get("defaults", {}))
-            defaults.update(overrides)
-            spec = {**spec, "defaults": defaults}
-        return spec
-    raise ValueError(
-        f"campaign spec {spec_arg!r} is neither an existing spec file "
-        f"nor a built-in campaign (available: {', '.join(builtin_names())})"
-    )
-
-
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    import time
-
-    from repro.campaign import compile_campaign
-    from repro.engine import CsvSink, JsonlSink, run_batch, run_cached_batch
-    from repro.experiments import render_table
-    from repro.experiments.io import results_dir
-
-    code = _check_resume(args)
-    if code:
-        return code
-
-    spec = _resolve_campaign_spec(args.spec, _parse_set_overrides(args.set))
-    compiled = compile_campaign(spec)
-    scenarios = compiled.scenarios
-    if args.shard is not None:
-        shard_index, shard_count = parse_shard(args.shard)
-        scenarios = scenarios[shard_index - 1 :: shard_count]
-    out = args.out or str(
-        results_dir() / f"campaign-{compiled.name}.{args.format}"
-    )
-    sink_cls = JsonlSink if args.format == "jsonl" else CsvSink
-
-    fail_after = args.fail_after
-
-    def _abort_hook(count: int) -> None:
-        if fail_after is not None and count >= fail_after:
-            raise KeyboardInterrupt
-
-    started = time.perf_counter()
-    cached = computed = 0
-    try:
-        with sink_cls(out) as sink:
-            if args.store is not None:
-                from repro.store import ResultStore, package_fingerprint
-
-                with ResultStore(
-                    args.store, fingerprint=package_fingerprint("repro")
-                ) as store:
-                    store.set_manifest(
-                        {"kind": "campaign", "spec": compiled.spec}
-                    )
-                    store.set_shard(_shard_scope(args.shard))
-                    run = run_cached_batch(
-                        compiled.family.worker,
-                        scenarios,
-                        store,
-                        max_workers=args.jobs,
-                        chunk_size=args.chunk,
-                        sink=sink,
-                        collect=False,
-                        on_result=_abort_hook,
-                        group_by=compiled.family.context_key,
-                    )
-                    cached, computed = run.cached, run.computed
-            else:
-                run_batch(
-                    compiled.family.worker,
-                    scenarios,
-                    max_workers=args.jobs,
-                    chunk_size=args.chunk,
-                    sink=sink,
-                    collect=False,
-                    group_by=compiled.family.context_key,
-                )
-                computed = len(scenarios)
-    except KeyboardInterrupt:
-        if args.store is not None:
-            print(
-                f"campaign interrupted — completed scenarios are "
-                f"checkpointed in {args.store}; rerun with "
-                "--store/--resume to continue",
-                file=sys.stderr,
-            )
-        else:
-            print(
-                "campaign interrupted — no --store given, nothing was "
-                "checkpointed",
-                file=sys.stderr,
-            )
-        return 130
-    elapsed = time.perf_counter() - started
-    rows = [
-        ["campaign", compiled.name],
-        ["family", compiled.family.name],
-        ["scenarios", len(scenarios)],
-    ]
-    if args.store is not None:
-        rows += [["cached", cached], ["computed", computed]]
-    rows += [
-        ["seconds", f"{elapsed:.2f}"],
-        ["scenarios/s", f"{len(scenarios) / elapsed:.0f}"],
-        ["output", out],
-    ]
-    print(render_table(["quantity", "value"], rows))
-    return 0
-
-
-def _cmd_merge(args: argparse.Namespace) -> int:
-    from repro.engine import CsvSink, JsonlSink, emit_from_store
-    from repro.experiments import render_table
-    from repro.store import ResultStore, merge_stores, package_fingerprint
-
-    missing = [path for path in args.sources if not Path(path).exists()]
-    if missing:
-        print(
-            f"error: input store(s) not found: {', '.join(missing)}",
-            file=sys.stderr,
-        )
-        return 2
-
-    fingerprint = package_fingerprint("repro")
-    with ResultStore(args.target, fingerprint=fingerprint) as target:
-        sources: list[ResultStore] = []
-        try:
-            for path in args.sources:
-                sources.append(ResultStore(path))
-            added = merge_stores(target, sources)
-        finally:
-            for source in sources:
-                source.close()
-        rows = [
-            ["input stores", len(args.sources)],
-            ["rows added", added],
-            ["rows total", len(target)],
-            ["merged store", args.target],
-        ]
-        if args.out is not None:
-            manifest = target.manifest
-            if manifest is None:
-                print(
-                    "error: merged store has no sweep manifest; cannot "
-                    "emit a result file (were the shards produced by "
-                    "'repro sweep --store'?)",
-                    file=sys.stderr,
-                )
-                return 1
-            scenarios = _manifest_scenarios(manifest)
-            sink_cls = JsonlSink if args.format == "jsonl" else CsvSink
-            with sink_cls(args.out) as sink:
-                emit_from_store(
-                    target, scenarios, sink=sink, collect=False
-                )
-            rows.append(["output", args.out])
-        print(render_table(["quantity", "value"], rows))
-    return 0
+    parser.add_argument(f"--{param.name}", **kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the CLI argument parser."""
+    """Construct the CLI argument parser from the workload registry."""
+    from repro import __version__
+    from repro.api.workloads import get_workload, workload_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's figures and validation runs.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    p_fig4 = sub.add_parser("fig4", help="sample the benchmark f functions")
-    p_fig4.add_argument("--samples", type=int, default=401)
-    p_fig4.add_argument("--knots", type=int, default=2048)
-    p_fig4.set_defaults(run=_cmd_fig4)
-
-    p_fig5 = sub.add_parser("fig5", help="the headline Q sweep")
-    p_fig5.add_argument("--knots", type=int, default=2048)
-    p_fig5.add_argument(
-        "--jobs", type=int, default=None,
-        help="batch-engine workers (default: inline)",
-    )
-    p_fig5.set_defaults(run=_cmd_fig5)
-
-    p_fig2 = sub.add_parser("fig2", help="naive-bound counterexample")
-    p_fig2.add_argument("--q", type=float, default=100.0)
-    p_fig2.set_defaults(run=_cmd_fig2)
-
-    p_val = sub.add_parser("validate", help="Theorem 1 fuzzing campaign")
-    p_val.add_argument("--q", type=float, default=120.0)
-    p_val.add_argument("--policy", choices=["fp", "edf"], default="fp")
-    p_val.add_argument("--seeds", type=int, default=6)
-    p_val.add_argument("--horizon", type=float, default=60_000.0)
-    p_val.set_defaults(run=_cmd_validate)
-
-    p_study = sub.add_parser("study", help="schedulability study")
-    p_study.add_argument("--tasks", type=int, default=5)
-    p_study.add_argument("--sets", type=int, default=25)
-    p_study.add_argument(
-        "--jobs", type=int, default=None,
-        help="batch-engine workers (default: inline)",
-    )
-    p_study.set_defaults(run=_cmd_study)
-
-    p_sweep = sub.add_parser(
-        "sweep", help="large-scale batch Q sweep via the engine"
-    )
-    p_sweep.add_argument(
-        "--points", type=int, default=400,
-        help="Q grid points (scenarios = 3x this)",
-    )
-    p_sweep.add_argument("--knots", type=int, default=1024)
-    p_sweep.add_argument(
-        "--jobs", type=int, default=None,
-        help="batch-engine workers (default: inline)",
-    )
-    p_sweep.add_argument(
-        "--chunk", type=int, default=None,
-        help="scenarios per engine chunk (default: auto)",
-    )
-    p_sweep.add_argument(
-        "--format", choices=["jsonl", "csv"], default="jsonl"
-    )
-    p_sweep.add_argument(
-        "--out", default=None,
-        help="output path (default: results/sweep.<format>)",
-    )
-    p_sweep.add_argument(
-        "--store", default=None,
-        help="persistent result store (SQLite); already-computed "
-        "scenarios are skipped and fresh ones checkpointed",
-    )
-    p_sweep.add_argument(
-        "--resume", action="store_true",
-        help="continue an interrupted sweep from an existing --store",
-    )
-    p_sweep.add_argument(
-        "--shard", default=None, metavar="I/N",
-        help="evaluate only shard I of N (1-based); combine shard "
-        "stores with 'repro merge'",
-    )
-    p_sweep.add_argument(
-        # Test hook: deterministically simulate a mid-sweep kill by
-        # aborting after N freshly computed results.
-        "--fail-after", type=int, default=None, help=argparse.SUPPRESS,
-    )
-    p_sweep.set_defaults(run=_cmd_sweep)
-
-    p_camp = sub.add_parser(
-        "campaign",
-        help="run a declarative scenario campaign from a spec file "
-        "or built-in name",
-    )
-    p_camp.add_argument(
-        "spec",
-        help="spec file (.json/.toml) or a built-in campaign name "
-        "(fig5, study, sim-validate, edf-study)",
-    )
-    p_camp.add_argument(
-        "--set", action="append", default=[], metavar="KEY=VALUE",
-        help="override a builtin parameter (e.g. points=5) or a spec "
-        "file default; repeatable",
-    )
-    p_camp.add_argument(
-        "--jobs", type=int, default=None,
-        help="batch-engine workers (default: inline)",
-    )
-    p_camp.add_argument(
-        "--chunk", type=int, default=None,
-        help="scenarios per engine chunk (default: auto)",
-    )
-    p_camp.add_argument(
-        "--format", choices=["jsonl", "csv"], default="jsonl"
-    )
-    p_camp.add_argument(
-        "--out", default=None,
-        help="output path (default: results/campaign-<name>.<format>)",
-    )
-    p_camp.add_argument(
-        "--store", default=None,
-        help="persistent result store (SQLite); already-computed "
-        "scenarios are skipped and fresh ones checkpointed",
-    )
-    p_camp.add_argument(
-        "--resume", action="store_true",
-        help="continue an interrupted campaign from an existing --store",
-    )
-    p_camp.add_argument(
-        "--shard", default=None, metavar="I/N",
-        help="evaluate only shard I of N (1-based); combine shard "
-        "stores with 'repro merge'",
-    )
-    p_camp.add_argument(
-        # Test hook: deterministically simulate a mid-campaign kill by
-        # aborting after N freshly computed results.
-        "--fail-after", type=int, default=None, help=argparse.SUPPRESS,
-    )
-    p_camp.set_defaults(run=_cmd_campaign)
-
-    p_merge = sub.add_parser(
-        "merge",
-        help="merge shard stores; optionally emit the final result file",
-    )
-    p_merge.add_argument("target", help="merged (output) store path")
-    p_merge.add_argument(
-        "sources", nargs="+", help="input shard store paths"
-    )
-    p_merge.add_argument(
-        "--out", default=None,
-        help="also emit the final result file from the merged store",
-    )
-    p_merge.add_argument(
-        "--format", choices=["jsonl", "csv"], default="jsonl"
-    )
-    p_merge.set_defaults(run=_cmd_merge)
-
+    for name in workload_names():
+        workload = get_workload(name)
+        command = sub.add_parser(name, help=workload.summary)
+        for param in workload.parameters:
+            if not param.hidden:
+                _add_parameter(command, param)
+        for group in ("engine", "sink", "store", "shard"):
+            if group in workload.flags:
+                for flag, kwargs in _EXECUTION_FLAGS[group]:
+                    command.add_argument(flag, **dict(kwargs))
+        command.set_defaults(run=_dispatch, workload=workload)
     return parser
+
+
+def _options_from_args(args: argparse.Namespace):
+    """Collect the shared execution flags into one ExecutionOptions."""
+    from repro.api import ExecutionOptions, SinkSpec
+
+    out = getattr(args, "out", None)
+    fmt = getattr(args, "format", "jsonl")
+    return ExecutionOptions(
+        jobs=getattr(args, "jobs", None),
+        chunk=getattr(args, "chunk", None),
+        store=getattr(args, "store", None),
+        resume=getattr(args, "resume", False),
+        shard=getattr(args, "shard", None),
+        sinks=(SinkSpec(out, fmt),) if out is not None else (),
+        format=fmt,
+        fail_after=getattr(args, "fail_after", None),
+    )
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Evaluate one parsed command through the facade."""
+    from repro.api import RunRequest, Workbench
+
+    workload = args.workload
+    params = tuple(
+        (param.name, getattr(args, param.name))
+        for param in workload.parameters
+        if not param.hidden and getattr(args, param.name) is not None
+    )
+    request = RunRequest(
+        workload=workload.name,
+        params=params,
+        options=_options_from_args(args),
+    )
+    result = Workbench().run(request)
+    print(workload.render(result))
+    return workload.exit_code(result)
+
+
+def _interrupted(args: argparse.Namespace) -> int:
+    """Uniform Ctrl-C handling: exit 130 with a resume hint."""
+    command = getattr(args, "command", "run")
+    workload = getattr(args, "workload", None)
+    if workload is not None and "store" in workload.flags:
+        if getattr(args, "store", None) is not None:
+            print(
+                f"{command} interrupted — completed scenarios are "
+                f"checkpointed in {args.store}; rerun with "
+                "--store/--resume to continue",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"{command} interrupted — no --store given, nothing "
+                "was checkpointed",
+                file=sys.stderr,
+            )
+    else:
+        print(f"{command} interrupted", file=sys.stderr)
+    return 130
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -735,16 +229,25 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     Failures exit non-zero with one clear message on stderr instead of
     a traceback: a worker failure (:class:`repro.engine.WorkerError`,
-    pinpointing the failing scenario) exits 1, invalid arguments or
-    incompatible stores (:class:`ValueError`) exit 2.
+    pinpointing the failing scenario) exits 1, a failed run
+    (:class:`repro.api.RunError`) exits 1, invalid arguments or
+    incompatible stores (:class:`ValueError`) exit 2, and
+    ``KeyboardInterrupt`` exits 130 for every command — with a resume
+    hint when a store was attached.
     """
+    from repro.api import RunError
     from repro.engine import WorkerError
 
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.run(args)
+    except KeyboardInterrupt:
+        return _interrupted(args)
     except WorkerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except RunError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except ValueError as exc:

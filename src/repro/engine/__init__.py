@@ -61,6 +61,14 @@ from repro.engine.context import (
     get_context,
     taskset_context_key,
 )
+from repro.engine.engine import (
+    EXECUTORS,
+    BatchEngine,
+    EngineConfig,
+    WorkerError,
+    resolve_workers,
+    run_batch,
+)
 from repro.engine.families import (
     EdfStudyResult,
     EdfStudyScenario,
@@ -72,18 +80,11 @@ from repro.engine.families import (
     sim_result_from_record,
 )
 from repro.engine.registry import (
+    AxisSpec,
     ScenarioFamily,
     family_names,
     get_family,
     register_family,
-)
-from repro.engine.engine import (
-    EXECUTORS,
-    BatchEngine,
-    EngineConfig,
-    WorkerError,
-    resolve_workers,
-    run_batch,
 )
 from repro.engine.sinks import (
     CsvSink,
@@ -151,6 +152,7 @@ __all__ = [
     "EdfStudyResult",
     "evaluate_edf_study_scenario",
     "edf_study_result_from_record",
+    "AxisSpec",
     "ScenarioFamily",
     "register_family",
     "get_family",

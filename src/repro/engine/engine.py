@@ -29,8 +29,8 @@ from __future__ import annotations
 import os
 from collections.abc import Callable, Hashable, Sequence
 from concurrent.futures import (
-    Executor,
     FIRST_COMPLETED,
+    Executor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,

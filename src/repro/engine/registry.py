@@ -29,10 +29,48 @@ with no further wiring.
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import MISSING, dataclass, fields
+from typing import Any, get_args, get_origin, get_type_hints
 
 from repro.utils.checks import require
+
+
+@dataclass(frozen=True, slots=True)
+class AxisSpec:
+    """One sweepable field of a scenario family, self-described.
+
+    Derived from the family's frozen scenario dataclass (name, type,
+    default) plus the family's registered help strings, so declarative
+    frontends — the campaign compiler, the CLI, generated docs — can
+    present a family's full parameter surface without importing its
+    module.
+
+    Attributes:
+        name: Scenario dataclass field name (what campaign ``axes`` and
+            ``defaults`` refer to).
+        type_name: Human/JSON-facing type label (``"float"``, ``"int"``,
+            ``"str"``, ``"bool"``, ``"list[str]"``, …).
+        required: Whether the field has no default (every campaign must
+            cover it with an axis or a default).
+        default: The field's default value (``None`` when required).
+        help: One-line description registered by the family.
+    """
+
+    name: str
+    type_name: str
+    required: bool
+    default: Any
+    help: str
+
+
+def _type_label(hint: Any) -> str:
+    """Render a scenario field's type hint as a stable, JSON-ish label."""
+    if get_origin(hint) is tuple:
+        args = get_args(hint)
+        if args and args[-1] is Ellipsis:
+            return f"list[{_type_label(args[0])}]"
+        return "list"
+    return getattr(hint, "__name__", str(hint))
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +95,10 @@ class ScenarioFamily:
             together.
         artifacts: The artifact names (see :mod:`repro.engine.context`)
             the family's worker consumes from the built context.
+        field_help: ``(field name, one-line help)`` pairs documenting
+            the scenario dataclass's fields; surfaced through
+            :meth:`axes` to the CLI, docs generator and campaign
+            error messages.
     """
 
     name: str
@@ -66,6 +108,39 @@ class ScenarioFamily:
     summary: str
     context_key: Callable[[Any], Any] | None = None
     artifacts: tuple[str, ...] = ()
+    field_help: tuple[tuple[str, str], ...] = ()
+
+    def axes(self) -> tuple[AxisSpec, ...]:
+        """The family's sweepable axes, in scenario-field order.
+
+        One :class:`AxisSpec` per scenario dataclass field — name, type
+        label, required/default, and the registered help string — so
+        frontends can render a family's whole parameter surface (CLI
+        listings, the generated ``docs/api.md`` tables) from the
+        registry alone.
+        """
+        hints = get_type_hints(self.scenario_type)
+        help_by_name = dict(self.field_help)
+        specs = []
+        for field in fields(self.scenario_type):
+            required = (
+                field.default is MISSING
+                and field.default_factory is MISSING
+            )
+            specs.append(
+                AxisSpec(
+                    name=field.name,
+                    type_name=_type_label(hints[field.name]),
+                    required=required,
+                    default=None if required else (
+                        field.default
+                        if field.default is not MISSING
+                        else field.default_factory()
+                    ),
+                    help=help_by_name.get(field.name, ""),
+                )
+            )
+        return tuple(specs)
 
 
 _FAMILIES: dict[str, ScenarioFamily] = {}
@@ -122,6 +197,13 @@ def _register_builtins() -> None:
             "grids (the Figure 5 shape)",
             context_key=sweeps.bound_context_key,
             artifacts=sweeps.BOUND_ARTIFACTS,
+            field_help=(
+                ("function", "benchmark delay-function name "
+                 "(gaussian1, gaussian2, bimodal)"),
+                ("q", "floating-NPR length to analyse"),
+                ("interpretation", "benchmark parameter interpretation"),
+                ("knots", "piecewise resolution of the benchmark function"),
+            ),
         )
     )
     register_family(
@@ -134,6 +216,17 @@ def _register_builtins() -> None:
             "generated task sets (the EXT-D shape)",
             context_key=sweeps.study_context_key,
             artifacts=sweeps.STUDY_ARTIFACTS,
+            field_help=(
+                ("utilization", "target total utilization of the "
+                 "generated set"),
+                ("seed", "task-set generator seed (scenario-owned)"),
+                ("n_tasks", "tasks per generated set"),
+                ("q_fraction", "fraction of the maximal safe NPR length "
+                 "to assign"),
+                ("delay_height", "max f_i as a fraction of each task's "
+                 "WCET"),
+                ("methods", "delay-aware test methods to run"),
+            ),
         )
     )
     register_family(
@@ -146,6 +239,21 @@ def _register_builtins() -> None:
             "against Algorithm 1's bound (Theorem 1 at sweep scale)",
             context_key=families.sim_context_key,
             artifacts=families.SIM_ARTIFACTS,
+            field_help=(
+                ("utilization", "target total utilization of the "
+                 "generated set"),
+                ("seed", "scenario-owned seed (task set, offsets, "
+                 "release jitter)"),
+                ("n_tasks", "tasks per generated set"),
+                ("q_fraction", "fraction of the maximal safe NPR length "
+                 "to assign"),
+                ("delay_height", "max f_i as a fraction of each task's "
+                 "WCET"),
+                ("policy", "scheduling policy (fp or edf)"),
+                ("horizon_factor", "simulated horizon as a multiple of "
+                 "the largest period"),
+                ("sporadic", "randomize inter-arrival times"),
+            ),
         )
     )
     register_family(
@@ -158,6 +266,17 @@ def _register_builtins() -> None:
             "Bertogna-Baruah NPR lengths",
             context_key=families.edf_study_context_key,
             artifacts=families.EDF_STUDY_ARTIFACTS,
+            field_help=(
+                ("utilization", "target total utilization of the "
+                 "generated set"),
+                ("seed", "task-set generator seed (scenario-owned)"),
+                ("n_tasks", "tasks per generated set"),
+                ("q_fraction", "fraction of the maximal safe NPR length "
+                 "to assign"),
+                ("delay_height", "max f_i as a fraction of each task's "
+                 "WCET"),
+                ("methods", "EDF delay-aware test methods to run"),
+            ),
         )
     )
 

@@ -19,6 +19,7 @@ from repro.experiments.fig5 import (
     Fig5Row,
     default_q_grid,
     fig5_campaign_spec,
+    fig5_data_from_results,
     generate_fig5,
     write_fig5_csv,
 )
@@ -39,8 +40,12 @@ from repro.experiments.functions_fig4 import (
 from repro.experiments.io import results_dir, write_csv
 from repro.experiments.runner import ReproductionSummary, generate_all
 from repro.experiments.schedulability_study import (
+    STUDY_METHODS,
+    STUDY_UTILIZATIONS,
     StudyPoint,
     acceptance_study,
+    fold_study_points,
+    reference_study_scenarios,
     study_campaign_spec,
     study_scenarios,
     study_series,
@@ -61,6 +66,7 @@ __all__ = [
     "Fig5Row",
     "default_q_grid",
     "fig5_campaign_spec",
+    "fig5_data_from_results",
     "generate_fig5",
     "write_fig5_csv",
     "Figure2Demo",
@@ -73,7 +79,11 @@ __all__ = [
     "ResolutionPoint",
     "CapPoint",
     "StudyPoint",
+    "STUDY_METHODS",
+    "STUDY_UTILIZATIONS",
     "acceptance_study",
+    "fold_study_points",
+    "reference_study_scenarios",
     "study_campaign_spec",
     "study_scenarios",
     "study_series",

@@ -105,7 +105,8 @@ def generate_fig4(
     return data
 
 
-def write_fig4_csv(data: Fig4Data, filename: str = "fig4.csv"):
-    """Write the sampled curves to the results directory."""
+def write_fig4_csv(data: Fig4Data, filename: str = "fig4.csv", directory=None):
+    """Write the sampled curves to the results directory (or
+    ``directory``)."""
     headers = ("t", *FIG4_NAMES)
-    return write_csv(filename, headers, data.as_rows())
+    return write_csv(filename, headers, data.as_rows(), directory=directory)

@@ -126,64 +126,23 @@ def fig5_campaign_spec(
     }
 
 
-def generate_fig5(
-    qs: list[float] | None = None,
-    interpretation: str = "literal",
-    knots: int = 2048,
-    max_workers: int | None = None,
-    chunk_size: int | None = None,
-    store=None,
+def fig5_data_from_results(
+    qs: list[float], results: list, interpretation: str = "literal"
 ) -> Fig5Data:
-    """Run the Figure 5 sweep through the batch engine.
+    """Pivot q-major :class:`~repro.engine.BoundResult` batches into
+    :class:`Fig5Data` rows.
 
-    Args:
-        qs: NPR lengths to evaluate (default: :func:`default_q_grid`).
-        interpretation: Benchmark-function interpretation.
-        knots: Function resolution.
-        max_workers: Engine pool width (``None`` = inline; results are
-            bit-identical for every setting).
-        chunk_size: Engine chunk size (default: auto).
-        store: Optional :class:`repro.store.ResultStore`; scenarios
-            already present are served from it and fresh ones are
-            checkpointed, so a repeated or interrupted sweep only pays
-            for what it has not computed yet.
-
-    Returns:
-        The sweep data; the shape-obliviousness of Eq. 4 (same bound for
-        all three functions) is verified along the way.
+    ``results`` must be in the stream order of
+    :func:`repro.engine.q_sweep_scenarios` (all functions at ``qs[0]``,
+    then ``qs[1]``…).  The shape-obliviousness of Eq. 4 (same bound for
+    all three functions at each Q) is verified along the way.
     """
-    from repro.engine import (
-        bound_result_from_record,
-        evaluate_bound_scenario,
-        q_sweep_scenarios,
-        run_batch,
-        run_cached_batch,
-    )
-    from repro.engine.sweeps import bound_context_key
-
-    qs = qs if qs is not None else default_q_grid()
-    scenarios = q_sweep_scenarios(
-        qs, interpretation=interpretation, knots=knots
-    )
-    if store is not None:
-        results = run_cached_batch(
-            evaluate_bound_scenario,
-            scenarios,
-            store,
-            decode=bound_result_from_record,
-            max_workers=max_workers,
-            chunk_size=chunk_size,
-            group_by=bound_context_key,
-        ).results
-    else:
-        results = run_batch(
-            evaluate_bound_scenario,
-            scenarios,
-            max_workers=max_workers,
-            chunk_size=chunk_size,
-            group_by=bound_context_key,
-        )
     per_q = len(FIG4_NAMES)
+    require(
+        len(results) == per_q * len(qs),
+        f"expected {per_q * len(qs)} bound results for {len(qs)} Q "
+        f"points, got {len(results)}",
+    )
     rows: list[Fig5Row] = []
     for slot, q in enumerate(qs):
         batch = results[slot * per_q : (slot + 1) * per_q]
@@ -206,11 +165,67 @@ def generate_fig5(
     return Fig5Data(rows=tuple(rows), interpretation=interpretation)
 
 
-def write_fig5_csv(data: Fig5Data, filename: str = "fig5.csv"):
-    """Write the sweep to the results directory."""
+def generate_fig5(
+    qs: list[float] | None = None,
+    interpretation: str = "literal",
+    knots: int = 2048,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+    store=None,
+) -> Fig5Data:
+    """Run the Figure 5 sweep through the batch engine.
+
+    Legacy-compatible entry point; the ``fig5`` workload of
+    :mod:`repro.api` is the primary surface and both route through the
+    same :func:`repro.api.execution.execute_scenarios` pipeline, so
+    results (and the written CSV) are byte-identical either way.
+
+    Args:
+        qs: NPR lengths to evaluate (default: :func:`default_q_grid`).
+        interpretation: Benchmark-function interpretation.
+        knots: Function resolution.
+        max_workers: Engine pool width (``None`` = inline; results are
+            bit-identical for every setting).
+        chunk_size: Engine chunk size (default: auto).
+        store: Optional :class:`repro.store.ResultStore`; scenarios
+            already present are served from it and fresh ones are
+            checkpointed, so a repeated or interrupted sweep only pays
+            for what it has not computed yet.
+
+    Returns:
+        The sweep data; the shape-obliviousness of Eq. 4 (same bound for
+        all three functions) is verified along the way.
+    """
+    from repro.api.execution import execute_scenarios
+    from repro.api.options import ExecutionOptions
+    from repro.engine import (
+        bound_result_from_record,
+        evaluate_bound_scenario,
+        q_sweep_scenarios,
+    )
+    from repro.engine.sweeps import bound_context_key
+
+    qs = qs if qs is not None else default_q_grid()
+    scenarios = q_sweep_scenarios(
+        qs, interpretation=interpretation, knots=knots
+    )
+    run = execute_scenarios(
+        evaluate_bound_scenario,
+        scenarios,
+        options=ExecutionOptions(
+            jobs=max_workers, chunk=chunk_size, store=store
+        ),
+        decode=bound_result_from_record,
+        group_by=bound_context_key,
+    )
+    return fig5_data_from_results(qs, run.results, interpretation)
+
+
+def write_fig5_csv(data: Fig5Data, filename: str = "fig5.csv", directory=None):
+    """Write the sweep to the results directory (or ``directory``)."""
     headers = (
         "q",
         *(f"alg1_{name}" for name in FIG4_NAMES),
         "state_of_the_art",
     )
-    return write_csv(filename, headers, data.as_rows())
+    return write_csv(filename, headers, data.as_rows(), directory=directory)

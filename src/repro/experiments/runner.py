@@ -22,8 +22,11 @@ from repro.experiments.schedulability_study import (
     StudyPoint,
     acceptance_study,
 )
-from repro.sim.validation import ValidationReport, validation_campaign
-from repro.tasks.task import Task, TaskSet
+from repro.sim.validation import (
+    ValidationReport,
+    reference_validation_task_set,
+    validation_campaign,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,19 +67,6 @@ class ReproductionSummary:
         )
 
 
-def _validation_task_set(q: float) -> TaskSet:
-    from repro.experiments.functions_fig4 import fig4_delay_function
-
-    f = fig4_delay_function("gaussian2", knots=512)
-    return TaskSet(
-        [
-            Task("target", 4000.0, 40_000.0, npr_length=q, delay_function=f),
-            Task("hp1", 40.0, 900.0),
-            Task("hp2", 25.0, 2100.0),
-        ]
-    ).rate_monotonic()
-
-
 def generate_all(
     knots: int = 1024,
     validation_seeds: int = 4,
@@ -98,7 +88,7 @@ def generate_all(
     paths = (write_fig4_csv(fig4), write_fig5_csv(fig5))
     fig2 = run_figure2_demo()
     validation = validation_campaign(
-        _validation_task_set(q=120.0),
+        reference_validation_task_set(q=120.0),
         policy="fp",
         seeds=range(validation_seeds),
         horizon=50_000.0,

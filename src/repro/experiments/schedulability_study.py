@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.engine.cached import run_cached_batch
-from repro.engine.engine import run_batch
 from repro.engine.sweeps import (
     StudyScenario,
     evaluate_study_scenario,
@@ -31,6 +29,12 @@ from repro.engine.sweeps import (
 )
 from repro.tasks.task import TaskSet
 from repro.utils.checks import require
+
+#: The utilization grid of the reference (CLI) acceptance study.
+STUDY_UTILIZATIONS = (0.3, 0.5, 0.65, 0.8, 0.9)
+
+#: The test methods of the reference (CLI) acceptance study.
+STUDY_METHODS = ("oblivious", "busquets", "algorithm1", "eq4")
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,6 +105,66 @@ def study_scenarios(
         for level, utilization in enumerate(utilizations)
         for k in range(sets_per_point)
     ]
+
+
+def reference_study_scenarios(
+    n_tasks: int, sets_per_point: int
+) -> list[StudyScenario]:
+    """The CLI ``study`` command's scenario grid.
+
+    The fixed utilization levels, methods, fractions and base seed of
+    ``python -m repro study`` over the caller's ``(n_tasks,
+    sets_per_point)`` — the grid a ``{"kind": "study"}`` store manifest
+    regenerates (see :func:`repro.api.execution.manifest_scenarios`).
+    """
+    return study_scenarios(
+        utilizations=list(STUDY_UTILIZATIONS),
+        methods=list(STUDY_METHODS),
+        n_tasks=n_tasks,
+        sets_per_point=sets_per_point,
+        q_fraction=0.5,
+        delay_height=0.05,
+        seed=2012,
+    )
+
+
+def fold_study_points(
+    utilizations: list[float],
+    methods: list[str],
+    sets_per_point: int,
+    results: list,
+) -> list[StudyPoint]:
+    """Fold level-major :class:`~repro.engine.StudyResult` batches into
+    per-utilization acceptance ratios.
+
+    ``results`` must be in the stream order of :func:`study_scenarios`
+    (all sets of ``utilizations[0]`` first).
+    """
+    require(
+        len(results) == len(utilizations) * sets_per_point,
+        f"expected {len(utilizations) * sets_per_point} study results, "
+        f"got {len(results)}",
+    )
+    points: list[StudyPoint] = []
+    for level, utilization in enumerate(utilizations):
+        batch = results[
+            level * sets_per_point : (level + 1) * sets_per_point
+        ]
+        accepted = {m: 0 for m in methods}
+        for result in batch:
+            for method, verdict in zip(methods, result.accepted):
+                if verdict:
+                    accepted[method] += 1
+        points.append(
+            StudyPoint(
+                utilization=utilization,
+                ratios={
+                    m: accepted[m] / sets_per_point for m in methods
+                },
+                generated=sets_per_point,
+            )
+        )
+    return points
 
 
 def study_campaign_spec(
@@ -180,6 +244,9 @@ def acceptance_study(
     """
     require(bool(utilizations), "need at least one utilization level")
     require(sets_per_point > 0, "sets_per_point must be > 0")
+    from repro.api.execution import execute_scenarios
+    from repro.api.options import ExecutionOptions
+
     scenarios = study_scenarios(
         utilizations,
         methods,
@@ -189,44 +256,18 @@ def acceptance_study(
         delay_height,
         seed,
     )
-    if store is not None:
-        results = run_cached_batch(
-            evaluate_study_scenario,
-            scenarios,
-            store,
-            decode=study_result_from_record,
-            max_workers=max_workers,
-            chunk_size=chunk_size,
-            group_by=study_context_key,
-        ).results
-    else:
-        results = run_batch(
-            evaluate_study_scenario,
-            scenarios,
-            max_workers=max_workers,
-            chunk_size=chunk_size,
-            group_by=study_context_key,
-        )
-    points: list[StudyPoint] = []
-    for level, utilization in enumerate(utilizations):
-        batch = results[
-            level * sets_per_point : (level + 1) * sets_per_point
-        ]
-        accepted = {m: 0 for m in methods}
-        for result in batch:
-            for method, verdict in zip(methods, result.accepted):
-                if verdict:
-                    accepted[method] += 1
-        points.append(
-            StudyPoint(
-                utilization=utilization,
-                ratios={
-                    m: accepted[m] / sets_per_point for m in methods
-                },
-                generated=sets_per_point,
-            )
-        )
-    return points
+    run = execute_scenarios(
+        evaluate_study_scenario,
+        scenarios,
+        options=ExecutionOptions(
+            jobs=max_workers, chunk=chunk_size, store=store
+        ),
+        decode=study_result_from_record,
+        group_by=study_context_key,
+    )
+    return fold_study_points(
+        utilizations, methods, sets_per_point, run.results
+    )
 
 
 def study_series(

@@ -13,6 +13,14 @@ from repro.sched.crpd_rta import (
     acceptance_ratio,
     delay_aware_rta,
 )
+from repro.sched.dbf import (
+    analysis_horizon,
+    demand_bound_function,
+    edf_schedulable,
+    edf_schedulable_with_blocking,
+    task_demand,
+    testing_points,
+)
 from repro.sched.edf_delay_aware import (
     EDF_METHODS,
     EdfDelayAwareResult,
@@ -25,20 +33,11 @@ from repro.sched.joint_rta import (
     compare_with_uncapped,
     joint_rta,
 )
-from repro.sched.dbf import (
-    analysis_horizon,
-    demand_bound_function,
-    edf_schedulable,
-    edf_schedulable_with_blocking,
-    task_demand,
-    testing_points,
-)
 from repro.sched.rta import (
     ResponseTimeResult,
     response_time,
     rta_fixed_priority,
 )
-
 from repro.sched.rta_arbitrary import (
     ArbitraryDeadlineResult,
     rta_arbitrary_deadline,

@@ -34,6 +34,7 @@ from repro.sim.trace import EventKind, TraceEvent, TraceRecorder
 from repro.sim.validation import (
     JobViolation,
     ValidationReport,
+    reference_validation_task_set,
     validate_simulation,
     validation_campaign,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "all_task_metrics",
     "JobViolation",
     "ValidationReport",
+    "reference_validation_task_set",
     "validate_simulation",
     "validation_campaign",
     "EventKind",

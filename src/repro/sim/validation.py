@@ -100,6 +100,31 @@ def validate_simulation(
     )
 
 
+def reference_validation_task_set(q: float, knots: int = 512) -> TaskSet:
+    """The canonical 3-task set the validation frontends fuzz.
+
+    One low-priority target carrying the ``gaussian2`` benchmark delay
+    function with NPR length ``q``, under two fast high-priority
+    interferers — shared by ``python -m repro validate`` (the
+    ``validate`` workload of :mod:`repro.api`) and
+    :func:`repro.experiments.generate_all`, so the CLI and programmatic
+    campaigns fuzz the same instance.
+    """
+    from repro.experiments.functions_fig4 import fig4_delay_function
+    from repro.tasks.task import Task
+
+    f = fig4_delay_function("gaussian2", knots=knots)
+    return TaskSet(
+        [
+            Task(
+                "target", 4000.0, 40_000.0, npr_length=q, delay_function=f
+            ),
+            Task("hp1", 40.0, 900.0),
+            Task("hp2", 25.0, 2100.0),
+        ]
+    ).rate_monotonic()
+
+
 def validation_campaign(
     tasks: TaskSet,
     policy: str,

@@ -8,8 +8,8 @@ progression axis ``[0, C_i]``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, replace
 
 from repro.core.delay_function import PreemptionDelayFunction
 from repro.utils.checks import require, require_positive

@@ -7,7 +7,7 @@ Every layer depends on these and nothing else, keeping the dependency
 graph a clean DAG.
 """
 
-from repro.utils.checks import require, require_positive, require_non_negative
+from repro.utils.checks import require, require_non_negative, require_positive
 from repro.utils.seq import is_strictly_increasing, lcm_many, pairwise
 
 __all__ = [

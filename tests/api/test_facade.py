@@ -1,0 +1,428 @@
+"""Golden tests for the ``repro.api`` facade.
+
+The acceptance surface of the API redesign: every legacy entry point
+(figure generators, ``repro sweep``, builtin campaigns, the study, the
+validation campaign) and its new :class:`RunRequest` equivalent must
+produce identical result files — including ``--jobs``, ``--resume``
+and ``--shard`` + merge — because both route through the one
+:func:`repro.api.execution.execute_scenarios` pipeline.
+"""
+
+import pytest
+
+from repro.api import (
+    ExecutionOptions,
+    RunRequest,
+    SinkSpec,
+    Workbench,
+    run,
+)
+
+_SMALL = dict(points=4, knots=64)
+
+
+@pytest.fixture
+def bench() -> Workbench:
+    return Workbench()
+
+
+@pytest.fixture
+def results_dir(tmp_path, monkeypatch):
+    target = tmp_path / "results"
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(target))
+    return target
+
+
+class TestFig5Golden:
+    def test_fig5_matches_legacy_generator(self, bench, results_dir, tmp_path):
+        from repro.experiments import (
+            default_q_grid,
+            generate_fig5,
+            write_fig5_csv,
+        )
+
+        legacy_dir = tmp_path / "legacy"
+        legacy_dir.mkdir()
+        legacy = write_fig5_csv(
+            generate_fig5(qs=default_q_grid(points=4), knots=64),
+            directory=legacy_dir,
+        )
+
+        result = bench.run(RunRequest.make("fig5", **_SMALL))
+        assert result.ok
+        assert result.payload.rows
+        facade = results_dir / "fig5.csv"
+        assert str(facade) in result.artifacts
+        assert facade.read_bytes() == legacy.read_bytes()
+
+    def test_fig5_jobs_bit_identical(self, bench, results_dir, tmp_path):
+        inline = bench.run(RunRequest.make("fig5", **_SMALL))
+        inline_bytes = (results_dir / "fig5.csv").read_bytes()
+        pooled = bench.run(
+            RunRequest.make("fig5", ExecutionOptions(jobs=2), **_SMALL)
+        )
+        assert (results_dir / "fig5.csv").read_bytes() == inline_bytes
+        assert pooled.records == inline.records
+
+    def test_fig5_resume_byte_identical(self, bench, results_dir, tmp_path):
+        bench.run(RunRequest.make("fig5", **_SMALL))
+        plain = (results_dir / "fig5.csv").read_bytes()
+
+        store = tmp_path / "fig5.sqlite"
+        with pytest.raises(KeyboardInterrupt):
+            bench.run(
+                RunRequest.make(
+                    "fig5",
+                    ExecutionOptions(store=str(store), fail_after=3),
+                    **_SMALL,
+                )
+            )
+        resumed = bench.run(
+            RunRequest.make(
+                "fig5",
+                ExecutionOptions(store=str(store), resume=True),
+                **_SMALL,
+            )
+        )
+        assert resumed.cached == 3
+        assert (results_dir / "fig5.csv").read_bytes() == plain
+
+    def test_fig5_shard_then_merge_byte_identical(
+        self, bench, results_dir, tmp_path
+    ):
+        bench.run(RunRequest.make("fig5", **_SMALL))
+        plain = (results_dir / "fig5.csv").read_bytes()
+        (results_dir / "fig5.csv").unlink()
+
+        shards = []
+        for i in (1, 2):
+            store = tmp_path / f"shard{i}.sqlite"
+            shards.append(str(store))
+            sharded = bench.run(
+                RunRequest.make(
+                    "fig5",
+                    ExecutionOptions(store=str(store), shard=f"{i}/2"),
+                    **_SMALL,
+                )
+            )
+            # A shard computes only its slice and writes no artifact.
+            assert sharded.extra["sharded"]
+            assert not (results_dir / "fig5.csv").exists()
+
+        merged = tmp_path / "merged.sqlite"
+        run("merge", target=str(merged), sources=shards)
+        final = bench.run(
+            RunRequest.make(
+                "fig5",
+                ExecutionOptions(store=str(merged), resume=True),
+                **_SMALL,
+            )
+        )
+        assert final.computed == 0
+        assert (results_dir / "fig5.csv").read_bytes() == plain
+
+    def test_fig5_shard_without_store_fails_loudly(self, bench, results_dir):
+        with pytest.raises(ValueError, match="requires --store"):
+            bench.run(
+                RunRequest.make(
+                    "fig5", ExecutionOptions(shard="1/2"), **_SMALL
+                )
+            )
+
+
+class TestSweepGolden:
+    def test_sweep_matches_cli(self, bench, results_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        cli_out = tmp_path / "cli.jsonl"
+        assert main(
+            ["sweep", "--points", "4", "--knots", "64",
+             "--out", str(cli_out)]
+        ) == 0
+        capsys.readouterr()
+
+        api_out = tmp_path / "api.jsonl"
+        result = bench.run(
+            RunRequest.make(
+                "sweep",
+                ExecutionOptions(sinks=(SinkSpec(str(api_out)),)),
+                **_SMALL,
+            )
+        )
+        assert result.total == 12
+        assert api_out.read_bytes() == cli_out.read_bytes()
+
+    def test_sweep_csv_and_jobs_match_cli(
+        self, bench, results_dir, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        cli_out = tmp_path / "cli.csv"
+        assert main(
+            ["sweep", "--points", "4", "--knots", "64", "--jobs", "2",
+             "--format", "csv", "--out", str(cli_out)]
+        ) == 0
+        capsys.readouterr()
+
+        api_out = tmp_path / "api.csv"
+        bench.run(
+            RunRequest.make(
+                "sweep",
+                ExecutionOptions(jobs=2, sinks=(SinkSpec(str(api_out)),)),
+                **_SMALL,
+            )
+        )
+        assert api_out.read_bytes() == cli_out.read_bytes()
+
+    def test_sweep_resume_matches_plain(self, bench, results_dir, tmp_path):
+        plain_out = tmp_path / "plain.jsonl"
+        bench.run(
+            RunRequest.make(
+                "sweep",
+                ExecutionOptions(sinks=(SinkSpec(str(plain_out)),)),
+                **_SMALL,
+            )
+        )
+        out = tmp_path / "resumed.jsonl"
+        store = tmp_path / "sweep.sqlite"
+        with pytest.raises(KeyboardInterrupt):
+            bench.run(
+                RunRequest.make(
+                    "sweep",
+                    ExecutionOptions(
+                        store=str(store),
+                        sinks=(SinkSpec(str(out)),),
+                        fail_after=4,
+                    ),
+                    **_SMALL,
+                )
+            )
+        resumed = bench.run(
+            RunRequest.make(
+                "sweep",
+                ExecutionOptions(
+                    store=str(store), resume=True,
+                    sinks=(SinkSpec(str(out)),),
+                ),
+                **_SMALL,
+            )
+        )
+        assert resumed.cached == 4
+        assert out.read_bytes() == plain_out.read_bytes()
+
+
+class TestCampaignGolden:
+    def test_builtin_campaign_matches_cli(
+        self, bench, results_dir, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        cli_out = tmp_path / "cli.jsonl"
+        assert main(
+            ["campaign", "sim-validate",
+             "--set", "sets_per_point=3",
+             "--set", "utilizations=[0.4, 0.6]",
+             "--out", str(cli_out)]
+        ) == 0
+        capsys.readouterr()
+
+        api_out = tmp_path / "api.jsonl"
+        result = bench.run(
+            RunRequest.campaign(
+                "sim-validate",
+                {"sets_per_point": 3, "utilizations": [0.4, 0.6]},
+                options=ExecutionOptions(sinks=(SinkSpec(str(api_out)),)),
+            )
+        )
+        assert result.extra["campaign"] == "sim-validate"
+        assert len(result.records) == 6
+        assert api_out.read_bytes() == cli_out.read_bytes()
+
+    def test_family_request_matches_engine(self, bench, results_dir):
+        from repro.engine import run_batch
+        from repro.engine.registry import get_family
+        from repro.engine.sweeps import BoundScenario
+
+        result = bench.run(
+            RunRequest.family(
+                "bound",
+                axes={
+                    "q": {"grid": [50.0, 100.0]},
+                    "function": {"grid": ["gaussian1"]},
+                },
+                defaults={"knots": 64},
+            )
+        )
+        scenarios = [
+            BoundScenario(function="gaussian1", q=q, knots=64)
+            for q in (50.0, 100.0)
+        ]
+        expected = run_batch(get_family("bound").worker, scenarios)
+        assert list(result.records) == expected
+
+    def test_campaign_run_shim(self, bench, results_dir, tmp_path):
+        import repro.campaign as campaign
+
+        out = tmp_path / "shim.jsonl"
+        result = campaign.run(
+            "fig5",
+            {"points": 3, "knots": 64},
+            sinks=(str(out),),
+        )
+        assert result.total == 9
+        assert out.exists()
+        # Byte-identical to the facade's campaign workload.
+        out2 = tmp_path / "facade.jsonl"
+        bench.run(
+            RunRequest.campaign(
+                "fig5", {"points": 3, "knots": 64},
+                options=ExecutionOptions(sinks=(SinkSpec(str(out2)),)),
+            )
+        )
+        assert out.read_bytes() == out2.read_bytes()
+
+
+class TestStudyGolden:
+    def test_study_matches_legacy_acceptance_study(self, bench, results_dir):
+        from repro.experiments import (
+            STUDY_METHODS,
+            STUDY_UTILIZATIONS,
+            acceptance_study,
+        )
+
+        legacy = acceptance_study(
+            utilizations=list(STUDY_UTILIZATIONS),
+            methods=list(STUDY_METHODS),
+            n_tasks=3,
+            sets_per_point=4,
+        )
+        result = bench.run(RunRequest.make("study", tasks=3, sets=4))
+        assert result.payload == legacy
+
+    def test_study_resume_matches_plain(self, bench, results_dir, tmp_path):
+        plain = bench.run(RunRequest.make("study", tasks=3, sets=4))
+        store = tmp_path / "study.sqlite"
+        with pytest.raises(KeyboardInterrupt):
+            bench.run(
+                RunRequest.make(
+                    "study",
+                    ExecutionOptions(store=str(store), fail_after=5),
+                    tasks=3, sets=4,
+                )
+            )
+        resumed = bench.run(
+            RunRequest.make(
+                "study",
+                ExecutionOptions(store=str(store), resume=True),
+                tasks=3, sets=4,
+            )
+        )
+        assert resumed.cached == 5
+        assert resumed.payload == plain.payload
+        assert resumed.records == plain.records
+
+
+class TestValidateAndFigures:
+    def test_validate_matches_legacy_campaign(self, bench, results_dir):
+        from repro.sim import (
+            reference_validation_task_set,
+            validation_campaign,
+        )
+
+        legacy = validation_campaign(
+            reference_validation_task_set(200.0),
+            policy="fp",
+            seeds=range(2),
+            horizon=9_000.0,
+        )
+        result = bench.run(
+            RunRequest.make("validate", q=200.0, seeds=2, horizon=9_000.0)
+        )
+        assert result.ok
+        assert result.payload == legacy
+
+    def test_fig4_matches_legacy_generator(self, bench, results_dir, tmp_path):
+        from repro.experiments import generate_fig4, write_fig4_csv
+
+        legacy_dir = tmp_path / "legacy"
+        legacy_dir.mkdir()
+        legacy = write_fig4_csv(
+            generate_fig4(samples=21, knots=64), directory=legacy_dir
+        )
+        result = bench.run(RunRequest.make("fig4", samples=21, knots=64))
+        assert (results_dir / "fig4.csv").read_bytes() == legacy.read_bytes()
+        assert result.payload.ts[0] == 0.0
+
+    def test_fig4_store_serves_second_run(self, bench, results_dir, tmp_path):
+        store = tmp_path / "fig4.sqlite"
+        options = ExecutionOptions(store=str(store))
+        first = bench.run(
+            RunRequest.make("fig4", options, samples=21, knots=64)
+        )
+        second = bench.run(
+            RunRequest.make("fig4", options, samples=21, knots=64)
+        )
+        assert first.payload == second.payload
+
+    def test_fig2_reproduces_counterexample(self, bench, results_dir):
+        result = bench.run(RunRequest.make("fig2"))
+        assert result.ok
+        assert result.payload.naive_is_violated
+        assert result.payload.algorithm1_is_safe
+
+
+class TestRequestValidation:
+    def test_unknown_workload_lists_choices(self, bench):
+        with pytest.raises(ValueError, match="registered workloads"):
+            bench.run(RunRequest.make("nope"))
+
+    def test_unknown_parameter_lists_valid_ones(self, bench):
+        with pytest.raises(ValueError, match="valid parameters"):
+            bench.run(RunRequest.make("fig5", bogus=1))
+
+    def test_wrong_type_fails_loudly(self, bench):
+        with pytest.raises(ValueError, match="expects int"):
+            bench.run(RunRequest.make("fig5", points="many"))
+
+    def test_missing_required_parameter(self, bench):
+        with pytest.raises(ValueError, match="requires parameter"):
+            bench.run(RunRequest.make("campaign"))
+
+    def test_invalid_shard_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="invalid shard spec"):
+            ExecutionOptions(shard="9/4")
+
+    def test_resume_requires_store(self, bench, results_dir):
+        with pytest.raises(ValueError, match="--resume requires --store"):
+            bench.run(
+                RunRequest.make(
+                    "sweep", ExecutionOptions(resume=True), **_SMALL
+                )
+            )
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ValueError, match="repeats parameter"):
+            RunRequest(
+                workload="fig5", params=(("points", 4), ("points", 5))
+            )
+
+    def test_pair_shaped_lists_survive_the_freeze_thaw_round_trip(self):
+        # Regression: a list of [str, value] pairs must come back as a
+        # list, not be mistaken for a frozen mapping and dict-ified.
+        request = RunRequest.make(
+            "campaign",
+            spec={
+                "family": "bound",
+                "axes": [
+                    ["q", {"grid": [50.0]}],
+                    ["function", {"grid": ["gaussian1"]}],
+                ],
+                "defaults": {"knots": 64},
+            },
+        )
+        spec = request.params_dict()["spec"]
+        assert spec["axes"] == [
+            ["q", {"grid": [50.0]}],
+            ["function", {"grid": ["gaussian1"]}],
+        ]
+        assert spec["defaults"] == {"knots": 64}

@@ -1,0 +1,57 @@
+"""Tests for the self-describing family axes of the engine registry."""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.engine.registry import AxisSpec, family_names, get_family
+
+
+class TestAxisDerivation:
+    def test_bound_family_axes(self):
+        axes = {axis.name: axis for axis in get_family("bound").axes()}
+        assert set(axes) == {"function", "q", "interpretation", "knots"}
+        assert axes["function"].required
+        assert axes["function"].type_name == "str"
+        assert axes["q"].required
+        assert axes["q"].type_name == "float"
+        assert not axes["knots"].required
+        assert axes["knots"].default == 2048
+        assert axes["knots"].type_name == "int"
+
+    def test_tuple_fields_render_as_lists(self):
+        axes = {axis.name: axis for axis in get_family("study").axes()}
+        assert axes["methods"].type_name == "list[str]"
+        assert axes["methods"].required
+
+    def test_defaulted_tuple_field_carries_its_default(self):
+        axes = {
+            axis.name: axis for axis in get_family("edf-study").axes()
+        }
+        from repro.sched.edf_delay_aware import EDF_METHODS
+
+        assert not axes["methods"].required
+        assert axes["methods"].default == EDF_METHODS
+
+    @pytest.mark.parametrize("name", family_names())
+    def test_axes_cover_every_scenario_field(self, name):
+        family = get_family(name)
+        axis_names = [axis.name for axis in family.axes()]
+        assert axis_names == [
+            field.name for field in fields(family.scenario_type)
+        ]
+
+    @pytest.mark.parametrize("name", family_names())
+    def test_every_builtin_axis_documented(self, name):
+        undocumented = [
+            axis.name for axis in get_family(name).axes() if not axis.help
+        ]
+        assert not undocumented, (
+            f"family {name!r} axes without help: {undocumented}"
+        )
+
+    def test_axis_spec_is_frozen(self):
+        axis = get_family("bound").axes()[0]
+        assert isinstance(axis, AxisSpec)
+        with pytest.raises(AttributeError):
+            axis.name = "other"

@@ -4,13 +4,13 @@ import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from tests.conftest import delay_functions
 
 from repro.core import (
     PreemptionDelayFunction,
     algorithm1_dominates,
     compare_bounds,
 )
-from tests.conftest import delay_functions
 
 
 class TestCompareBounds:

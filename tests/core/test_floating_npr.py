@@ -5,9 +5,9 @@ import math
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from tests.conftest import delay_functions
 
 from repro.core import PreemptionDelayFunction, floating_npr_delay_bound
-from tests.conftest import delay_functions
 
 
 class TestZeroAndTrivialCases:

@@ -5,12 +5,12 @@ import math
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from tests.conftest import delay_functions
 
 from repro.core import (
     PreemptionDelayFunction,
     state_of_the_art_delay_bound,
 )
-from tests.conftest import delay_functions
 
 
 class TestClosedFormCases:

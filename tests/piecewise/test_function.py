@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
+from tests.conftest import continuous_pwl, step_function
 
 from repro.piecewise import (
     PiecewiseFunction,
@@ -11,7 +12,6 @@ from repro.piecewise import (
     from_points,
     step,
 )
-from tests.conftest import continuous_pwl, step_function
 
 
 class TestConstruction:

@@ -2,6 +2,7 @@
 
 import pytest
 from hypothesis import given
+from tests.conftest import continuous_pwl, step_function
 
 from repro.piecewise import (
     add,
@@ -12,7 +13,6 @@ from repro.piecewise import (
     step,
     subtract,
 )
-from tests.conftest import continuous_pwl, step_function
 
 
 def _same_domain(f, g):

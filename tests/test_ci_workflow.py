@@ -1,8 +1,8 @@
 """CI configuration anti-rot checks.
 
 The workflow file is part of the repo's contract: it must stay valid
-YAML with the agreed job set (lint + test matrix + docs + benchmark
-smoke), reference only commands/paths that exist, and the lint job must
+YAML with the agreed job set (lint + test matrix + docs + examples +
+benchmark smoke), reference only commands/paths that exist, and the lint job must
 have a committed ruff configuration to run against.  A structural check
 here fails the tier-1 suite locally long before a push discovers the
 workflow is broken.
@@ -48,11 +48,12 @@ class TestWorkflowShape:
         assert "push" in triggers
         assert "pull_request" in triggers
 
-    def test_has_all_four_jobs(self, workflow):
+    def test_has_all_five_jobs(self, workflow):
         assert set(workflow["jobs"]) >= {
             "lint",
             "test",
             "docs",
+            "examples",
             "bench-smoke",
         }
 
@@ -90,6 +91,13 @@ class TestJobCommands:
         commands = _steps_commands(workflow["jobs"]["docs"])
         assert "tests/test_docs.py" in commands
         assert (REPO_ROOT / "tests" / "test_docs.py").is_file()
+
+    def test_examples_job_runs_the_examples_suite(self, workflow):
+        commands = _steps_commands(workflow["jobs"]["examples"])
+        assert "tests/test_examples.py" in commands
+        assert (REPO_ROOT / "tests" / "test_examples.py").is_file()
+        # And the suite must cover every committed example script.
+        assert list((REPO_ROOT / "examples").glob("*.py"))
 
     def test_bench_smoke_job_runs_benchmarks_in_smoke_mode(self, workflow):
         job = workflow["jobs"]["bench-smoke"]

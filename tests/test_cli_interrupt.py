@@ -1,0 +1,238 @@
+"""Uniform interrupt handling: every command exits 130 on Ctrl-C.
+
+Previously only ``sweep`` and ``campaign`` mapped ``KeyboardInterrupt``
+to exit code 130 with a resume hint; the facade routes every subcommand
+through one handler in :func:`repro.cli.main`, so long-running figure
+and study commands interrupt just as cleanly.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(tmp_path, monkeypatch, argv):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    return main(argv)
+
+
+class TestStoreBackedInterrupts:
+    """``--fail-after`` simulates a mid-run kill; the command must exit
+    130 with a resume hint and the resumed run must be byte-identical."""
+
+    def test_fig5_interrupt_resume_byte_identical(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        argv = ["fig5", "--points", "4", "--knots", "64"]
+        assert _run(tmp_path, monkeypatch, argv) == 0
+        plain = (tmp_path / "results" / "fig5.csv").read_bytes()
+
+        store = tmp_path / "fig5.sqlite"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [*argv, "--store", str(store), "--fail-after", "3"],
+        )
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "fig5 interrupted" in captured.err
+        assert "--resume" in captured.err
+
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [*argv, "--store", str(store), "--resume"],
+        )
+        assert code == 0
+        assert (tmp_path / "results" / "fig5.csv").read_bytes() == plain
+
+    def test_study_interrupt_resume_identical_stdout(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        argv = ["study", "--tasks", "3", "--sets", "4"]
+        assert _run(tmp_path, monkeypatch, argv) == 0
+        plain_stdout = capsys.readouterr().out
+
+        store = tmp_path / "study.sqlite"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [*argv, "--store", str(store), "--fail-after", "5"],
+        )
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "study interrupted" in captured.err
+        assert str(store) in captured.err
+
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [*argv, "--store", str(store), "--resume"],
+        )
+        assert code == 0
+        assert capsys.readouterr().out == plain_stdout
+
+    def test_interrupt_without_store_names_the_gap(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # No store: nothing was checkpointed and the message says so.
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.api.execution.run_batch", boom)
+        code = _run(
+            tmp_path, monkeypatch, ["fig5", "--points", "4", "--knots", "64"]
+        )
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "fig5 interrupted" in captured.err
+        assert "nothing was checkpointed" in captured.err
+
+
+class TestStorelessInterrupts:
+    """Commands without a store surface still exit 130 uniformly."""
+
+    def test_validate_interrupt(self, tmp_path, monkeypatch, capsys):
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.sim.validation_campaign", boom)
+        code = _run(tmp_path, monkeypatch, ["validate", "--seeds", "2"])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "validate interrupted" in captured.err
+
+    def test_fig2_interrupt(self, tmp_path, monkeypatch, capsys):
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.experiments.run_figure2_demo", boom)
+        code = _run(tmp_path, monkeypatch, ["fig2"])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "fig2 interrupted" in captured.err
+
+
+class TestUniformStoreFlags:
+    """fig5/study gained --store/--resume/--shard with sweep semantics."""
+
+    def test_fig5_warm_store_recomputes_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        store = tmp_path / "fig5.sqlite"
+        argv = [
+            "fig5", "--points", "4", "--knots", "64", "--store", str(store)
+        ]
+        assert _run(tmp_path, monkeypatch, argv) == 0
+        first = (tmp_path / "results" / "fig5.csv").read_bytes()
+        assert _run(tmp_path, monkeypatch, argv) == 0
+        assert (tmp_path / "results" / "fig5.csv").read_bytes() == first
+
+    def test_fig5_sharded_stores_merge_to_full_artifact(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        argv = ["fig5", "--points", "4", "--knots", "64"]
+        assert _run(tmp_path, monkeypatch, argv) == 0
+        plain = (tmp_path / "results" / "fig5.csv").read_bytes()
+        (tmp_path / "results" / "fig5.csv").unlink()
+
+        shards = []
+        for i in (1, 2):
+            store = tmp_path / f"shard{i}.sqlite"
+            shards.append(str(store))
+            code = _run(
+                tmp_path,
+                monkeypatch,
+                [*argv, "--store", str(store), "--shard", f"{i}/2"],
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "shard checkpointed" in out
+        assert not (tmp_path / "results" / "fig5.csv").exists()
+
+        merged = tmp_path / "merged.sqlite"
+        assert _run(
+            tmp_path, monkeypatch, ["merge", str(merged), *shards]
+        ) == 0
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [*argv, "--store", str(merged), "--resume"],
+        )
+        assert code == 0
+        assert (tmp_path / "results" / "fig5.csv").read_bytes() == plain
+
+    def test_fig5_shard_without_store_exits_2(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            ["fig5", "--points", "4", "--knots", "64", "--shard", "1/2"],
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "requires --store" in captured.err
+
+    def test_study_resume_requires_existing_store(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                "study", "--tasks", "3", "--sets", "4",
+                "--store", str(tmp_path / "absent.sqlite"), "--resume",
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "does not exist" in captured.err
+
+    def test_fig4_refuses_a_store_recorded_by_sweep(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # One store, one sweep shape: a qsweep store must not silently
+        # absorb fig4 sample records.
+        store = tmp_path / "shared.sqlite"
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            [
+                "sweep", "--points", "4", "--knots", "64",
+                "--store", str(store),
+                "--out", str(tmp_path / "s.jsonl"),
+            ],
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = _run(
+            tmp_path,
+            monkeypatch,
+            ["fig4", "--samples", "21", "--knots", "64",
+             "--store", str(store)],
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "manifest" in captured.err
+
+    def test_fig4_store_round_trip(self, tmp_path, monkeypatch, capsys):
+        store = tmp_path / "fig4.sqlite"
+        argv = [
+            "fig4", "--samples", "21", "--knots", "64",
+            "--store", str(store),
+        ]
+        assert _run(tmp_path, monkeypatch, argv) == 0
+        first = (tmp_path / "results" / "fig4.csv").read_bytes()
+        assert _run(tmp_path, monkeypatch, [*argv, "--resume"]) == 0
+        assert (tmp_path / "results" / "fig4.csv").read_bytes() == first
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out

@@ -1,0 +1,48 @@
+"""Anti-rot smoke test: every example script must execute cleanly.
+
+Each ``examples/*.py`` runs as a subprocess under a tmp
+``REPRO_RESULTS_DIR`` and tmp working directory, so the examples (now
+written against the :mod:`repro.api` facade where they run workloads)
+cannot silently rot as the API evolves.  CI runs this module in its
+own job besides the tier-1 matrix.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/ has no scripts"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.name for path in EXAMPLES]
+)
+def test_example_executes(script, tmp_path):
+    env = dict(os.environ)
+    env["REPRO_RESULTS_DIR"] = str(tmp_path / "results")
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

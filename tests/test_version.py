@@ -1,0 +1,55 @@
+"""The version is single-sourced from ``repro.__version__``.
+
+``setup.py`` reads it textually and ``python -m repro --version``
+prints it; all three must agree, and the package source must carry
+exactly one version literal.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestSingleSourcedVersion:
+    def test_setup_py_reports_the_package_version(self):
+        pytest.importorskip("setuptools")
+        proc = subprocess.run(
+            [sys.executable, "setup.py", "--version"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == repro.__version__
+
+    def test_setup_py_has_no_hardcoded_version(self):
+        text = (REPO_ROOT / "setup.py").read_text()
+        assert not re.search(r"version\s*=\s*[\"']", text), (
+            "setup.py hardcodes a version; it must read "
+            "repro.__version__ via read_version()"
+        )
+        assert "read_version()" in text
+
+    def test_package_declares_a_pep440_ish_version(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_module_version_flag_agrees(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == f"repro {repro.__version__}"
