@@ -1,0 +1,112 @@
+"""BENCH-SERVE: a warm duplicate submission is (nearly) free.
+
+One live :mod:`repro.serve` server, one client, the same request
+submitted twice:
+
+1. **cold** — empty shared store: the job computes every scenario,
+   checkpoints them, and streams the records;
+2. **warm** — identical resubmission: the server replays the finished
+   job (or serves every scenario from the store), computing nothing.
+
+Asserted claims: the warm submission computes zero scenarios, is at
+least ``MIN_SPEEDUP``× faster end-to-end (connect → last byte), and
+its stream is byte-identical to the cold one.  This is the service
+analogue of ``benchmarks/bench_store.py``'s warm-resweep gate: the
+network and protocol layers are allowed to cost something, but never
+a recompute.
+
+Artifact: ``results/bench_serve.txt`` plus a section in
+``results/BENCH_serve.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import save_text, scaled, update_bench_json
+
+from repro.api import RunRequest
+from repro.experiments import render_table
+from repro.serve import ServeClient, ServeConfig, start_server
+
+#: Sweep shape (scenarios = 3x the point count).
+N_POINTS = scaled(60, 12)
+KNOTS = scaled(512, 256)
+#: A warm duplicate pays connection + replay only; anything under this
+#: factor means the dedup path has regressed into recomputation.
+MIN_SPEEDUP = 5.0
+
+
+def _timed_submit(host: str, port: int, request: RunRequest):
+    started = time.perf_counter()
+    with ServeClient(host, port) as client:
+        stream = client.submit(request)
+        lines = stream.lines()
+    return time.perf_counter() - started, lines, stream
+
+
+def test_warm_duplicate_submission_beats_cold(artifacts_dir, tmp_path):
+    request = RunRequest.make("sweep", points=N_POINTS, knots=KNOTS)
+    handle = start_server(
+        ServeConfig(store=str(tmp_path / "serve.sqlite"), port=0)
+    )
+    try:
+        t_cold, cold_lines, cold_stream = _timed_submit(
+            handle.host, handle.port, request
+        )
+        t_warm, warm_lines, warm_stream = _timed_submit(
+            handle.host, handle.port, request
+        )
+    finally:
+        stats = handle.stop()
+
+    assert cold_stream.dedup == "new"
+    assert cold_stream.end is not None
+    assert cold_stream.end["computed"] == len(cold_lines)
+    # The duplicate replayed the finished job: nothing recomputed.
+    assert warm_stream.dedup in ("replay", "inflight")
+    assert stats["scenarios_computed"] == len(cold_lines)
+    assert warm_lines == cold_lines
+
+    speedup = t_cold / t_warm
+    records = len(cold_lines)
+    table = render_table(
+        ["path", "seconds", "records/s"],
+        [
+            [
+                "cold submit (compute + checkpoint + stream)",
+                f"{t_cold:.2f}",
+                f"{records / t_cold:.0f}",
+            ],
+            [
+                "warm duplicate (dedup + replay)",
+                f"{t_warm:.2f}",
+                f"{records / t_warm:.0f}",
+            ],
+            ["speedup", f"{speedup:.1f}x", ""],
+        ],
+    )
+    save_text(artifacts_dir, "bench_serve.txt", table)
+    update_bench_json(
+        artifacts_dir,
+        "serve",
+        {
+            "warm_duplicate": {
+                "records": records,
+                "cold_s": round(t_cold, 4),
+                "warm_s": round(t_warm, 4),
+                "speedup": round(speedup, 2),
+            }
+        },
+    )
+    print()
+    print(table)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm duplicate only {speedup:.1f}x faster than cold "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )

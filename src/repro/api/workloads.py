@@ -552,31 +552,26 @@ def _render_study(result: RunResult) -> str:
 
 
 def _run_sweep(request: RunRequest, params: dict[str, Any]) -> RunResult:
-    from repro.engine import evaluate_bound_scenario, q_sweep_scenarios
-    from repro.engine.sweeps import bound_context_key
-    from repro.experiments import default_q_grid
+    from repro.api.plan import plan_scenarios
 
     options = request.options
     check_resume(options)  # before the sink truncates any output file
-    points, knots = params["points"], params["knots"]
-    manifest = {"kind": "qsweep", "points": points, "knots": knots}
-    qs = default_q_grid(points=points)
-    scenarios = q_sweep_scenarios(qs, knots=knots)
-    specs = resolve_sinks(options, "sweep")
+    plan = plan_scenarios("sweep", params)
+    specs = resolve_sinks(options, plan.sink_name)
     counter = _ConvergenceCounter(open_sink(specs))
     with counter:
         run = execute_scenarios(
-            evaluate_bound_scenario,
-            scenarios,
+            plan.worker,
+            plan.scenarios,
             options=options,
-            manifest=manifest,
-            group_by=bound_context_key,
+            manifest=plan.manifest,
+            group_by=plan.group_by,
             collect=False,
             sink=counter,
         )
     return RunResult(
         request=request,
-        manifest=manifest,
+        manifest=plan.manifest,
         artifacts=tuple(spec.path for spec in specs),
         total=run.total,
         cached=run.cached,
@@ -623,7 +618,7 @@ def _render_sweep(result: RunResult) -> str:
 # ----------------------------------------------------------------------
 
 
-def _campaign_overrides(raw: Any) -> dict[str, Any]:
+def campaign_overrides(raw: Any) -> dict[str, Any]:
     """Normalize the ``set`` parameter: a mapping, ``(key, value)``
     pairs, or CLI-style ``key=value`` strings."""
     from repro.campaign import parse_set_overrides
@@ -639,24 +634,22 @@ def _campaign_overrides(raw: Any) -> dict[str, Any]:
 
 
 def _run_campaign(request: RunRequest, params: dict[str, Any]) -> RunResult:
-    from repro.campaign import compile_campaign, resolve_spec
+    from repro.api.plan import plan_scenarios
 
     options = request.options
     check_resume(options)  # before the sink truncates any output file
-    spec = resolve_spec(params["spec"], _campaign_overrides(params["set"]))
-    compiled = compile_campaign(spec)
-    manifest = {"kind": "campaign", "spec": compiled.spec}
+    plan = plan_scenarios("campaign", params)
     collect = params["collect"]
-    specs = resolve_sinks(options, f"campaign-{compiled.name}")
+    specs = resolve_sinks(options, plan.sink_name)
     sink = open_sink(specs)
     try:
         run = execute_scenarios(
-            compiled.family.worker,
-            compiled.scenarios,
+            plan.worker,
+            plan.scenarios,
             options=options,
-            manifest=manifest,
-            group_by=compiled.family.context_key,
-            decode=compiled.family.decoder,
+            manifest=plan.manifest,
+            group_by=plan.group_by,
+            decode=plan.decode,
             collect=collect,
             sink=sink,
         )
@@ -666,14 +659,13 @@ def _run_campaign(request: RunRequest, params: dict[str, Any]) -> RunResult:
     return RunResult(
         request=request,
         records=tuple(run.results) if run.results is not None else None,
-        manifest=manifest,
+        manifest=plan.manifest,
         artifacts=tuple(spec.path for spec in specs),
         total=run.total,
         cached=run.cached,
         computed=run.computed,
         extra={
-            "campaign": compiled.name,
-            "family": compiled.family.name,
+            **plan.extra,
             "store_used": options.store is not None,
         },
     )
@@ -756,6 +748,51 @@ def _render_merge(result: RunResult) -> str:
     ]
     if result.extra["out"] is not None:
         rows.append(["output", result.extra["out"]])
+    return render_table(["quantity", "value"], rows)
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+
+
+def _run_serve(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.serve.server import ServeConfig, run_server
+
+    options = request.options
+    if options.store is None:
+        raise ValueError(
+            "serve requires --store PATH: the shared content-addressed "
+            "store is what cross-client deduplication runs against"
+        )
+    if not isinstance(options.store, (str, Path)):
+        raise ValueError(
+            "serve opens its store inside the job-executor thread; pass "
+            "the store as a path, not an open instance"
+        )
+    config = ServeConfig(
+        host=params["host"],
+        port=params["port"],
+        store=str(options.store),
+        jobs=options.jobs,
+        chunk=options.chunk,
+        max_queued=params["queue"],
+        line_limit=params["limit"],
+        allow_fail_after=params["allow_fail_after"],
+        ready_file=params["ready_file"],
+    )
+    stats = run_server(config)
+    return RunResult(request=request, payload=stats, extra=dict(stats))
+
+
+def _render_serve(result: RunResult) -> str:
+    from repro.experiments import render_table
+
+    rows = sorted(
+        (key, value)
+        for key, value in result.extra.items()
+        if not isinstance(value, Mapping)
+    )
     return render_table(["quantity", "value"], rows)
 
 
@@ -952,6 +989,45 @@ def _register_builtins() -> None:
             ),
             runner=_run_merge,
             render=_render_merge,
+        )
+    )
+    register_workload(
+        Workload(
+            name="serve",
+            summary="run the analysis job server (async, store-deduped, "
+            "resumable JSONL streams)",
+            parameters=(
+                Parameter("host", str, "127.0.0.1", "interface to bind"),
+                Parameter(
+                    "port", int, 7512,
+                    "TCP port to listen on (0 = OS-assigned)",
+                ),
+                Parameter(
+                    "queue", int, 16,
+                    "max queued jobs before submissions are rejected "
+                    "(429-style 'busy' error frames)",
+                ),
+                Parameter(
+                    "limit", int, 1_048_576,
+                    "max request frame size in bytes (oversized "
+                    "submissions are rejected with an error frame)",
+                ),
+                Parameter(
+                    "ready_file", str, "",
+                    "write 'host port' here once listening (lets "
+                    "scripts wait for --port 0 startup)",
+                ),
+                Parameter(
+                    "allow_fail_after", bool, False,
+                    "honour fail_after in submitted requests (the "
+                    "fault-injection test seam; never enable in "
+                    "production)",
+                    hidden=True,
+                ),
+            ),
+            runner=_run_serve,
+            render=_render_serve,
+            flags=frozenset({"engine", "store"}),
         )
     )
     register_workload(

@@ -123,6 +123,9 @@ def _add_parameter(parser: argparse.ArgumentParser, param) -> None:
             kwargs["nargs"] = "+"
         parser.add_argument(param.name, **kwargs)
         return
+    # Multi-word parameters render as dashed flags (--ready-file);
+    # argparse maps them back to the underscored dest automatically.
+    flag = param.name.replace("_", "-")
     from repro.api.workloads import REQUIRED
 
     if param.repeatable:
@@ -133,7 +136,7 @@ def _add_parameter(parser: argparse.ArgumentParser, param) -> None:
         kwargs["default"] = (
             None if param.default is REQUIRED else param.default
         )
-    parser.add_argument(f"--{param.name}", **kwargs)
+    parser.add_argument(f"--{flag}", **kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:

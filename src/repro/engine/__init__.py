@@ -43,6 +43,7 @@ generators route through it.  See ``docs/architecture.md``.
 
 from repro.engine.cached import (
     CachedRun,
+    JobCancelled,
     emit_from_store,
     run_cached_batch,
 )
@@ -92,6 +93,7 @@ from repro.engine.sinks import (
     MemorySink,
     ResultSink,
     as_record,
+    record_line,
 )
 from repro.engine.sweeps import (
     BoundResult,
@@ -126,6 +128,7 @@ __all__ = [
     "EXECUTORS",
     "WorkerError",
     "CachedRun",
+    "JobCancelled",
     "run_cached_batch",
     "emit_from_store",
     "ResultSink",
@@ -133,6 +136,7 @@ __all__ = [
     "JsonlSink",
     "CsvSink",
     "as_record",
+    "record_line",
     "BoundScenario",
     "BoundResult",
     "StudyScenario",

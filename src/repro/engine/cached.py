@@ -40,6 +40,17 @@ R = TypeVar("R")
 Decoder = Callable[[Mapping[str, Any]], Any]
 
 
+class JobCancelled(RuntimeError):
+    """A cached batch stopped because its ``cancel`` predicate fired.
+
+    Raised between records, after the current record was checkpointed,
+    so everything computed up to the cancellation is committed to the
+    store — a later run of the same scenarios resumes instead of
+    recomputing.  This is the cancellation seam :mod:`repro.serve`
+    uses to stop a job whose clients have abandoned it.
+    """
+
+
 @dataclass(frozen=True, slots=True)
 class CachedRun:
     """Outcome of one :func:`run_cached_batch` call.
@@ -73,11 +84,13 @@ class _CheckpointSink(ResultSink):
         store: ResultStore,
         keys: Sequence[str],
         on_result: Callable[[int], None] | None = None,
+        cancel: Callable[[], bool] | None = None,
     ) -> None:
         self._store = store
         self._keys = keys
         self._cursor = 0
         self._on_result = on_result
+        self._cancel = cancel
 
     def write(self, record: Mapping[str, Any]) -> None:
         key = self._keys[self._cursor]
@@ -85,6 +98,14 @@ class _CheckpointSink(ResultSink):
         self._store.put(key, record)
         if self._on_result is not None:
             self._on_result(self._cursor)
+        if self._cancel is not None and self._cancel():
+            # After the put: the record that triggered the check is
+            # already checkpointed, so cancellation never loses work.
+            self._store.commit()
+            raise JobCancelled(
+                f"batch cancelled after {self._cursor} fresh record(s); "
+                "completed work is checkpointed"
+            )
 
 
 def emit_from_store(
@@ -147,6 +168,7 @@ def run_cached_batch(
     executor: str = "process",
     on_result: Callable[[int], None] | None = None,
     group_by: Callable[[S], Hashable] | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> CachedRun:
     """Evaluate ``scenarios``, serving and checkpointing via ``store``.
 
@@ -167,6 +189,9 @@ def run_cached_batch(
         executor: ``"process"`` or ``"thread"``.
         on_result: Hook called with the running count after each fresh
             record is checkpointed.
+        cancel: Optional predicate polled before evaluation starts and
+            after every fresh checkpoint; returning ``True`` raises
+            :class:`JobCancelled` with all completed work committed.
         group_by: Optional shared-artifact grouping key, forwarded to
             :func:`repro.engine.run_batch` for the cache-miss subset.
             Store keys stay strictly per-scenario — resume and shard
@@ -185,6 +210,10 @@ def run_cached_batch(
             pending[key] = index
     missing = sorted(pending.values())
     if missing:
+        if cancel is not None and cancel():
+            raise JobCancelled(
+                "batch cancelled before evaluation started"
+            )
         try:
             run_batch(
                 worker,
@@ -193,7 +222,7 @@ def run_cached_batch(
                 chunk_size=chunk_size,
                 executor=executor,
                 sink=_CheckpointSink(
-                    store, [keys[i] for i in missing], on_result
+                    store, [keys[i] for i in missing], on_result, cancel
                 ),
                 collect=False,
                 group_by=group_by,

@@ -48,6 +48,17 @@ def as_record(result: Any) -> dict[str, Any]:
     return record
 
 
+def record_line(record: Mapping[str, Any]) -> str:
+    """The exact one-line strict-JSON form :class:`JsonlSink` writes.
+
+    Factored out so other record consumers — the :mod:`repro.serve`
+    job streams — produce lines *byte-identical* to a local JSONL sink
+    by construction rather than by parallel implementation.
+    """
+    safe = {key: json_safe(value) for key, value in record.items()}
+    return json.dumps(safe, sort_keys=True, allow_nan=False)
+
+
 class ResultSink:
     """Base sink: a write-only record consumer with context management."""
 
@@ -93,8 +104,7 @@ class JsonlSink(ResultSink):
 
     def write(self, record: Mapping[str, Any]) -> None:
         require(self._handle is not None, "sink is closed")
-        safe = {key: json_safe(value) for key, value in record.items()}
-        json.dump(safe, self._handle, sort_keys=True, allow_nan=False)
+        self._handle.write(record_line(record))
         self._handle.write("\n")
         self.written += 1
 

@@ -1,0 +1,51 @@
+"""Analysis-as-a-service: the long-running Workbench job server.
+
+This package turns the :mod:`repro.api` facade into a shared service:
+a stdlib-only asyncio TCP server (:mod:`repro.serve.server`) accepts
+serialized :class:`~repro.api.RunRequest` submissions from many
+concurrent clients, canonicalizes each request into a
+content-addressed **job id** (reusing :mod:`repro.store.keys`), and
+streams the job's JSONL records back frame by frame.
+
+What makes it a *service* rather than a remote procedure call:
+
+* **Cross-client dedup** — all jobs evaluate against one shared
+  :class:`repro.store.ResultStore`, so a scenario any client ever
+  computed is served from the warm-cache path for every later client;
+* **Single-flight** — two clients submitting the same grid share one
+  computation (same job id → same live job, both stream its records);
+* **Backpressure** — bounded job queue; submissions beyond the limit
+  are rejected with a 429-style ``busy`` error frame instead of
+  queueing unboundedly;
+* **Resumable streams** — every stream carries a job id and record
+  sequence numbers; a client that reconnects resumes from its last
+  received record and gets the exact remaining bytes.
+
+Wire protocol (newline-delimited JSON frames over TCP) is specified in
+:mod:`repro.serve.protocol` and ``docs/serving.md``; the blocking
+client used by tests, benchmarks and examples is
+:class:`repro.serve.client.ServeClient`.  Start a server with
+``python -m repro serve --store PATH`` or, in-process,
+:func:`repro.serve.server.start_server`.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.server import ServeConfig, ServerHandle, start_server
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "ServeClient",
+    "ServeError",
+    "ServeConfig",
+    "ServerHandle",
+    "start_server",
+]

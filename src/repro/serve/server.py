@@ -1,0 +1,739 @@
+"""The asyncio analysis server: accept, dedup, evaluate, stream.
+
+One :class:`AnalysisServer` owns four cooperating pieces:
+
+* an **asyncio TCP server** speaking the :mod:`repro.serve.protocol`
+  frames, one connection per client, ops handled sequentially per
+  connection (a ``submit``/``resume`` streams to completion before the
+  next op is read);
+* a **job registry** (:class:`repro.serve.jobs.JobRegistry`) giving
+  every request a content-addressed job id with single-flight
+  semantics;
+* a **bounded job queue** — at most ``max_queued`` jobs wait for the
+  executor; submissions beyond that are rejected with a ``busy`` error
+  frame (the backpressure contract);
+* a **single job-executor thread** that evaluates queued jobs one at a
+  time through :func:`repro.engine.run_cached_batch` against one
+  shared :class:`repro.store.ResultStore`.  The store is opened
+  lazily *inside* that thread (sqlite connections are thread-bound),
+  which is also why jobs are strictly serial: one thread, one
+  connection, no cross-thread sqlite traffic.
+
+Dedup therefore happens at two levels: identical requests collapse to
+one job (single-flight), and distinct requests sharing scenarios hit
+the store's content-addressed cache — a scenario any client ever
+computed is never computed again.
+
+Entry points: :func:`run_server` (blocking; the ``repro serve`` CLI
+workload), and :func:`start_server` (background thread returning a
+:class:`ServerHandle`; tests, benchmarks and examples).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.api.options import ExecutionOptions
+from repro.api.plan import PLANNABLE_WORKLOADS, plan_scenarios
+from repro.api.request import RunRequest
+from repro.api.wire import request_from_wire
+from repro.api.workloads import get_workload
+from repro.engine import JobCancelled, WorkerError, record_line, run_cached_batch
+from repro.engine.sinks import ResultSink
+from repro.serve.jobs import Job, JobRegistry, job_id_for
+from repro.serve.protocol import (
+    CLIENT_OPS,
+    DEFAULT_LINE_LIMIT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+)
+from repro.store import ResultStore
+from repro.store.keys import package_fingerprint
+
+#: Extra reader allowance so a frame exactly at the limit still parses
+#: (the protocol limit is on the payload; the newline needs a byte too).
+_READER_SLACK = 1024
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a server needs to run.
+
+    Attributes:
+        host: Bind address (default loopback).
+        port: Bind port; ``0`` picks a free one (tests).
+        store: Path of the shared result store (opened inside the
+            job-executor thread; must be a path, never an open store).
+        jobs: Engine pool width for fresh scenarios (``None`` inline).
+        chunk: Engine chunk size (``None`` auto).
+        max_queued: Queued-job bound; submissions beyond it get
+            ``busy`` error frames instead of unbounded queueing.
+        line_limit: Per-frame byte budget for client lines.
+        allow_fail_after: Honor the ``fail_after`` fault-injection
+            option of submitted requests (tests only; off by default
+            so no client can crash a production server's jobs).
+        ready_file: Optional path that receives ``"<host> <port>"``
+            once the server is listening (lets a shell script with
+            ``port=0`` discover the bound port).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    store: str = ""
+    jobs: int | None = None
+    chunk: int | None = None
+    max_queued: int = 16
+    line_limit: int = DEFAULT_LINE_LIMIT
+    allow_fail_after: bool = False
+    ready_file: str = ""
+
+
+class _JobSink(ResultSink):
+    """Feeds a job's stream: one verbatim JSONL line per record.
+
+    Uses :func:`repro.engine.record_line` — the exact serialization
+    :class:`repro.engine.JsonlSink` writes — so a served stream is
+    byte-identical to a local sink file by construction.
+    """
+
+    def __init__(self, job: Job) -> None:
+        self._job = job
+
+    def write(self, record: Any) -> None:
+        self._job.append_line(record_line(record))
+
+
+class AnalysisServer:
+    """The running server: loop-side state and the executor bridge.
+
+    Construct with a :class:`ServeConfig`, then ``await start()`` from
+    a running loop; ``await stop()`` tears everything down and the
+    statistics remain readable via :meth:`stats`.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        if not config.store:
+            raise ValueError("ServeConfig.store must be a store path")
+        self._config = config
+        self._registry = JobRegistry()
+        self._fingerprint = package_fingerprint("repro")
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._worker_task: asyncio.Task[None] | None = None
+        self._queue: asyncio.Queue[Job] | None = None
+        self._executor: Any = None
+        self._store: ResultStore | None = None
+        self.host = config.host
+        self.port = config.port
+        # loop-side counters beyond what the registry keeps
+        self._connections = 0
+        self._live_connections = 0
+        self._records_streamed = 0
+        self._rejected = 0
+        self._bad_frames = 0
+        self._scenarios_cached = 0
+        self._scenarios_computed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start the job worker, and (optionally) report ready."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-job"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            self._config.host,
+            self._config.port,
+            limit=self._config.line_limit + _READER_SLACK,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._worker_task = asyncio.create_task(self._job_worker())
+        if self._config.ready_file:
+            ready = Path(self._config.ready_file)
+            ready.parent.mkdir(parents=True, exist_ok=True)
+            ready.write_text(f"{self.host} {self.port}\n")
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel live jobs, close the store."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._worker_task is not None:
+            self._worker_task.cancel()
+            try:
+                await self._worker_task
+            except asyncio.CancelledError:
+                pass
+        # A running job stops at its next record checkpoint; the work
+        # already computed is committed, so a restart resumes it.
+        for job in self._registry.jobs.values():
+            if not job.terminal:
+                job.cancel_event.set()
+        if self._executor is not None:
+            if self._store is not None:
+                await self._loop.run_in_executor(
+                    self._executor, self._store.close
+                )
+                self._store = None
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def stats(self) -> dict[str, Any]:
+        """Counters snapshot (also the ``status`` frame payload)."""
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "connections": self._connections,
+            "live_connections": self._live_connections,
+            "submitted": self._registry.submitted,
+            "singleflight_hits": self._registry.singleflight_hits,
+            "replays": self._registry.replays,
+            "restarts": self._registry.restarts,
+            "rejected": self._rejected,
+            "bad_frames": self._bad_frames,
+            "records_streamed": self._records_streamed,
+            "scenarios_cached": self._scenarios_cached,
+            "scenarios_computed": self._scenarios_computed,
+            "jobs": self._registry.state_counts(),
+        }
+
+    # ------------------------------------------------------------------
+    # job execution (executor thread)
+    # ------------------------------------------------------------------
+
+    def _job_store(self) -> ResultStore:
+        # Lazily opened on first use *inside* the executor thread:
+        # sqlite connections refuse cross-thread use, and every job
+        # runs on this one thread, so one connection serves them all.
+        if self._store is None:
+            self._store = ResultStore(
+                self._config.store, fingerprint=self._fingerprint
+            )
+        return self._store
+
+    def _run_job(self, job: Job) -> None:
+        """Evaluate one job on the executor thread."""
+        try:
+            workload = get_workload(job.request.workload)
+            params = workload.resolve_params(job.request.params_dict())
+            plan = plan_scenarios(job.request.workload, params)
+            store = self._job_store()
+            store.set_job_manifest(job.id, plan.manifest)
+            fail_after = job.request.options.fail_after
+            on_result: Callable[[int], None] | None = None
+            if fail_after is not None:
+
+                def on_result(count: int, _limit: int = fail_after) -> None:
+                    if count >= _limit:
+                        raise KeyboardInterrupt(
+                            f"fail_after={_limit} fault injected"
+                        )
+
+            run = run_cached_batch(
+                plan.worker,
+                plan.scenarios,
+                store,
+                sink=_JobSink(job),
+                collect=False,
+                max_workers=self._config.jobs,
+                chunk_size=self._config.chunk,
+                group_by=plan.group_by,
+                on_result=on_result,
+                cancel=job.cancel_event.is_set,
+            )
+            # Count scenarios *before* the job turns terminal: the end
+            # frame releases subscribers, and a client that saw it must
+            # find these totals already reflected in ``status``.
+            self._scenarios_cached += run.cached
+            self._scenarios_computed += run.computed
+            job.complete(run.total, run.cached, run.computed)
+        except JobCancelled as exc:
+            job.fail("job-cancelled", str(exc), state="cancelled")
+        except KeyboardInterrupt as exc:
+            job.fail(
+                "job-failed",
+                f"job killed mid-run ({exc}); completed scenarios are "
+                "checkpointed — resubmit to resume from them",
+            )
+        except WorkerError as exc:
+            job.fail("job-failed", str(exc))
+        except ValueError as exc:
+            # Plan-time rejection: bad campaign spec, unknown family …
+            job.fail("bad-request", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            job.fail("job-failed", f"{type(exc).__name__}: {exc}")
+
+    async def _job_worker(self) -> None:
+        assert self._queue is not None and self._loop is not None
+        while True:
+            job = await self._queue.get()
+            if job.state != "queued":
+                continue  # cancelled while waiting
+            job.state = "running"
+            job.pulse()
+            await self._loop.run_in_executor(
+                self._executor, self._run_job, job
+            )
+
+    # ------------------------------------------------------------------
+    # connection handling (event loop)
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        self._live_connections += 1
+        try:
+            await self._send(
+                writer,
+                {
+                    "frame": "hello",
+                    "protocol": PROTOCOL_VERSION,
+                    "workloads": list(PLANNABLE_WORKLOADS),
+                },
+            )
+            while True:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    if not exc.partial:
+                        break  # clean EOF: client closed
+                    line = exc.partial  # final unterminated line
+                except asyncio.LimitOverrunError:
+                    # The line outgrew the reader buffer.  Report it,
+                    # then discard through the next newline so the
+                    # connection's framing recovers — one bad client
+                    # frame must never cost anyone the connection.
+                    self._bad_frames += 1
+                    oversized = ProtocolError(
+                        "oversized",
+                        "frame exceeds the "
+                        f"{self._config.line_limit}-byte limit",
+                    )
+                    await self._send(writer, oversized.frame())
+                    if not await self._discard_line_tail(reader):
+                        break  # EOF while discarding
+                    continue
+                if not line.strip():
+                    continue
+                try:
+                    await self._handle_frame(line, reader, writer)
+                except ProtocolError as exc:
+                    self._bad_frames += 1
+                    await self._send(writer, exc.frame())
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # client went away; jobs keep their own lifecycle
+        finally:
+            self._live_connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _discard_line_tail(reader: asyncio.StreamReader) -> bool:
+        """Discard input through the next newline; ``False`` on EOF.
+
+        Recovers framing after an over-limit line: everything up to
+        and including the line's terminating newline is dropped, and
+        whatever follows it is left intact for the normal read loop.
+        """
+        while True:
+            try:
+                await reader.readuntil(b"\n")
+                return True
+            except asyncio.IncompleteReadError:
+                return False
+            except asyncio.LimitOverrunError as exc:
+                if not await reader.read(exc.consumed or 1):
+                    return False
+
+    async def _handle_frame(
+        self,
+        line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        from repro.serve.protocol import decode_frame
+
+        frame = decode_frame(line, limit=self._config.line_limit)
+        op = frame.get("op")
+        if op not in CLIENT_OPS:
+            raise ProtocolError(
+                "bad-frame",
+                f"unknown op {op!r}; expected one of "
+                f"{', '.join(CLIENT_OPS)}",
+            )
+        if op == "ping":
+            await self._send(writer, {"frame": "pong"})
+        elif op == "status":
+            await self._send(writer, {"frame": "status", **self.stats()})
+        elif op == "cancel":
+            await self._op_cancel(frame, writer)
+        elif op == "submit":
+            await self._op_submit(frame, reader, writer)
+        else:  # resume
+            await self._op_resume(frame, reader, writer)
+
+    # -- ops -----------------------------------------------------------
+
+    def _sanitize(self, request: RunRequest) -> RunRequest:
+        """The request the server actually evaluates.
+
+        Execution policy (store, pool width, sinks) is the *server's*;
+        client-supplied options are discarded except the ``fail_after``
+        fault seam, and that only when the config opts in.
+        """
+        fail_after = None
+        if self._config.allow_fail_after:
+            fail_after = request.options.fail_after
+        return RunRequest(
+            workload=request.workload,
+            params=request.params,
+            options=ExecutionOptions(fail_after=fail_after),
+        )
+
+    async def _op_submit(
+        self,
+        frame: dict[str, Any],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        assert self._loop is not None and self._queue is not None
+        try:
+            request = request_from_wire(frame.get("request"))
+            if request.workload not in PLANNABLE_WORKLOADS:
+                raise ProtocolError(
+                    "unsupported-workload",
+                    f"workload {request.workload!r} is not servable; "
+                    f"servable: {', '.join(PLANNABLE_WORKLOADS)}",
+                )
+            request = self._sanitize(request)
+            workload = get_workload(request.workload)
+            params = workload.resolve_params(request.params_dict())
+        except ProtocolError:
+            raise
+        except ValueError as exc:
+            raise ProtocolError("bad-request", str(exc)) from exc
+        job_id = job_id_for(request.workload, params, self._fingerprint)
+        existing = self._registry.get(job_id)
+        needs_enqueue = existing is None or existing.state in (
+            "failed",
+            "cancelled",
+        )
+        if (
+            needs_enqueue
+            and self._registry.queued_count() >= self._config.max_queued
+        ):
+            self._rejected += 1
+            raise ProtocolError(
+                "busy",
+                f"job queue is full ({self._config.max_queued} queued); "
+                "retry later",
+            )
+        job, dedup = self._registry.submit(job_id, request, self._loop)
+        if dedup in ("new", "restart"):
+            self._queue.put_nowait(job)
+        await self._send(
+            writer,
+            {
+                "frame": "job",
+                "job": job.id,
+                "state": job.state,
+                "dedup": dedup,
+            },
+        )
+        await self._stream(job, reader, writer, cursor=0)
+
+    async def _op_resume(
+        self,
+        frame: dict[str, Any],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        job = self._registry.get(str(frame.get("job")))
+        if job is None:
+            raise ProtocolError(
+                "unknown-job", f"no job {frame.get('job')!r} on this server"
+            )
+        last = frame.get("last_record", 0)
+        if not isinstance(last, int) or isinstance(last, bool) or last < 0:
+            raise ProtocolError(
+                "bad-offset",
+                f"last_record must be a non-negative integer, got {last!r}",
+            )
+        if last > len(job.lines):
+            raise ProtocolError(
+                "bad-offset",
+                f"last_record={last} but job {job.id[:12]}… has only "
+                f"{len(job.lines)} record(s)",
+            )
+        await self._send(
+            writer,
+            {
+                "frame": "job",
+                "job": job.id,
+                "state": job.state,
+                "dedup": "resume",
+            },
+        )
+        await self._stream(job, reader, writer, cursor=last)
+
+    async def _op_cancel(
+        self, frame: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        job = self._registry.get(str(frame.get("job")))
+        if job is None:
+            raise ProtocolError(
+                "unknown-job", f"no job {frame.get('job')!r} on this server"
+            )
+        job.cancel_event.set()
+        if job.state == "queued":
+            job.fail(
+                "job-cancelled", "cancelled while queued", state="cancelled"
+            )
+        await self._send(writer, {"frame": "cancelled", "job": job.id})
+
+    # -- streaming -----------------------------------------------------
+
+    async def _stream(
+        self,
+        job: Job,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        cursor: int,
+    ) -> None:
+        """Send record frames from ``cursor`` until the job is terminal.
+
+        The capture-event-then-check pattern pairs with
+        :meth:`Job.change_event`: the event captured *before* draining
+        is the one any later change sets, so no update is missed
+        between the drain and the wait.
+
+        While waiting, a one-byte read watches the connection: sends
+        only fail once the OS notices, so without it a vanished client
+        would pin its subscription (and keep a queued job alive) until
+        the job produced output.  The protocol forbids client frames
+        during an active stream, so any inbound byte here — data or
+        EOF — means the subscription is over.
+        """
+        job.subscribers += 1
+        eof_watch = asyncio.create_task(reader.read(1))
+        try:
+            while True:
+                changed = job.change_event()
+                while cursor < len(job.lines):
+                    line = job.lines[cursor]
+                    cursor += 1
+                    self._records_streamed += 1
+                    await self._send(
+                        writer,
+                        {
+                            "frame": "record",
+                            "job": job.id,
+                            "seq": cursor,
+                            "line": line,
+                        },
+                    )
+                if job.terminal:
+                    break
+                waiter = asyncio.create_task(changed.wait())
+                done, _ = await asyncio.wait(
+                    {waiter, eof_watch},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if eof_watch in done:
+                    waiter.cancel()
+                    raise ConnectionResetError(
+                        "client disconnected (or spoke) mid-stream"
+                    )
+            # Stop watching *before* the final frame: the client may
+            # legally send its next op the moment it sees the stream
+            # end, and the watcher must not swallow that op's bytes.
+            if not eof_watch.done():
+                eof_watch.cancel()
+                try:
+                    await eof_watch
+                except asyncio.CancelledError:
+                    pass
+            else:
+                # Completed watcher: EOF, or a byte we already consumed
+                # (a protocol violation) — either way the line framing
+                # is unrecoverable, so the connection is done.
+                raise ConnectionResetError(
+                    "client disconnected (or spoke) mid-stream"
+                )
+            if job.state == "done":
+                await self._send(
+                    writer,
+                    {
+                        "frame": "end",
+                        "job": job.id,
+                        "state": "done",
+                        "total": job.total,
+                        "cached": job.cached,
+                        "computed": job.computed,
+                    },
+                )
+            else:
+                code, message = job.error or ("job-failed", "job failed")
+                await self._send(
+                    writer,
+                    {
+                        "frame": "error",
+                        "code": code,
+                        "message": message,
+                        "job": job.id,
+                    },
+                )
+        finally:
+            if not eof_watch.done():
+                eof_watch.cancel()
+            job.subscribers -= 1
+            if job.state == "queued" and job.subscribers == 0:
+                # Nobody is waiting for it and it never started: drop
+                # it (a running job keeps going — its results land in
+                # the shared store, and the client may resume later).
+                job.cancel_event.set()
+                job.fail(
+                    "job-cancelled",
+                    "all subscribers disconnected before the job started",
+                    state="cancelled",
+                )
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, frame: dict[str, Any]
+    ) -> None:
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+
+def run_server(
+    config: ServeConfig,
+    stop_event: threading.Event | None = None,
+    on_started: Callable[[str, int], None] | None = None,
+) -> dict[str, Any]:
+    """Run a server until interrupted; returns the final statistics.
+
+    Args:
+        config: Server configuration.
+        stop_event: Optional external stop signal (polled); without
+            one the server runs until :class:`KeyboardInterrupt`.
+        on_started: Optional ``(host, port)`` callback once listening.
+
+    Returns:
+        The final :meth:`AnalysisServer.stats` snapshot.
+    """
+    server = AnalysisServer(config)
+
+    async def main() -> dict[str, Any]:
+        await server.start()
+        if on_started is not None:
+            on_started(server.host, server.port)
+        try:
+            if stop_event is None:
+                await asyncio.Event().wait()  # until KeyboardInterrupt
+            else:
+                while not stop_event.is_set():
+                    await asyncio.sleep(0.05)
+        finally:
+            await server.stop()
+        return server.stats()
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return server.stats()
+
+
+class ServerHandle:
+    """A server running on a background thread (tests and examples).
+
+    Obtained from :func:`start_server`; ``host``/``port`` give the
+    bound address and :meth:`stop` shuts down and returns the final
+    statistics.  Usable as a context manager.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self._config = config
+        self._stop = threading.Event()
+        self._ready = threading.Event()
+        self._stats: dict[str, Any] | None = None
+        self._error: BaseException | None = None
+        self.host = config.host
+        self.port = config.port
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def _on_started(self, host: str, port: int) -> None:
+        self.host, self.port = host, port
+        self._ready.set()
+
+    def _run(self) -> None:
+        try:
+            self._stats = run_server(
+                self._config,
+                stop_event=self._stop,
+                on_started=self._on_started,
+            )
+        except BaseException as exc:  # noqa: BLE001 - reported in start/stop
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    def _start(self, timeout: float) -> "ServerHandle":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            self._stop.set()
+            raise TimeoutError(
+                f"server did not start within {timeout:.0f}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> dict[str, Any]:
+        """Shut the server down; returns the final statistics."""
+        self._stop.set()
+        self._thread.join(timeout)
+        if self._error is not None:
+            raise self._error
+        return dict(self._stats or {})
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._thread.is_alive():
+            self.stop()
+
+
+def start_server(config: ServeConfig, timeout: float = 30.0) -> ServerHandle:
+    """Start a server on a background thread and wait until it listens.
+
+    Args:
+        config: Server configuration (``port=0`` picks a free port;
+            read the bound one off the returned handle).
+        timeout: Seconds to wait for the listener before giving up.
+
+    Returns:
+        A :class:`ServerHandle` whose ``host``/``port`` are live.
+    """
+    return ServerHandle(config)._start(timeout)

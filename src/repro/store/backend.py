@@ -37,6 +37,12 @@ from repro.utils.jsonsafe import json_safe
 #: Default number of puts between commits (checkpoint granularity).
 DEFAULT_COMMIT_EVERY = 64
 
+#: How long a writer waits on a locked database before erroring (s).
+#: Concurrent writers (shard runs into one store, the serve job
+#: executor next to a reader) serialize on SQLite's write lock; a
+#: generous timeout turns contention into a wait, not a crash.
+DEFAULT_BUSY_TIMEOUT = 30.0
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
     key TEXT PRIMARY KEY,
@@ -73,6 +79,12 @@ class ResultStore:
             whatever the store already records.
         commit_every: Puts between automatic commits (checkpoint
             granularity; lower is safer, higher is faster).
+        busy_timeout: Seconds a write waits on another writer's lock
+            before failing.  Multi-writer access (two shard processes
+            sharing a store, the serve job executor) is legal: the
+            store runs in WAL mode, so readers never block writers and
+            concurrent writers queue on this timeout instead of dying
+            with ``database is locked``.
     """
 
     def __init__(
@@ -80,12 +92,23 @@ class ResultStore:
         path: Path | str,
         fingerprint: str | None = None,
         commit_every: int = DEFAULT_COMMIT_EVERY,
+        busy_timeout: float = DEFAULT_BUSY_TIMEOUT,
     ) -> None:
         require(commit_every > 0, "commit_every must be > 0")
+        require(busy_timeout >= 0, "busy_timeout must be >= 0")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn: sqlite3.Connection | None = sqlite3.connect(self.path)
+        self._conn: sqlite3.Connection | None = sqlite3.connect(
+            self.path, timeout=busy_timeout
+        )
         try:
+            # WAL keeps committed batches durable across SIGKILL *and*
+            # lets concurrent processes read while a writer commits —
+            # the access pattern of a shared serve store.  On
+            # filesystems where WAL is unsupported SQLite keeps the
+            # prior journal mode; correctness is unaffected, only
+            # concurrency.
+            self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.executescript(_SCHEMA)
         except sqlite3.DatabaseError as exc:
             self._conn.close()  # not close(): commit would raise again
@@ -184,6 +207,50 @@ class ResultStore:
         )
         if existing is None:
             self._set_meta("shard", scope)
+
+    # ------------------------------------------------------------------
+    # job manifests
+    # ------------------------------------------------------------------
+
+    #: Meta-key namespace of per-job manifests (the ``serve`` kind).
+    _JOB_PREFIX = "job:"
+
+    def set_job_manifest(
+        self, job_id: str, manifest: Mapping[str, Any]
+    ) -> None:
+        """Record one served job's manifest under its job id.
+
+        A *serve* store is a shared memo table for many different grids
+        at once, so unlike :meth:`set_manifest` (one sweep shape per
+        store) it records one manifest **per job**, keyed by the job's
+        content-addressed id.  Job ids are pure functions of the
+        manifest, so re-recording must be identical — a mismatch means
+        a hash collision or corrupted meta and fails loudly.
+        """
+        require(bool(job_id), "job id must be non-empty")
+        key = self._JOB_PREFIX + job_id
+        new = json.dumps(dict(manifest), sort_keys=True, allow_nan=False)
+        existing = self._get_meta(key)
+        require(
+            existing is None or existing == new,
+            f"store {self.path} already records a different manifest "
+            f"for job {job_id}; refusing to overwrite",
+        )
+        if existing is None:
+            self._set_meta(key, new)
+
+    def job_manifest(self, job_id: str) -> dict[str, Any] | None:
+        """The manifest recorded for ``job_id``, or ``None``."""
+        raw = self._get_meta(self._JOB_PREFIX + job_id)
+        return None if raw is None else json.loads(raw)
+
+    def job_ids(self) -> list[str]:
+        """All job ids with recorded manifests, sorted."""
+        rows = self._connection().execute(
+            "SELECT key FROM meta WHERE key LIKE ? ORDER BY key",
+            (self._JOB_PREFIX + "%",),
+        )
+        return [key[len(self._JOB_PREFIX):] for (key,) in rows]
 
     # ------------------------------------------------------------------
     # results

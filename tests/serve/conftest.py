@@ -1,0 +1,60 @@
+"""Fixtures for the serve test layer: live servers and solo baselines."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunRequest, Workbench
+from repro.api.options import ExecutionOptions, SinkSpec
+from repro.serve import ServeConfig, start_server
+from repro.serve.server import ServerHandle
+
+
+@pytest.fixture
+def serve_factory(tmp_path):
+    """Start real servers on free ports; stops them all at teardown.
+
+    Every server of one test shares ``tmp_path/serve.sqlite`` unless a
+    ``store`` override is given — the cross-client dedup scenarios need
+    exactly that sharing.
+    """
+    handles: list[ServerHandle] = []
+
+    def factory(**overrides) -> ServerHandle:
+        overrides.setdefault("store", str(tmp_path / "serve.sqlite"))
+        handle = start_server(ServeConfig(port=0, **overrides))
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture
+def solo_lines(tmp_path):
+    """Evaluate a request locally; returns its JSONL sink lines.
+
+    The baseline for the byte-identity assertions: a served stream must
+    equal what a solo :meth:`Workbench.run` writes for the same
+    request.  Uses a store and sink of its own under ``tmp_path`` so it
+    never shares state with the servers under test.
+    """
+
+    def runner(request: RunRequest, tag: str = "solo") -> list[str]:
+        out = tmp_path / f"{tag}.jsonl"
+        local = RunRequest(
+            workload=request.workload,
+            params=request.params,
+            options=ExecutionOptions(
+                store=str(tmp_path / f"{tag}.sqlite"),
+                sinks=(SinkSpec(str(out)),),
+            ),
+        )
+        result = Workbench().run(local)
+        assert result.ok, result
+        return Path(out).read_text().splitlines()
+
+    return runner

@@ -1,0 +1,338 @@
+"""Fault injection against a live server: kills, disconnects, garbage.
+
+Each test wounds the system somewhere specific and asserts the two
+recovery invariants: the failure is reported as a *clean error frame*
+(stable code, no dropped server), and a resubmit/resume afterwards
+yields byte-exact results — because completed scenarios were
+checkpointed in the shared store, never lost.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import RunRequest
+from repro.api.options import ExecutionOptions
+from repro.engine import JobCancelled, MemorySink, run_cached_batch
+from repro.engine.sweeps import evaluate_bound_scenario, q_sweep_scenarios
+from repro.serve import ServeClient, ServeError
+from repro.serve.protocol import encode_frame
+from repro.store import ResultStore
+
+CHEAP = RunRequest.family(
+    "bound",
+    axes={"q": {"grid": [60.0, 120.0]}},
+    defaults={"function": "gaussian1", "knots": 48},
+)
+
+#: Heavy enough (~1s of work) that the worker is reliably still busy
+#: while the test pokes at the server from other connections.
+SLOW = RunRequest.family(
+    "bound",
+    axes={
+        "q": {"linspace": {"start": 50.0, "stop": 400.0, "points": 8}}
+    },
+    defaults={"function": "gaussian1", "knots": 4096},
+)
+
+
+def _wait_for(condition, timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if condition():
+            return
+        time.sleep(0.02)
+    raise AssertionError("condition not met before timeout")
+
+
+def _status(handle) -> dict:
+    with ServeClient(handle.host, handle.port) as client:
+        return client.status()
+
+
+class TestMidJobKill:
+    def test_fail_after_kills_the_job_and_restart_completes_it(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory(allow_fail_after=True)
+        wounded = RunRequest(
+            workload=CHEAP.workload,
+            params=CHEAP.params,
+            options=ExecutionOptions(fail_after=1),
+        )
+        with ServeClient(handle.host, handle.port) as client:
+            with pytest.raises(ServeError) as info:
+                client.run(wounded)
+            assert info.value.code == "job-failed"
+            assert "checkpointed" in str(info.value)
+            # Same connection survives the failed job.
+            assert client.ping()
+
+        # Resubmitting (without the fault) restarts the same job id and
+        # completes; the restarted stream is byte-exact.
+        with ServeClient(handle.host, handle.port) as client:
+            stream = client.submit(CHEAP)
+            assert stream.dedup == "restart"
+            assert stream.lines() == solo_lines(CHEAP)
+
+        status = _status(handle)
+        assert status["restarts"] == 1
+        assert status["jobs"]["done"] == 1
+        assert status["jobs"]["failed"] == 0
+
+    def test_fail_after_is_inert_unless_the_server_opts_in(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory()  # allow_fail_after defaults to False
+        wounded = RunRequest(
+            workload=CHEAP.workload,
+            params=CHEAP.params,
+            options=ExecutionOptions(fail_after=1),
+        )
+        with ServeClient(handle.host, handle.port) as client:
+            assert client.run(wounded) == solo_lines(CHEAP)
+
+
+class TestDisconnects:
+    def test_queued_job_is_cancelled_when_its_only_client_vanishes(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            slow = pool.submit(
+                lambda: ServeClient(handle.host, handle.port).run(SLOW)
+            )
+            _wait_for(lambda: _status(handle)["jobs"]["running"] == 1)
+
+            deserter = ServeClient(handle.host, handle.port)
+            stream = deserter.submit(CHEAP)
+            assert stream.state == "queued"
+            deserter.close()  # vanish before the job ever starts
+
+            _wait_for(lambda: _status(handle)["jobs"]["cancelled"] == 1)
+            assert len(slow.result()) == 8  # the slow job is unharmed
+
+        # The abandoned job restarts cleanly on resubmission.
+        with ServeClient(handle.host, handle.port) as client:
+            stream = client.submit(CHEAP)
+            assert stream.dedup == "restart"
+            assert stream.lines() == solo_lines(CHEAP)
+
+    def test_disconnect_mid_stream_then_resume_yields_remaining_records(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory()
+        expected = solo_lines(SLOW, tag="solo-slow")
+
+        client = ServeClient(handle.host, handle.port)
+        stream = client.submit(SLOW)
+        head = [next(stream), next(stream), next(stream)]
+        job_id, received = stream.job, stream.received
+        client.close()  # drop the connection mid-stream
+
+        # The server keeps serving and the job keeps its records; a
+        # resume from the last received offset is exactly the tail.
+        _wait_for(lambda: _status(handle)["jobs"]["done"] == 1)
+        with ServeClient(handle.host, handle.port) as client:
+            tail = client.resume(job_id, last_record=received).lines()
+        assert head + tail == expected
+        assert len(tail) == len(expected) - 3
+
+
+class TestCancellation:
+    def test_cancelling_a_running_job_stops_it_between_records(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+
+            def run_slow():
+                with ServeClient(handle.host, handle.port) as client:
+                    return client.run(SLOW)
+
+            victim = pool.submit(run_slow)
+            _wait_for(lambda: _status(handle)["jobs"]["running"] == 1)
+            job_id = _expected_job_id(SLOW)
+            with ServeClient(handle.host, handle.port) as client:
+                ack = client.cancel(job_id)
+                assert ack == {"frame": "cancelled", "job": job_id}
+            with pytest.raises(ServeError) as info:
+                victim.result()
+            assert info.value.code == "job-cancelled"
+
+        # Completed scenarios were checkpointed before the cancel, so
+        # the restarted job serves them from cache and the stream is
+        # byte-exact regardless of where the cancel landed.
+        with ServeClient(handle.host, handle.port) as client:
+            stream = client.submit(SLOW)
+            assert stream.dedup == "restart"
+            assert stream.lines() == solo_lines(SLOW, tag="solo-slow")
+
+    def test_cancel_of_an_unknown_job_is_a_clean_error(
+        self, serve_factory
+    ) -> None:
+        handle = serve_factory()
+        with ServeClient(handle.host, handle.port) as client:
+            with pytest.raises(ServeError) as info:
+                client.cancel("no-such-job")
+            assert info.value.code == "unknown-job"
+            assert client.ping()
+
+
+def _expected_job_id(request: RunRequest) -> str:
+    """Recompute a request's job id exactly as the server does.
+
+    Job ids are content-addressed from (workload, resolved params)
+    under the package fingerprint — no server round trip needed, which
+    is itself part of the contract (any client can name a job a priori).
+    """
+    from repro.api.workloads import get_workload
+    from repro.serve.jobs import job_id_for
+    from repro.store.keys import package_fingerprint
+
+    params = get_workload(request.workload).resolve_params(
+        request.params_dict()
+    )
+    return job_id_for(
+        request.workload, params, package_fingerprint("repro")
+    )
+
+
+class TestMalformedInput:
+    def test_garbage_json_gets_an_error_frame_and_the_connection_lives(
+        self, serve_factory
+    ) -> None:
+        handle = serve_factory()
+        with ServeClient(handle.host, handle.port) as client:
+            frame = client.send_raw(b"this is not json\n")
+            assert frame["frame"] == "error"
+            assert frame["code"] == "bad-frame"
+            assert client.ping()  # same connection still works
+
+    def test_unknown_op_is_a_bad_frame(self, serve_factory) -> None:
+        handle = serve_factory()
+        with ServeClient(handle.host, handle.port) as client:
+            frame = client.send_raw(encode_frame({"op": "explode"}))
+            assert frame["code"] == "bad-frame"
+            assert client.ping()
+
+    def test_oversized_frame_is_rejected_cleanly(
+        self, serve_factory
+    ) -> None:
+        handle = serve_factory(line_limit=2048)
+        with ServeClient(handle.host, handle.port) as client:
+            # Far beyond even the reader buffer: the server reports,
+            # resyncs at the next newline, and the connection lives.
+            frame = client.send_raw(b"x" * 65536 + b"\n")
+            assert frame["code"] == "oversized"
+            assert client.ping()
+            # Between the protocol limit and the reader slack: same
+            # error, same survival, via the decode-time check.
+            frame = client.send_raw(b'{"op":"ping","pad":"' + b"y" * 2100 + b'"}\n')
+            assert frame["code"] == "oversized"
+            assert client.ping()
+        with ServeClient(handle.host, handle.port) as client:
+            assert client.ping()
+
+    def test_bad_submit_payloads_are_bad_requests(
+        self, serve_factory
+    ) -> None:
+        handle = serve_factory()
+        with ServeClient(handle.host, handle.port) as client:
+            frame = client.send_raw(
+                encode_frame({"op": "submit", "request": "nope"})
+            )
+            assert frame["code"] == "bad-request"
+            frame = client.send_raw(encode_frame({"op": "submit"}))
+            assert frame["code"] == "bad-request"
+            with pytest.raises(ServeError) as info:
+                client.run(RunRequest.make("sweep", points=4, bogus=1))
+            assert info.value.code == "bad-request"
+            assert client.ping()
+
+    def test_non_plannable_workloads_are_refused(
+        self, serve_factory
+    ) -> None:
+        handle = serve_factory()
+        with ServeClient(handle.host, handle.port) as client:
+            for workload in ("fig5", "definitely-not-registered"):
+                with pytest.raises(ServeError) as info:
+                    client.run(RunRequest.make(workload))
+                assert info.value.code == "unsupported-workload"
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_busy(self, serve_factory) -> None:
+        handle = serve_factory(max_queued=0)
+        with ServeClient(handle.host, handle.port) as client:
+            with pytest.raises(ServeError) as info:
+                client.run(CHEAP)
+            assert info.value.code == "busy"
+            assert "retry" in str(info.value)
+            assert client.ping()
+        assert _status(handle)["rejected"] == 1
+
+    def test_resume_validates_job_and_offset(self, serve_factory) -> None:
+        handle = serve_factory()
+        with ServeClient(handle.host, handle.port) as client:
+            job_id = (stream := client.submit(CHEAP)).job
+            stream.lines()
+            with pytest.raises(ServeError) as info:
+                client.resume("missing", 0).lines()
+            assert info.value.code == "unknown-job"
+            with pytest.raises(ServeError) as info:
+                client.resume(job_id, 99).lines()
+            assert info.value.code == "bad-offset"
+            with pytest.raises(ServeError) as info:
+                client.resume(job_id, -1).lines()
+            assert info.value.code == "bad-offset"
+
+
+class TestEngineCancelSeam:
+    """The engine-level contract the server's cancellation rides on."""
+
+    def test_cancel_before_start_raises_without_work(
+        self, tmp_path
+    ) -> None:
+        store = ResultStore(tmp_path / "s.sqlite", fingerprint="fp")
+        try:
+            with pytest.raises(JobCancelled, match="before evaluation"):
+                run_cached_batch(
+                    evaluate_bound_scenario,
+                    q_sweep_scenarios([50.0], knots=32),
+                    store,
+                    cancel=lambda: True,
+                )
+        finally:
+            store.close()
+
+    def test_cancel_between_records_keeps_completed_work(
+        self, tmp_path
+    ) -> None:
+        store = ResultStore(tmp_path / "s.sqlite", fingerprint="fp")
+        scenarios = q_sweep_scenarios([50.0, 100.0, 150.0], knots=32)
+        fired = {"n": 0}
+
+        def cancel() -> bool:
+            fired["n"] += 1
+            return fired["n"] >= 2  # let one record through
+
+        try:
+            with pytest.raises(JobCancelled, match="checkpointed"):
+                run_cached_batch(
+                    evaluate_bound_scenario, scenarios, store, cancel=cancel
+                )
+            # The committed prefix survives: a rerun serves it from
+            # cache and only computes the remainder.
+            sink = MemorySink()
+            run = run_cached_batch(
+                evaluate_bound_scenario, scenarios, store, sink=sink
+            )
+            assert run.cached >= 1
+            assert run.cached + run.computed == run.total == len(scenarios)
+            assert len(sink.records) == len(scenarios)
+        finally:
+            store.close()

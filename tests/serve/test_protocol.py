@@ -1,0 +1,81 @@
+"""Unit tests for the NDJSON frame layer of :mod:`repro.serve`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    CLIENT_OPS,
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestFrameCodec:
+    def test_encode_is_one_newline_terminated_json_line(self) -> None:
+        raw = encode_frame({"frame": "pong", "n": 1})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        assert json.loads(raw) == {"frame": "pong", "n": 1}
+
+    def test_round_trip(self) -> None:
+        frame = {"op": "resume", "job": "abc", "last_record": 7}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_non_finite_floats_are_rejected_at_encode_time(self) -> None:
+        with pytest.raises(ValueError):
+            encode_frame({"frame": "record", "x": float("inf")})
+
+    def test_decode_tolerates_trailing_newline(self) -> None:
+        assert decode_frame(b'{"op":"ping"}\n') == {"op": "ping"}
+
+
+class TestDecodeFailures:
+    def test_invalid_json_is_a_bad_frame(self) -> None:
+        with pytest.raises(ProtocolError) as info:
+            decode_frame(b"{nope\n")
+        assert info.value.code == "bad-frame"
+
+    def test_non_object_payload_is_a_bad_frame(self) -> None:
+        with pytest.raises(ProtocolError) as info:
+            decode_frame(b"[1,2,3]\n")
+        assert info.value.code == "bad-frame"
+
+    def test_over_limit_lines_are_oversized(self) -> None:
+        line = encode_frame({"op": "submit", "pad": "x" * 100})
+        with pytest.raises(ProtocolError) as info:
+            decode_frame(line, limit=32)
+        assert info.value.code == "oversized"
+
+    def test_at_limit_lines_pass(self) -> None:
+        line = encode_frame({"op": "ping"})
+        assert decode_frame(line, limit=len(line)) == {"op": "ping"}
+
+
+class TestProtocolError:
+    def test_frame_rendering_carries_code_message_and_extras(self) -> None:
+        error = ProtocolError("unknown-job", "no such job")
+        frame = error.frame(job="abc")
+        assert frame == {
+            "frame": "error",
+            "code": "unknown-job",
+            "message": "no such job",
+            "job": "abc",
+        }
+        json.dumps(frame)  # frames must be JSON-representable
+
+    def test_every_code_is_registered(self) -> None:
+        # The code tuple is the documented error surface; a typo'd code
+        # would otherwise ship silently.
+        for code in ERROR_CODES:
+            assert ProtocolError(code, "x").code == code
+
+    def test_stable_surface(self) -> None:
+        assert PROTOCOL_VERSION == 1
+        assert "submit" in CLIENT_OPS and "resume" in CLIENT_OPS
+        assert "busy" in ERROR_CODES and "bad-offset" in ERROR_CODES

@@ -1,0 +1,171 @@
+"""End-to-end serve tests: concurrency, dedup, byte-identity, resume.
+
+The contracts under test are the tentpole guarantees of the job
+server:
+
+* N concurrent clients with overlapping grids share one store and one
+  executor — **each scenario is computed at most once** (cache stats +
+  single-flight counters prove it);
+* every client's record stream is **byte-identical** to a solo
+  :meth:`repro.api.Workbench.run` of the same request;
+* streams are **resumable**: a reconnecting client supplying its last
+  received record count gets exactly the remaining records;
+* the store carries a **job manifest** per job, from which the exact
+  grid is reconstructible (``manifest_scenarios`` equivalence).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api import RunRequest
+from repro.api.execution import manifest_scenarios
+from repro.api.plan import plan_scenarios
+from repro.api.workloads import get_workload
+from repro.serve import ServeClient
+from repro.store import ResultStore
+from repro.store.keys import scenario_key
+
+#: Two overlapping two-point grids: q=100 is shared, 3 unique scenarios.
+GRID_A = RunRequest.family(
+    "bound",
+    axes={"q": {"grid": [50.0, 100.0]}},
+    defaults={"function": "gaussian1", "knots": 48},
+)
+GRID_B = RunRequest.family(
+    "bound",
+    axes={"q": {"grid": [100.0, 150.0]}},
+    defaults={"function": "gaussian1", "knots": 48},
+)
+
+
+def _serve_lines(handle, request: RunRequest) -> list[str]:
+    with ServeClient(handle.host, handle.port) as client:
+        return client.run(request)
+
+
+class TestConcurrentClients:
+    def test_overlapping_grids_compute_each_scenario_once(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory()
+        requests = [GRID_A, GRID_A, GRID_B, GRID_B]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            streams = list(
+                pool.map(lambda r: _serve_lines(handle, r), requests)
+            )
+
+        expected_a = solo_lines(GRID_A, tag="solo-a")
+        expected_b = solo_lines(GRID_B, tag="solo-b")
+        assert streams[0] == expected_a
+        assert streams[1] == expected_a
+        assert streams[2] == expected_b
+        assert streams[3] == expected_b
+
+        with ServeClient(handle.host, handle.port) as client:
+            status = client.status()
+        # 3 unique scenarios across both grids; the shared q=100 row is
+        # computed by whichever job ran first and cached for the other.
+        assert status["scenarios_computed"] == 3
+        assert status["scenarios_cached"] == 1
+        # The duplicate submissions never became third/fourth jobs.
+        assert status["submitted"] == 4
+        assert status["singleflight_hits"] + status["replays"] == 2
+        assert status["jobs"]["done"] == 2
+        assert status["jobs"]["failed"] == 0
+
+    def test_warm_server_serves_everything_from_cache(
+        self, serve_factory
+    ) -> None:
+        handle = serve_factory()
+        first = _serve_lines(handle, GRID_A)
+        handle.stop()
+
+        # A fresh server over the same store: all cache hits, no work.
+        reborn = serve_factory()
+        assert _serve_lines(reborn, GRID_A) == first
+        with ServeClient(reborn.host, reborn.port) as client:
+            status = client.status()
+        assert status["scenarios_computed"] == 0
+        assert status["scenarios_cached"] == 2
+
+
+class TestResume:
+    def test_reconnect_with_offset_gets_exact_remaining_records(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory()
+        with ServeClient(handle.host, handle.port) as client:
+            stream = client.submit(GRID_A)
+            head = [next(stream)]  # take one record, then vanish
+            job_id = stream.job
+            assert stream.received == 1
+
+        with ServeClient(handle.host, handle.port) as client:
+            resumed = client.resume(job_id, last_record=1)
+            tail = resumed.lines()
+            assert resumed.dedup == "resume"
+            assert resumed.end is not None and resumed.end["total"] == 2
+
+        assert head + tail == solo_lines(GRID_A)
+
+    def test_resume_from_zero_replays_the_full_stream(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory()
+        with ServeClient(handle.host, handle.port) as client:
+            stream = client.submit(GRID_A)
+            job_id = stream.job
+            stream.lines()  # ops are sequential: drain before resuming
+            assert client.resume(job_id, 0).lines() == solo_lines(GRID_A)
+
+
+class TestJobManifests:
+    def test_store_records_a_reconstructible_manifest_per_job(
+        self, serve_factory, tmp_path
+    ) -> None:
+        handle = serve_factory()
+        _serve_lines(handle, GRID_A)
+        _serve_lines(handle, GRID_B)
+        handle.stop()
+
+        store = ResultStore(tmp_path / "serve.sqlite")
+        try:
+            job_ids = store.job_ids()
+            assert len(job_ids) == 2
+            expected_keys = set()
+            for request in (GRID_A, GRID_B):
+                params = get_workload("campaign").resolve_params(
+                    request.params_dict()
+                )
+                plan = plan_scenarios("campaign", params)
+                expected_keys.add(
+                    tuple(
+                        scenario_key(s, store.fingerprint)
+                        for s in plan.scenarios
+                    )
+                )
+            rebuilt_keys = set()
+            for job_id in job_ids:
+                manifest = store.job_manifest(job_id)
+                assert manifest is not None
+                rebuilt_keys.add(
+                    tuple(
+                        scenario_key(s, store.fingerprint)
+                        for s in manifest_scenarios(manifest)
+                    )
+                )
+            # Each job's manifest rebuilds exactly its grid: the server
+            # can re-derive what any past job addressed in the store.
+            assert rebuilt_keys == expected_keys
+        finally:
+            store.close()
+
+
+class TestSweepWorkload:
+    def test_sweep_requests_are_servable_too(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory()
+        request = RunRequest.make("sweep", points=3, knots=24)
+        assert _serve_lines(handle, request) == solo_lines(request)

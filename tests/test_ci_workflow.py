@@ -2,7 +2,7 @@
 
 The workflow file is part of the repo's contract: it must stay valid
 YAML with the agreed job set (lint + test matrix + docs + examples +
-benchmark smoke), reference only commands/paths that exist, and the lint job must
+serve smoke + benchmark smoke), reference only commands/paths that exist, and the lint job must
 have a committed ruff configuration to run against.  A structural check
 here fails the tier-1 suite locally long before a push discovers the
 workflow is broken.
@@ -48,12 +48,13 @@ class TestWorkflowShape:
         assert "push" in triggers
         assert "pull_request" in triggers
 
-    def test_has_all_five_jobs(self, workflow):
+    def test_has_all_six_jobs(self, workflow):
         assert set(workflow["jobs"]) >= {
             "lint",
             "test",
             "docs",
             "examples",
+            "serve-smoke",
             "bench-smoke",
         }
 
@@ -124,6 +125,20 @@ class TestJobCommands:
         assert "--resume" in commands
         assert "cmp" in commands
         assert "sim-validate" in commands
+
+    def test_serve_smoke_job_runs_the_serve_suites(self, workflow):
+        # The analysis service must be exercised live on every push:
+        # the concurrency/fault suite, the multi-writer store suite,
+        # a real boot with three concurrent clients (the example), and
+        # the warm-duplicate speedup gate.
+        job = workflow["jobs"]["serve-smoke"]
+        assert job["env"]["REPRO_BENCH_SMOKE"] == "1"
+        commands = _steps_commands(job)
+        assert "tests/serve" in commands
+        assert "tests/store/test_concurrency.py" in commands
+        assert "python examples/analysis_service.py" in commands
+        assert "benchmarks/bench_serve.py" in commands
+        assert (REPO_ROOT / "examples" / "analysis_service.py").is_file()
 
     def test_workflow_paths_exist(self, workflow):
         # Any repo path named in a run command must exist.

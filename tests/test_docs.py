@@ -68,7 +68,13 @@ class TestModuleDocstrings:
 class TestReadme:
     def test_exists_with_required_sections(self):
         text = README.read_text()
-        for heading in ("Install", "Quickstart", "CLI tour", "Module map"):
+        for heading in (
+            "Install",
+            "Quickstart",
+            "CLI tour",
+            "Run it as a service",
+            "Module map",
+        ):
             assert heading in text, f"README is missing the {heading!r} section"
 
     def test_python_examples_execute(self, tmp_path, monkeypatch):
@@ -85,11 +91,15 @@ class TestReadme:
 
 
 class TestDocsPages:
-    @pytest.mark.parametrize("page", ["architecture.md", "paper_mapping.md"])
+    @pytest.mark.parametrize(
+        "page", ["architecture.md", "paper_mapping.md", "serving.md"]
+    )
     def test_page_exists(self, page):
         assert (DOCS / page).is_file()
 
-    @pytest.mark.parametrize("page", ["architecture.md", "paper_mapping.md"])
+    @pytest.mark.parametrize(
+        "page", ["architecture.md", "paper_mapping.md", "serving.md"]
+    )
     def test_referenced_paths_exist(self, page):
         missing = _missing_paths((DOCS / page).read_text())
         assert not missing, f"{page} names missing paths: {missing}"
