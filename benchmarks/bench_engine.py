@@ -1,6 +1,6 @@
 """BENCH-ENGINE: batched engine throughput vs the sequential baselines.
 
-Four comparisons with the claims *asserted* so a regression fails the
+Five comparisons with the claims *asserted* so a regression fails the
 benchmark run instead of silently shipping:
 
 1. **Engine vs the single-shot API path** on a ≥1000-scenario
@@ -22,7 +22,11 @@ benchmark run instead of silently shipping:
    (the pre-context worker); the grouped path resolves them once per
    :class:`repro.engine.context.ContextKey`.  Must be ≥2x faster and
    bit-identical.
-4. **Vectorized piecewise kernel vs the scalar ``f.value`` loop** on a
+4. **The ``numpy`` kernel backend vs the default vectorized path** on
+   the same grouped grid: the struct-of-arrays batch entry point
+   (``backend="numpy"`` + the family's ``batch_worker``) must deliver
+   ≥10x, bit-identical (skips when numpy is not importable).
+5. **Vectorized piecewise kernel vs the scalar ``f.value`` loop** on a
    large sample grid.
 
 All comparisons also assert bit-identical results.
@@ -40,6 +44,7 @@ from __future__ import annotations
 
 import time
 
+import pytest
 from conftest import save_text, scaled, update_bench_json
 
 from repro.core.bounds import compare_bounds
@@ -86,6 +91,10 @@ GRID_SEEDS = scaled(5, 3)
 GRID_Q_FRACTIONS = scaled(6, 4)
 #: The context layer must at least halve the grid's wall clock.
 MIN_GROUPED_SPEEDUP = 2.0
+
+#: The struct-of-arrays numpy kernel must deliver an order of magnitude
+#: over the default per-scenario vectorized path on the grouped grid.
+MIN_NUMPY_SPEEDUP = 10.0
 
 
 def _best_of(reps, fn, *, before=None):
@@ -340,6 +349,93 @@ def test_grouped_context_beats_ungrouped_rebuild(artifacts_dir):
         f"grouped evaluation ({t_grouped:.2f}s) is only {speedup:.2f}x "
         f"faster than per-scenario rebuild ({t_ungrouped:.2f}s); "
         f"the context layer must deliver >= {MIN_GROUPED_SPEEDUP}x"
+    )
+
+
+def test_numpy_backend_beats_vectorized_on_grouped_grid(artifacts_dir):
+    """``--backend numpy`` must deliver ≥10x over the default
+    per-scenario vectorized path on a large grouped grid, bit-identical.
+
+    Both paths run the same grouped chunk plan over warmed benchmark
+    functions, so the timings isolate exactly what the backend axis
+    changes: per-scenario window walks vs one struct-of-arrays lockstep
+    kernel call per chunk (the batched grid build is charged to the
+    numpy side)."""
+    pytest.importorskip("numpy")
+    from repro.engine import evaluate_bound_batch
+    from repro.engine.sweeps import bound_context_key
+    from repro.piecewise import clear_batched_grid_cache
+
+    qs = default_q_grid(q_min=Q_MIN, points=N_POINTS)
+    scenarios = q_sweep_scenarios(qs, knots=KNOTS)
+    assert len(scenarios) >= MIN_SCENARIOS
+
+    # Warm every context group (function construction is identical on
+    # both sides and not what the backend changes).
+    run_batch(
+        evaluate_bound_scenario,
+        q_sweep_scenarios(qs[:1], knots=KNOTS),
+        group_by=bound_context_key,
+    )
+
+    t_vectorized, baseline = _best_of(
+        TIMING_REPS,
+        lambda: run_batch(
+            evaluate_bound_scenario, scenarios, group_by=bound_context_key
+        ),
+    )
+    t_numpy, batched = _best_of(
+        TIMING_REPS,
+        lambda: run_batch(
+            evaluate_bound_scenario,
+            scenarios,
+            group_by=bound_context_key,
+            backend="numpy",
+            batch_worker=evaluate_bound_batch,
+        ),
+        before=clear_batched_grid_cache,
+    )
+
+    assert batched == baseline  # bit-identical records
+    speedup = t_vectorized / t_numpy
+
+    table = render_table(
+        ["path", "seconds", "scenarios/s"],
+        [
+            [
+                "vectorized (per-scenario)",
+                f"{t_vectorized:.2f}",
+                f"{len(scenarios) / t_vectorized:.0f}",
+            ],
+            [
+                "numpy (struct-of-arrays batch)",
+                f"{t_numpy:.2f}",
+                f"{len(scenarios) / t_numpy:.0f}",
+            ],
+            ["speedup", f"{speedup:.1f}x", ""],
+        ],
+    )
+    save_text(artifacts_dir, "bench_engine_numpy.txt", table)
+    update_bench_json(
+        artifacts_dir,
+        "engine",
+        {
+            "numpy_backend": {
+                "scenarios": len(scenarios),
+                "vectorized_s": round(t_vectorized, 4),
+                "numpy_s": round(t_numpy, 4),
+                "numpy_ops_per_s": round(len(scenarios) / t_numpy, 1),
+                "speedup": round(speedup, 2),
+            }
+        },
+    )
+    print()
+    print(table)
+
+    assert speedup >= MIN_NUMPY_SPEEDUP, (
+        f"numpy backend ({t_numpy:.2f}s) is only {speedup:.2f}x faster "
+        f"than the vectorized path ({t_vectorized:.2f}s); the batch "
+        f"kernel must deliver >= {MIN_NUMPY_SPEEDUP}x"
     )
 
 

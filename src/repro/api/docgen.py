@@ -1,9 +1,10 @@
 """Generate the registry-driven sections of ``docs/api.md``.
 
-The scenario-family axis tables and the workload table in the public
-API reference are *generated* from the live registries rather than
-hand-maintained: ``tests/api/test_docgen.py`` regenerates them and
-asserts the committed markdown matches, so adding a family, a workload
+The scenario-family axis tables, the workload table and the kernel-
+backend table in the public API reference are *generated* from the
+live registries rather than hand-maintained:
+``tests/api/test_docgen.py`` regenerates them and asserts the
+committed markdown matches, so adding a family, a workload, a backend
 or an axis without regenerating the docs fails the suite.
 
 Regenerate with::
@@ -44,6 +45,38 @@ def workload_table() -> str:
     )
 
 
+def backend_table() -> str:
+    """One markdown table naming every registered kernel backend.
+
+    Deliberately environment-*independent*: it lists each backend's
+    requirement (the module that must be importable) rather than live
+    availability, so the committed docs don't depend on which optional
+    dependencies the regenerating machine happens to have.  Live
+    availability is what ``python -m repro backends`` shows.
+    """
+    from repro.piecewise.backends import backend_names, get_backend
+
+    rows = []
+    for name in backend_names():
+        backend = get_backend(name)
+        requires = (
+            "stdlib" if backend.requires is None else f"`{backend.requires}`"
+        )
+        batch = "yes" if backend.batch_capable else "no"
+        rows.append(
+            [
+                f"`{name}`",
+                requires,
+                backend.exactness,
+                batch,
+                backend.description,
+            ]
+        )
+    return _markdown_table(
+        ["Backend", "Requires", "Exactness", "Batch", "Description"], rows
+    )
+
+
 def family_axes_tables() -> str:
     """One markdown section per scenario family, tables included."""
     from repro.engine.registry import family_names, get_family
@@ -77,6 +110,17 @@ def generated_block() -> str:
             "## Workloads",
             "",
             workload_table(),
+            "",
+            "## Kernel backends",
+            "",
+            "Generated from the kernel-backend registry "
+            "(`repro.piecewise.backends`); select one per run with the "
+            "uniform `--backend` flag (wire field `backend`).  The "
+            "table lists *declared* capabilities — live availability "
+            "in the current process is what `python -m repro backends` "
+            "reports.",
+            "",
+            backend_table(),
             "",
             "## Scenario-family axes",
             "",

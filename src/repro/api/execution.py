@@ -168,6 +168,7 @@ def execute_scenarios(
     decode: Decoder | None = None,
     collect: bool = True,
     sink: ResultSink | None = None,
+    batch_worker: Callable[..., list[Any]] | None = None,
 ) -> ScenarioRun:
     """Evaluate a scenario grid under one set of execution options.
 
@@ -185,6 +186,10 @@ def execute_scenarios(
             fresh results come back as the same types.
         collect: ``False`` streams to ``sink`` only (constant memory).
         sink: Optional final-output sink, written in scenario order.
+        batch_worker: Optional family batch entry point
+            ``(scenarios, *, backend) -> list[result]``; engaged when
+            ``options.backend`` names a batch-capable kernel backend
+            (see :meth:`repro.engine.BatchEngine.map`).
 
     Returns:
         The :class:`ScenarioRun` with results and cache statistics.
@@ -212,6 +217,15 @@ def execute_scenarios(
                 if manifest is not None:
                     store.set_manifest(dict(manifest))
                 store.set_shard(options.shard_scope)
+                from repro.piecewise.backends import (
+                    DEFAULT_BACKEND,
+                    get_backend,
+                )
+
+                effective = options.backend or DEFAULT_BACKEND
+                store.set_backend_info(
+                    effective, get_backend(effective).exactness
+                )
             run = run_cached_batch(
                 worker,
                 sliced,
@@ -223,6 +237,8 @@ def execute_scenarios(
                 chunk_size=options.chunk,
                 on_result=on_result,
                 group_by=group_by,
+                backend=options.backend,
+                batch_worker=batch_worker,
             )
             return ScenarioRun(
                 scenarios=sliced,
@@ -239,6 +255,8 @@ def execute_scenarios(
         sink=sink,
         collect=collect,
         group_by=group_by,
+        backend=options.backend,
+        batch_worker=batch_worker,
     )
     return ScenarioRun(
         scenarios=sliced,

@@ -119,6 +119,13 @@ class ExecutionOptions:
         fail_after: Test seam — deterministically simulate a mid-run
             kill by raising :class:`KeyboardInterrupt` after N freshly
             checkpointed results (store-backed runs only).
+        backend: Kernel backend evaluating the piecewise hot path
+            (``None`` = the default ``vectorized`` per-scenario path).
+            Validated against the :mod:`repro.piecewise.backends`
+            registry at construction — an unknown name fails loudly
+            with the available list.  Purely an execution knob: for
+            bit-identical backends results, stores and job ids are
+            unchanged.
     """
 
     jobs: int | None = None
@@ -130,6 +137,7 @@ class ExecutionOptions:
     format: str = "jsonl"
     results_dir: str | Path | None = None
     fail_after: int | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         require(
@@ -144,6 +152,11 @@ class ExecutionOptions:
         object.__setattr__(self, "sinks", sinks)
         if self.shard is not None:
             parse_shard(self.shard)  # fail early on malformed specs
+        if self.backend is not None:
+            # Late import: options is a leaf module the CLI loads early.
+            from repro.piecewise.backends import resolve_backend
+
+            resolve_backend(self.backend)  # unknown/unavailable: fail now
 
     @property
     def shard_pair(self) -> tuple[int, int] | None:

@@ -50,6 +50,7 @@ _SCALAR_OPTION_FIELDS = (
     "shard",
     "format",
     "fail_after",
+    "backend",
 )
 
 

@@ -5,14 +5,15 @@ paper's figures (``fig2``/``fig4``/``fig5``), the Theorem 1 validation
 fuzz (``validate``), the acceptance study (``study``), the engine Q
 sweep (``sweep``), declarative campaigns over any registered scenario
 family (``campaign``), shard-store merging (``merge``) and the registry
-listing itself (``families``).  Each entry declares:
+listings themselves (``families``, ``backends``).  Each entry declares:
 
 * its **parameters** (name, type, default, help) — what the CLI turns
   into flags and :class:`~repro.api.request.RunRequest` validates;
 * which **shared execution flag groups** apply (``engine`` =
   ``--jobs/--chunk``, ``store`` = ``--store/--resume``, ``shard`` =
-  ``--shard``, ``sink`` = ``--format/--out``), so every sweep-shaped
-  command exposes the same caching/resume/shard surface;
+  ``--shard``, ``sink`` = ``--format/--out``, ``backend`` =
+  ``--backend``), so every sweep-shaped command exposes the same
+  caching/resume/shard/kernel surface;
 * a **runner** evaluating a request into a typed
   :class:`~repro.api.result.RunResult` (grid workloads route through
   :func:`repro.api.execution.execute_scenarios` — the one pipeline);
@@ -109,7 +110,8 @@ class Workload:
         render: ``RunResult -> str`` — the CLI's stdout.
         exit_code: ``RunResult -> int`` (default: 0 iff ``result.ok``).
         flags: Shared execution-flag groups that apply: any of
-            ``"engine"``, ``"store"``, ``"shard"``, ``"sink"``.
+            ``"engine"``, ``"store"``, ``"shard"``, ``"sink"``,
+            ``"backend"``.
     """
 
     name: str
@@ -341,6 +343,7 @@ def _render_fig4(result: RunResult) -> str:
 def _run_fig5(request: RunRequest, params: dict[str, Any]) -> RunResult:
     from repro.engine import (
         bound_result_from_record,
+        evaluate_bound_batch,
         evaluate_bound_scenario,
         q_sweep_scenarios,
     )
@@ -364,6 +367,7 @@ def _run_fig5(request: RunRequest, params: dict[str, Any]) -> RunResult:
         manifest=manifest,
         group_by=bound_context_key,
         decode=bound_result_from_record,
+        batch_worker=evaluate_bound_batch,
     )
     if options.shard is not None:
         return _shard_result(request, run, manifest)
@@ -568,6 +572,7 @@ def _run_sweep(request: RunRequest, params: dict[str, Any]) -> RunResult:
             group_by=plan.group_by,
             collect=False,
             sink=counter,
+            batch_worker=plan.batch_worker,
         )
     return RunResult(
         request=request,
@@ -652,6 +657,7 @@ def _run_campaign(request: RunRequest, params: dict[str, Any]) -> RunResult:
             decode=plan.decode,
             collect=collect,
             sink=sink,
+            batch_worker=plan.batch_worker,
         )
     finally:
         if sink is not None:
@@ -833,6 +839,41 @@ def _render_families(result: RunResult) -> str:
 
 
 # ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+
+
+def _run_backends(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.piecewise.backends import backend_names, get_backend
+
+    listing = tuple(get_backend(name) for name in backend_names())
+    return RunResult(request=request, payload=listing)
+
+
+def _render_backends(result: RunResult) -> str:
+    from repro.experiments import render_table
+
+    rows = []
+    for backend in result.payload:
+        if backend.available:
+            available = "yes"
+        else:
+            available = f"no ({backend.requires} not importable)"
+        rows.append(
+            [
+                backend.name,
+                available,
+                backend.exactness,
+                "yes" if backend.supports_batch else "no",
+                backend.description,
+            ]
+        )
+    return render_table(
+        ["backend", "available", "exactness", "batch", "description"], rows
+    )
+
+
+# ----------------------------------------------------------------------
 # registration
 # ----------------------------------------------------------------------
 
@@ -851,7 +892,7 @@ def _register_builtins() -> None:
             ),
             runner=_run_fig4,
             render=_render_fig4,
-            flags=frozenset({"store"}),
+            flags=frozenset({"store", "backend"}),
         )
     )
     register_workload(
@@ -867,7 +908,7 @@ def _register_builtins() -> None:
             ),
             runner=_run_fig5,
             render=_render_fig5,
-            flags=frozenset({"engine", "store", "shard"}),
+            flags=frozenset({"engine", "store", "shard", "backend"}),
         )
     )
     register_workload(
@@ -879,6 +920,7 @@ def _register_builtins() -> None:
             ),
             runner=_run_fig2,
             render=_render_fig2,
+            flags=frozenset({"backend"}),
         )
     )
     register_workload(
@@ -898,6 +940,7 @@ def _register_builtins() -> None:
             ),
             runner=_run_validate,
             render=_render_validate,
+            flags=frozenset({"backend"}),
         )
     )
     register_workload(
@@ -912,7 +955,7 @@ def _register_builtins() -> None:
             ),
             runner=_run_study,
             render=_render_study,
-            flags=frozenset({"engine", "store", "shard"}),
+            flags=frozenset({"engine", "store", "shard", "backend"}),
         )
     )
     register_workload(
@@ -928,7 +971,7 @@ def _register_builtins() -> None:
             ),
             runner=_run_sweep,
             render=_render_sweep,
-            flags=frozenset({"engine", "store", "shard", "sink"}),
+            flags=frozenset({"engine", "store", "shard", "sink", "backend"}),
         )
     )
     register_workload(
@@ -960,7 +1003,7 @@ def _register_builtins() -> None:
             ),
             runner=_run_campaign,
             render=_render_campaign,
-            flags=frozenset({"engine", "store", "shard", "sink"}),
+            flags=frozenset({"engine", "store", "shard", "sink", "backend"}),
         )
     )
     register_workload(
@@ -989,6 +1032,7 @@ def _register_builtins() -> None:
             ),
             runner=_run_merge,
             render=_render_merge,
+            flags=frozenset({"backend"}),
         )
     )
     register_workload(
@@ -1027,7 +1071,7 @@ def _register_builtins() -> None:
             ),
             runner=_run_serve,
             render=_render_serve,
-            flags=frozenset({"engine", "store"}),
+            flags=frozenset({"engine", "store", "backend"}),
         )
     )
     register_workload(
@@ -1037,6 +1081,18 @@ def _register_builtins() -> None:
             parameters=(),
             runner=_run_families,
             render=_render_families,
+            flags=frozenset({"backend"}),
+        )
+    )
+    register_workload(
+        Workload(
+            name="backends",
+            summary="list the registered kernel backends (availability, "
+            "exactness, batch support)",
+            parameters=(),
+            runner=_run_backends,
+            render=_render_backends,
+            flags=frozenset({"backend"}),
         )
     )
 

@@ -102,6 +102,7 @@ from repro.engine.sweeps import (
     StudyScenario,
     benchmark_function,
     bound_result_from_record,
+    evaluate_bound_batch,
     evaluate_bound_scenario,
     evaluate_study_scenario,
     prepared_task_set,
@@ -143,6 +144,7 @@ __all__ = [
     "StudyResult",
     "benchmark_function",
     "bound_result_from_record",
+    "evaluate_bound_batch",
     "evaluate_bound_scenario",
     "evaluate_study_scenario",
     "prepared_task_set",

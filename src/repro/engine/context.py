@@ -35,7 +35,6 @@ reproduce the context-free ones float for float.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Any
 
 from repro.core.delay_function import PreemptionDelayFunction
@@ -45,6 +44,7 @@ from repro.npr.qmax_fp import fp_blocking_tolerances, fp_max_npr_lengths
 from repro.piecewise.vectorized import SegmentIndex, segment_index
 from repro.tasks.generation import gaussian_delay_factory, generate_task_set
 from repro.tasks.task import TaskSet
+from repro.utils.caching import SwappableLRU
 from repro.utils.checks import require
 
 # ----------------------------------------------------------------------
@@ -84,6 +84,9 @@ BENCHMARK_KIND = "benchmark"
 #: Distinct contexts kept per process.  Grids interleave only a handful
 #: of groups at a time (a q-major fig5 grid cycles through its three
 #: functions), so a small memo already guarantees one build per worker.
+#: ``REPRO_CACHE_SIZE`` overrides this default (see
+#: :mod:`repro.utils.caching`), sizing it together with the segment-index
+#: and batched-grid memos.
 CONTEXT_CACHE_SIZE = 32
 
 
@@ -346,8 +349,7 @@ def build_context(
     return _build_benchmark_context(key, artifacts)
 
 
-@lru_cache(maxsize=CONTEXT_CACHE_SIZE)
-def get_context(
+def _get_context(
     key: ContextKey, artifacts: tuple[str, ...]
 ) -> AnalysisContext:
     """Per-process memoised :func:`build_context`.
@@ -355,9 +357,14 @@ def get_context(
     Workers call this per scenario; with group-respecting chunks
     (:func:`repro.engine.chunking.grouped_chunk_plan`) each worker
     builds each context exactly once and serves its whole slice from
-    the memo.
+    the memo.  Exposed as :data:`get_context`, a
+    :class:`~repro.utils.caching.SwappableLRU` so the capacity follows
+    ``REPRO_CACHE_SIZE`` and can be resized at runtime.
     """
     return build_context(key, artifacts)
+
+
+get_context = SwappableLRU(_get_context, CONTEXT_CACHE_SIZE)
 
 
 def clear_context_cache() -> None:

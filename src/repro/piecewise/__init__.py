@@ -13,6 +13,20 @@ samplers use to evaluate one function at many abscissae in a single
 merge walk over an LRU-cached :class:`SegmentIndex`.
 """
 
+from repro.piecewise.backends import (
+    DEFAULT_BACKEND,
+    EXACT_BIT_IDENTICAL,
+    BatchedGrid,
+    KernelBackend,
+    available_backends,
+    backend_names,
+    batched_grid,
+    batched_grid_for,
+    clear_batched_grid_cache,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.piecewise.builders import (
     constant,
     from_points,
@@ -55,4 +69,16 @@ __all__ = [
     "evaluate_many",
     "evaluate_sorted",
     "clear_segment_index_cache",
+    "DEFAULT_BACKEND",
+    "EXACT_BIT_IDENTICAL",
+    "BatchedGrid",
+    "KernelBackend",
+    "available_backends",
+    "backend_names",
+    "batched_grid",
+    "batched_grid_for",
+    "clear_batched_grid_cache",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
 ]

@@ -27,13 +27,15 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.piecewise.function import PiecewiseFunction
+from repro.utils.caching import SwappableLRU
 
 #: Number of distinct functions whose flattened indices are retained.
 #: Bounds memory while letting sweep workers reuse the same few benchmark
-#: functions across thousands of scenarios.
+#: functions across thousands of scenarios.  ``REPRO_CACHE_SIZE``
+#: overrides this default (see :mod:`repro.utils.caching`), sizing it
+#: together with the other per-process memos.
 SEGMENT_INDEX_CACHE_SIZE = 256
 
 
@@ -68,14 +70,15 @@ class SegmentIndex:
         return len(self.starts)
 
 
-@lru_cache(maxsize=SEGMENT_INDEX_CACHE_SIZE)
-def segment_index(f: PiecewiseFunction) -> SegmentIndex:
+def _build_segment_index(f: PiecewiseFunction) -> SegmentIndex:
     """The flattened :class:`SegmentIndex` of ``f``, LRU-memoised.
 
     ``PiecewiseFunction`` is immutable and hashable, so the index is
     computed once per distinct function; repeated batch evaluations of
     the same function (the common case in scenario sweeps) skip the
-    flattening entirely.
+    flattening entirely.  Exposed as :data:`segment_index`, a
+    :class:`~repro.utils.caching.SwappableLRU` so the capacity follows
+    ``REPRO_CACHE_SIZE`` and can be resized at runtime.
     """
     segs = f.segments
     lo, hi = f.domain
@@ -88,6 +91,9 @@ def segment_index(f: PiecewiseFunction) -> SegmentIndex:
         lo=lo,
         hi=hi,
     )
+
+
+segment_index = SwappableLRU(_build_segment_index, SEGMENT_INDEX_CACHE_SIZE)
 
 
 def _value_from_index(index: SegmentIndex, cursor: int, x: float) -> float:

@@ -253,6 +253,8 @@ class AnalysisServer:
                 group_by=plan.group_by,
                 on_result=on_result,
                 cancel=job.cancel_event.is_set,
+                backend=job.request.options.backend,
+                batch_worker=plan.batch_worker,
             )
             # Count scenarios *before* the job turns terminal: the end
             # frame releases subscribers, and a client that saw it must
@@ -396,8 +398,17 @@ class AnalysisServer:
         """The request the server actually evaluates.
 
         Execution policy (store, pool width, sinks) is the *server's*;
-        client-supplied options are discarded except the ``fail_after``
-        fault seam, and that only when the config opts in.
+        client-supplied options are discarded except
+
+        * ``backend`` — the kernel backend is a *client* execution
+          option: every registered backend produces bit-identical
+          records, so honoring it changes how the job computes, never
+          what it computes — which is also why it must not (and,
+          :func:`~repro.serve.jobs.job_id_for` deriving the id from
+          workload + params + fingerprint alone, structurally cannot)
+          enter the job id;
+        * the ``fail_after`` fault seam, and that only when the config
+          opts in.
         """
         fail_after = None
         if self._config.allow_fail_after:
@@ -405,7 +416,10 @@ class AnalysisServer:
         return RunRequest(
             workload=request.workload,
             params=request.params,
-            options=ExecutionOptions(fail_after=fail_after),
+            options=ExecutionOptions(
+                fail_after=fail_after,
+                backend=request.options.backend,
+            ),
         )
 
     async def _op_submit(

@@ -1,9 +1,10 @@
 """Anti-rot check for the generated sections of ``docs/api.md``.
 
-The workload table and family-axis tables in the API reference are
-generated from the live registries; if a family, workload or axis
-changes without regenerating the docs (``python -m repro.api.docgen
-docs/api.md``), this test fails with the drift.
+The workload table, kernel-backend table and family-axis tables in the
+API reference are generated from the live registries; if a family,
+workload, backend or axis changes without regenerating the docs
+(``python -m repro.api.docgen docs/api.md``), this test fails with the
+drift.
 """
 
 from pathlib import Path
@@ -39,3 +40,21 @@ class TestGeneratedDocs:
         text = API_DOC.read_text()
         for name in workload_names():
             assert f"| `{name}` |" in text
+
+    def test_every_backend_is_listed(self):
+        from repro.piecewise.backends import backend_names
+
+        text = API_DOC.read_text()
+        assert "## Kernel backends" in text
+        for name in backend_names():
+            assert f"| `{name}` |" in text
+
+    def test_backend_table_is_environment_independent(self):
+        # The committed docs must regenerate identically whether or not
+        # optional backend modules are importable: the table may state
+        # declared requirements ("Requires numpy") but never live
+        # availability, which varies by machine (the docs CI job has no
+        # numpy).
+        table = docgen.backend_table()
+        for loaded_word in ("available", "importable", "installed"):
+            assert loaded_word not in table.lower()

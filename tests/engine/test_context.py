@@ -474,3 +474,52 @@ class TestRegistryDeclarations:
         assert get_family("edf-study").context_key(
             edf
         ) == edf_study_context_key(edf)
+
+
+class TestContextCacheThrash:
+    """Regression: large grouped campaigns must not thrash the context
+    memo.  With more context groups than the cache holds, a q-major
+    scenario order rebuilt every context per scenario before the
+    grouped chunk plan existed; group-respecting chunks build each
+    context exactly once regardless of the cache capacity."""
+
+    def test_grouped_run_builds_each_context_once_despite_tiny_cache(
+        self, monkeypatch
+    ):
+        from repro.engine import context as context_module
+        from repro.engine.context import get_context
+
+        knots_grid = [16, 20, 24, 28, 32, 36, 40, 44]  # 8 context groups
+        scenarios = [
+            BoundScenario(function="gaussian1", q=q, knots=knots)
+            for q in (60.0, 120.0, 240.0)  # q-major: groups interleave
+            for knots in knots_grid
+        ]
+
+        expected = run_batch(evaluate_bound_scenario, scenarios)
+
+        builds: list = []
+        real_build = context_module.build_context
+
+        def counting_build(key, artifacts):
+            builds.append(key)
+            return real_build(key, artifacts)
+
+        monkeypatch.setattr(context_module, "build_context", counting_build)
+        clear_context_cache()
+        # Half the group count: an order-respecting run never notices,
+        # a group-interleaved one would evict and rebuild constantly.
+        get_context.resize(len(knots_grid) // 2)
+        try:
+            results = run_batch(
+                evaluate_bound_scenario,
+                scenarios,
+                max_workers=2,
+                executor="thread",
+                group_by=bound_context_key,
+            )
+        finally:
+            get_context.resize()
+            clear_context_cache()
+        assert results == expected
+        assert len(builds) == len(knots_grid)

@@ -169,3 +169,66 @@ class TestSweepWorkload:
         handle = serve_factory()
         request = RunRequest.make("sweep", points=3, knots=24)
         assert _serve_lines(handle, request) == solo_lines(request)
+
+
+class TestBackendOption:
+    """The ``backend`` execution option over the wire: honored as a
+    client-side *how*, never part of the job's *what*."""
+
+    def _with_backend(self, request: RunRequest, name: str) -> RunRequest:
+        from repro.api.options import ExecutionOptions
+
+        return RunRequest(
+            workload=request.workload,
+            params=request.params,
+            options=ExecutionOptions(backend=name),
+        )
+
+    def test_backend_never_enters_the_job_id(
+        self, serve_factory
+    ) -> None:
+        # The same grid with and without a backend option is one job:
+        # job_id_for derives the id from workload + params +
+        # fingerprint, so the second submission replays the first.
+        handle = serve_factory()
+        with ServeClient(handle.host, handle.port) as client:
+            plain = client.submit(GRID_A)
+            plain_lines = plain.lines()
+            with_backend = client.submit(
+                self._with_backend(GRID_A, "vectorized")
+            )
+            assert with_backend.job == plain.job
+            assert with_backend.lines() == plain_lines
+
+    def test_unknown_backend_is_rejected_before_enqueue(
+        self, serve_factory
+    ) -> None:
+        # A client-side ExecutionOptions would already refuse the name,
+        # so craft the wire frame by hand: the server must also reject
+        # it (bad-request, no job) rather than crash the executor.
+        from repro.api.wire import request_to_wire
+        from repro.serve.protocol import encode_frame
+
+        wire = request_to_wire(GRID_A)
+        wire["options"] = {"backend": "bogus"}
+        handle = serve_factory()
+        with ServeClient(handle.host, handle.port) as client:
+            frame = client.send_raw(
+                encode_frame({"op": "submit", "request": wire})
+            )
+            assert frame["code"] == "bad-request"
+            assert "unknown backend 'bogus'" in frame["message"]
+            status = client.status()
+            assert status["jobs"]["done"] == 0
+
+    def test_numpy_backend_stream_matches_solo(
+        self, serve_factory, solo_lines
+    ) -> None:
+        import pytest
+
+        pytest.importorskip("numpy")
+        handle = serve_factory()
+        lines = _serve_lines(
+            handle, self._with_backend(GRID_A, "numpy")
+        )
+        assert lines == solo_lines(GRID_A, tag="solo-numpy")

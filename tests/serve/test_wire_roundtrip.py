@@ -199,6 +199,10 @@ def execution_options(draw) -> ExecutionOptions:
             max_size=2,
         )
     )
+    # Only *available* backends: ExecutionOptions validates the name
+    # against the live registry at construction time.
+    from repro.piecewise.backends import available_backends
+
     return ExecutionOptions(
         jobs=draw(st.one_of(st.none(), st.integers(1, 8))),
         chunk=draw(st.one_of(st.none(), st.integers(1, 64))),
@@ -208,6 +212,9 @@ def execution_options(draw) -> ExecutionOptions:
         sinks=tuple(sinks),
         format=draw(st.sampled_from(["jsonl", "csv"])),
         fail_after=draw(st.one_of(st.none(), st.integers(1, 100))),
+        backend=draw(
+            st.one_of(st.none(), st.sampled_from(available_backends()))
+        ),
     )
 
 
@@ -222,6 +229,7 @@ class TestOptionsRoundTrip:
         rebuilt = options_from_wire(wire)
         for name in (
             "jobs", "chunk", "resume", "shard", "format", "fail_after",
+            "backend",
         ):
             assert getattr(rebuilt, name) == getattr(options, name)
         assert rebuilt.store == (

@@ -119,12 +119,40 @@ class TestJobCommands:
     def test_bench_smoke_job_runs_a_campaign_end_to_end(self, workflow):
         # The campaign subsystem must be exercised for real on every
         # push: a cold store run, a --resume re-emission, and a
-        # byte-identity check between the two.
+        # byte-identity check between the two — under the matrix leg's
+        # kernel backend, so the backend axis is driven end-to-end.
         commands = _steps_commands(workflow["jobs"]["bench-smoke"])
         assert "python -m repro campaign fig5" in commands
         assert "--resume" in commands
         assert "cmp" in commands
         assert "sim-validate" in commands
+        assert "--backend" in commands
+
+    def test_bench_smoke_job_matrixes_over_kernel_backends(self, workflow):
+        # Every matrix leg must name a registered backend, and the two
+        # shipping batch-relevant ones must both be covered.
+        from repro.piecewise import backend_names
+
+        job = workflow["jobs"]["bench-smoke"]
+        backends = job["strategy"]["matrix"]["backend"]
+        assert backends == ["vectorized", "numpy"]
+        assert set(backends) <= set(backend_names())
+
+    def test_bench_smoke_job_gates_the_numpy_backend_speedup(self, workflow):
+        # The >=10x struct-of-arrays claim is asserted inside
+        # bench_engine.py; the numpy leg runs it as its own visible
+        # step, and skips with a ::notice:: (not a failure) when numpy
+        # cannot be imported.
+        job = workflow["jobs"]["bench-smoke"]
+        gate = next(
+            step
+            for step in job["steps"]
+            if "numpy_backend" in step.get("run", "")
+        )
+        assert gate["if"] == "matrix.backend == 'numpy'"
+        assert "benchmarks/bench_engine.py" in gate["run"]
+        assert "--benchmark-disable" in gate["run"]
+        assert "::notice::" in gate["run"]
 
     def test_serve_smoke_job_runs_the_serve_suites(self, workflow):
         # The analysis service must be exercised live on every push:
