@@ -1,8 +1,8 @@
 """Generate the registry-driven sections of ``docs/api.md``.
 
-The scenario-family axis tables, the workload table and the kernel-
-backend table in the public API reference are *generated* from the
-live registries rather than hand-maintained:
+The scenario-family axis tables, the workload table, the kernel-
+backend table and the static-checker table in the public API reference
+are *generated* from the live registries rather than hand-maintained:
 ``tests/api/test_docgen.py`` regenerates them and asserts the
 committed markdown matches, so adding a family, a workload, a backend
 or an axis without regenerating the docs fails the suite.
@@ -77,6 +77,24 @@ def backend_table() -> str:
     )
 
 
+def checks_table() -> str:
+    """One markdown table naming every registered static checker."""
+    from repro.checks import check_codes, get_check
+
+    rows = []
+    for code in check_codes():
+        checker = get_check(code)
+        rows.append(
+            [
+                f"`{code}`",
+                f"`{checker.group}`",
+                checker.severity,
+                checker.summary,
+            ]
+        )
+    return _markdown_table(["Code", "Group", "Severity", "Checks for"], rows)
+
+
 def family_axes_tables() -> str:
     """One markdown section per scenario family, tables included."""
     from repro.engine.registry import family_names, get_family
@@ -121,6 +139,15 @@ def generated_block() -> str:
             "reports.",
             "",
             backend_table(),
+            "",
+            "## Static checkers",
+            "",
+            "Generated from the checker registry (`repro.checks`); run "
+            "them with `python -m repro check`, select subsets with "
+            "`--select`/`--ignore` (codes, groups or prefixes), and see "
+            "`docs/checks.md` for what each invariant protects.",
+            "",
+            checks_table(),
             "",
             "## Scenario-family axes",
             "",

@@ -53,6 +53,15 @@ _SCALAR_OPTION_FIELDS = (
     "backend",
 )
 
+#: ExecutionOptions fields with bespoke wire encodings below.  Together
+#: with the scalar tuple this must cover every ExecutionOptions field —
+#: the RC004 contract check (repro.checks.contracts) enforces it.
+_COMPOUND_OPTION_FIELDS = ("store", "results_dir", "sinks")
+
+#: Top-level wire request keys; "version" plus every RunRequest field
+#: (also enforced by RC004).
+_REQUEST_FIELDS = ("version", "workload", "params", "options")
+
 
 def options_to_wire(options: ExecutionOptions) -> dict[str, Any]:
     """The JSON mapping of one options object (defaults omitted).
@@ -90,7 +99,7 @@ def options_from_wire(payload: Mapping[str, Any]) -> ExecutionOptions:
         isinstance(payload, Mapping),
         f"wire options must be a mapping, got {type(payload).__name__}",
     )
-    known = set(_SCALAR_OPTION_FIELDS) | {"store", "results_dir", "sinks"}
+    known = set(_SCALAR_OPTION_FIELDS) | set(_COMPOUND_OPTION_FIELDS)
     unknown = sorted(set(payload) - known)
     require(
         not unknown,
@@ -150,9 +159,7 @@ def request_from_wire(payload: Mapping[str, Any]) -> RunRequest:
         f"unsupported wire version {version!r}; this build speaks "
         f"version {WIRE_VERSION}",
     )
-    unknown = sorted(
-        set(payload) - {"version", "workload", "params", "options"}
-    )
+    unknown = sorted(set(payload) - set(_REQUEST_FIELDS))
     require(
         not unknown,
         f"wire request carries unknown field(s): {', '.join(unknown)}",

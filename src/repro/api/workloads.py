@@ -4,7 +4,8 @@ A *workload* is one named unit of work the facade can evaluate — the
 paper's figures (``fig2``/``fig4``/``fig5``), the Theorem 1 validation
 fuzz (``validate``), the acceptance study (``study``), the engine Q
 sweep (``sweep``), declarative campaigns over any registered scenario
-family (``campaign``), shard-store merging (``merge``) and the registry
+family (``campaign``), shard-store merging (``merge``), the static
+analysis pass (``check``, :mod:`repro.checks`) and the registry
 listings themselves (``families``, ``backends``).  Each entry declares:
 
 * its **parameters** (name, type, default, help) — what the CLI turns
@@ -67,6 +68,8 @@ class Parameter:
         positional: Render as a positional CLI argument.
         repeatable: Accept multiple values (CLI ``append``/``nargs``).
         hidden: Programmatic-only — not rendered as a CLI flag.
+        metavar: CLI value placeholder (default: argparse's; repeatable
+            flags default to ``KEY=VALUE``).
     """
 
     name: str
@@ -77,6 +80,7 @@ class Parameter:
     positional: bool = False
     repeatable: bool = False
     hidden: bool = False
+    metavar: str | None = None
 
     def resolve(self, workload: str, value: Any) -> Any:
         """Validate/coerce one supplied value against this declaration."""
@@ -803,6 +807,72 @@ def _render_serve(result: RunResult) -> str:
 
 
 # ----------------------------------------------------------------------
+# check
+# ----------------------------------------------------------------------
+
+
+def _run_check(request: RunRequest, params: dict[str, Any]) -> RunResult:
+    from repro.checks import (
+        load_baseline,
+        load_tree,
+        repo_root,
+        run_checks,
+        write_baseline,
+    )
+
+    root = Path(params["root"]) if params["root"] else repo_root()
+    tree = load_tree(root)
+    baseline_path = root / params["baseline"]
+    select = list(params["select"]) or None
+    ignore = list(params["ignore"]) or None
+    if params["write_baseline"]:
+        # Re-baseline: grandfather whatever is live right now (the
+        # suppressions still apply) and report against the new file.
+        report = run_checks(tree, select=select, ignore=ignore)
+        write_baseline(baseline_path, report.findings)
+        report = run_checks(
+            tree,
+            select=select,
+            ignore=ignore,
+            baseline=load_baseline(baseline_path),
+        )
+    else:
+        report = run_checks(
+            tree,
+            select=select,
+            ignore=ignore,
+            baseline=load_baseline(baseline_path),
+        )
+    return RunResult(
+        request=request,
+        ok=report.ok,
+        payload=report,
+        total=report.files_checked,
+        computed=len(report.codes_run),
+        extra={
+            "format": params["format"],
+            "baseline": str(baseline_path),
+            "baseline_written": bool(params["write_baseline"]),
+            "findings": len(report.findings),
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+        },
+    )
+
+
+def _render_check(result: RunResult) -> str:
+    import json
+
+    report = result.payload
+    if result.extra["format"] == "json":
+        return json.dumps(report.to_json(), indent=2, sort_keys=True)
+    text = report.render_text()
+    if result.extra["baseline_written"]:
+        text += f"\nwrote baseline {result.extra['baseline']}"
+    return text
+
+
+# ----------------------------------------------------------------------
 # families
 # ----------------------------------------------------------------------
 
@@ -1072,6 +1142,49 @@ def _register_builtins() -> None:
             runner=_run_serve,
             render=_render_serve,
             flags=frozenset({"engine", "store", "backend"}),
+        )
+    )
+    register_workload(
+        Workload(
+            name="check",
+            summary="run the domain-invariant static-analysis pass "
+            "(determinism, worker purity, async hygiene, contracts)",
+            parameters=(
+                Parameter(
+                    "select", None, (),
+                    "run only these checker codes, groups or prefixes "
+                    "(e.g. DET001, determinism, RC); repeatable",
+                    repeatable=True, metavar="CODE",
+                ),
+                Parameter(
+                    "ignore", None, (),
+                    "drop these checker codes, groups or prefixes from "
+                    "the run; repeatable",
+                    repeatable=True, metavar="CODE",
+                ),
+                Parameter(
+                    "format", str, "text", "report format",
+                    choices=("text", "json"),
+                ),
+                Parameter(
+                    "baseline", str, "checks-baseline.json",
+                    "grandfathered-findings file, relative to the "
+                    "checked root (missing file = empty baseline)",
+                ),
+                Parameter(
+                    "root", str, "",
+                    "repository root to check (default: auto-detected "
+                    "from the installed package layout)",
+                ),
+                Parameter(
+                    "write_baseline", bool, False,
+                    "rewrite the baseline file to grandfather every "
+                    "currently-live finding, then report against it",
+                ),
+            ),
+            runner=_run_check,
+            render=_render_check,
+            flags=frozenset({"backend"}),
         )
     )
     register_workload(

@@ -21,6 +21,9 @@ Commands (see ``python -m repro --help``):
   built-in name) over any registered scenario family.
 * ``merge``     — combine shard stores and re-emit the final result
   file, byte-identical to a single unsharded run.
+* ``check``     — run the domain-invariant static-analysis pass
+  (:mod:`repro.checks`): determinism, worker purity, async hygiene and
+  registry/wire contracts; non-zero exit on any live finding.
 * ``families``  — list the registered scenario families and their axes.
 * ``backends``  — list the registered kernel backends (availability,
   exactness class, batch support); select one with ``--backend``.
@@ -129,8 +132,10 @@ def _add_parameter(parser: argparse.ArgumentParser, param) -> None:
     kwargs: dict = {"help": param.help or None}
     if param.choices is not None:
         kwargs["choices"] = list(param.choices)
-    if param.type is not None:
+    if param.type is not None and param.type is not bool:
         kwargs["type"] = param.type
+    if param.metavar is not None:
+        kwargs["metavar"] = param.metavar
     if param.positional:
         if param.repeatable:
             kwargs["nargs"] = "+"
@@ -141,10 +146,16 @@ def _add_parameter(parser: argparse.ArgumentParser, param) -> None:
     flag = param.name.replace("_", "-")
     from repro.api.workloads import REQUIRED
 
-    if param.repeatable:
+    if param.type is bool:
+        kwargs.pop("metavar", None)
+        kwargs["action"] = "store_true"
+        kwargs["default"] = (
+            False if param.default is REQUIRED else param.default
+        )
+    elif param.repeatable:
         kwargs["action"] = "append"
         kwargs["default"] = []
-        kwargs["metavar"] = "KEY=VALUE"
+        kwargs.setdefault("metavar", "KEY=VALUE")
     else:
         kwargs["default"] = (
             None if param.default is REQUIRED else param.default
@@ -183,8 +194,13 @@ def _options_from_args(args: argparse.Namespace):
     """Collect the shared execution flags into one ExecutionOptions."""
     from repro.api import ExecutionOptions, SinkSpec
 
-    out = getattr(args, "out", None)
-    fmt = getattr(args, "format", "jsonl")
+    # --format/--out belong to ExecutionOptions only for workloads
+    # that enabled the sink group; a workload *parameter* of the same
+    # name (e.g. check's --format text|json) must not leak into the
+    # sink-format validation.
+    has_sink = "sink" in args.workload.flags
+    out = getattr(args, "out", None) if has_sink else None
+    fmt = getattr(args, "format", "jsonl") if has_sink else "jsonl"
     return ExecutionOptions(
         jobs=getattr(args, "jobs", None),
         chunk=getattr(args, "chunk", None),

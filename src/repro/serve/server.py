@@ -164,8 +164,13 @@ class AnalysisServer:
         self._worker_task = asyncio.create_task(self._job_worker())
         if self._config.ready_file:
             ready = Path(self._config.ready_file)
-            ready.parent.mkdir(parents=True, exist_ok=True)
-            ready.write_text(f"{self.host} {self.port}\n")
+            banner = f"{self.host} {self.port}\n"
+
+            def publish() -> None:
+                ready.parent.mkdir(parents=True, exist_ok=True)
+                ready.write_text(banner)
+
+            await asyncio.to_thread(publish)
 
     async def stop(self) -> None:
         """Stop accepting, cancel live jobs, close the store."""

@@ -1,0 +1,26 @@
+"""Fixtures for the static-analysis (``repro.checks``) test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks import load_tree
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Build a parsed :class:`SourceTree` from snippet strings.
+
+    ``make_tree({"mod.py": code})`` writes each snippet under the
+    default-covered ``src/repro`` subtree of a temp root and parses it
+    the way a real ``repro check`` run would.
+    """
+
+    def build(files: dict[str, str], subdir: str = "src/repro"):
+        for rel, text in files.items():
+            path = tmp_path / subdir / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        return load_tree(tmp_path)
+
+    return build

@@ -1,0 +1,153 @@
+"""Good/bad fixture pairs for the determinism checkers (DET001-005)."""
+
+from __future__ import annotations
+
+from repro.checks.model import get_check, run_checks
+
+
+def codes_of(code, tree):
+    return [(f.code, f.line) for f in get_check(code).run(tree)]
+
+
+class TestDet001Randomness:
+    def test_module_level_random_is_flagged(self, make_tree):
+        tree = make_tree(
+            {"m.py": "import random\n\nx = random.random()\n"}
+        )
+        assert codes_of("DET001", tree) == [("DET001", 3)]
+
+    def test_numpy_global_generator_is_flagged(self, make_tree):
+        tree = make_tree(
+            {"m.py": "import numpy as np\n\ny = np.random.rand(3)\n"}
+        )
+        assert codes_of("DET001", tree) == [("DET001", 3)]
+
+    def test_seeded_rng_instance_is_fine(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "import random\n\n"
+                    "rng = random.Random(42)\n"
+                    "x = rng.random()\n"
+                )
+            }
+        )
+        assert codes_of("DET001", tree) == []
+
+
+class TestDet002WallClock:
+    def test_time_time_is_flagged(self, make_tree):
+        tree = make_tree({"m.py": "import time\n\nt = time.time()\n"})
+        assert codes_of("DET002", tree) == [("DET002", 3)]
+
+    def test_datetime_now_is_flagged_in_both_import_styles(self, make_tree):
+        tree = make_tree(
+            {
+                "a.py": (
+                    "from datetime import datetime\n\n"
+                    "d = datetime.now()\n"
+                ),
+                "b.py": (
+                    "import datetime\n\n"
+                    "d = datetime.datetime.now()\n"
+                ),
+            }
+        )
+        assert codes_of("DET002", tree) == [("DET002", 3), ("DET002", 3)]
+
+    def test_perf_counter_is_fine(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "from time import perf_counter\n\n"
+                    "t = perf_counter()\n"
+                )
+            }
+        )
+        assert codes_of("DET002", tree) == []
+
+
+class TestDet003BuiltinHash:
+    def test_hash_call_is_flagged(self, make_tree):
+        tree = make_tree({"m.py": "key = hash('abc')\n"})
+        assert codes_of("DET003", tree) == [("DET003", 1)]
+
+    def test_hash_inside_dunder_hash_is_fine(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "class C:\n"
+                    "    def __hash__(self):\n"
+                    "        return hash((1, 2))\n"
+                )
+            }
+        )
+        assert codes_of("DET003", tree) == []
+
+
+class TestDet004SetIteration:
+    def test_for_over_set_literal_is_flagged(self, make_tree):
+        tree = make_tree(
+            {"m.py": "for x in {1, 2, 3}:\n    print(x)\n"}
+        )
+        assert codes_of("DET004", tree) == [("DET004", 1)]
+
+    def test_comprehension_over_set_call_is_flagged(self, make_tree):
+        tree = make_tree(
+            {"m.py": "items = [1, 2]\nout = [x for x in set(items)]\n"}
+        )
+        assert codes_of("DET004", tree) == [("DET004", 2)]
+
+    def test_sorted_set_is_fine(self, make_tree):
+        tree = make_tree(
+            {"m.py": "for x in sorted({1, 2, 3}):\n    print(x)\n"}
+        )
+        assert codes_of("DET004", tree) == []
+
+
+class TestDet005FloatEquality:
+    def test_equality_against_fractional_literal_is_flagged(
+        self, make_tree
+    ):
+        tree = make_tree({"m.py": "def f(v):\n    return v == 0.1\n"})
+        assert codes_of("DET005", tree) == [("DET005", 2)]
+
+    def test_integral_float_literal_is_fine(self, make_tree):
+        tree = make_tree({"m.py": "def f(v):\n    return v == 1.0\n"})
+        assert codes_of("DET005", tree) == []
+
+    def test_tolerance_comparison_is_fine(self, make_tree):
+        tree = make_tree(
+            {"m.py": "def f(v):\n    return abs(v - 0.1) < 1e-9\n"}
+        )
+        assert codes_of("DET005", tree) == []
+
+
+class TestSuppression:
+    def test_inline_marker_silences_exactly_that_code(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "import random\n\n"
+                    "x = random.random()"
+                    "  # repro-check: ignore[DET001]\n"
+                )
+            }
+        )
+        report = run_checks(tree, select=["DET001"])
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_marker_for_a_different_code_does_not_silence(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "import random\n\n"
+                    "x = random.random()"
+                    "  # repro-check: ignore[DET002]\n"
+                )
+            }
+        )
+        report = run_checks(tree, select=["DET001"])
+        assert not report.ok
+        assert report.suppressed == 0

@@ -1,0 +1,99 @@
+"""Good/bad fixture pairs for the async-hygiene checker (ASY001)."""
+
+from __future__ import annotations
+
+from repro.checks.model import get_check
+
+
+def hits(tree):
+    return [(f.code, f.line) for f in get_check("ASY001").run(tree)]
+
+
+class TestAsy001Blocking:
+    def test_time_sleep_in_coroutine_is_flagged(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "import time\n\n\n"
+                    "async def handler():\n"
+                    "    time.sleep(1)\n"
+                )
+            }
+        )
+        assert hits(tree) == [("ASY001", 5)]
+
+    def test_open_in_coroutine_is_flagged(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "async def handler(path):\n"
+                    "    with open(path) as fh:\n"
+                    "        return fh.read()\n"
+                )
+            }
+        )
+        assert hits(tree) == [("ASY001", 2)]
+
+    def test_pathlib_write_in_coroutine_is_flagged(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "async def publish(ready, banner):\n"
+                    "    ready.write_text(banner)\n"
+                )
+            }
+        )
+        assert hits(tree) == [("ASY001", 2)]
+
+    def test_sqlite_connect_in_coroutine_is_flagged(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "import sqlite3\n\n\n"
+                    "async def job(path):\n"
+                    "    return sqlite3.connect(path)\n"
+                )
+            }
+        )
+        assert hits(tree) == [("ASY001", 5)]
+
+    def test_blocking_in_sync_function_is_fine(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "import time\n\n\n"
+                    "def handler():\n"
+                    "    time.sleep(1)\n"
+                )
+            }
+        )
+        assert hits(tree) == []
+
+    def test_nested_sync_def_inside_coroutine_is_exempt(self, make_tree):
+        # The executor-thread idiom the server uses: the nested sync
+        # function runs wherever it is *called* (asyncio.to_thread),
+        # not on the event loop.
+        tree = make_tree(
+            {
+                "m.py": (
+                    "import asyncio\n\n\n"
+                    "async def start(ready, banner):\n"
+                    "    def publish():\n"
+                    "        ready.write_text(banner)\n"
+                    "    await asyncio.to_thread(publish)\n"
+                )
+            }
+        )
+        assert hits(tree) == []
+
+    def test_await_asyncio_sleep_is_fine(self, make_tree):
+        tree = make_tree(
+            {
+                "m.py": (
+                    "import asyncio\n\n\n"
+                    "async def tick():\n"
+                    "    await asyncio.sleep(0.05)\n"
+                )
+            }
+        )
+        assert hits(tree) == []

@@ -1,8 +1,9 @@
 """CI configuration anti-rot checks.
 
 The workflow file is part of the repo's contract: it must stay valid
-YAML with the agreed job set (lint + test matrix + docs + examples +
-serve smoke + benchmark smoke), reference only commands/paths that exist, and the lint job must
+YAML with the agreed job set (lint + static-analysis check + test
+matrix + docs + examples + serve smoke + benchmark smoke), reference
+only commands/paths that exist, and the lint job must
 have a committed ruff configuration to run against.  A structural check
 here fails the tier-1 suite locally long before a push discovers the
 workflow is broken.
@@ -48,9 +49,10 @@ class TestWorkflowShape:
         assert "push" in triggers
         assert "pull_request" in triggers
 
-    def test_has_all_six_jobs(self, workflow):
+    def test_has_all_seven_jobs(self, workflow):
         assert set(workflow["jobs"]) >= {
             "lint",
+            "check",
             "test",
             "docs",
             "examples",
@@ -87,6 +89,21 @@ class TestJobCommands:
     def test_lint_job_runs_ruff(self, workflow):
         commands = _steps_commands(workflow["jobs"]["lint"])
         assert "ruff check" in commands
+
+    def test_check_job_runs_the_static_analysis_pass(self, workflow):
+        # The domain-invariant pass (repro.checks) gates every push in
+        # machine-readable form; its JSON schema is covered by
+        # tests/checks/test_selfcheck.py.
+        commands = _steps_commands(workflow["jobs"]["check"])
+        assert "python -m repro check --format json" in commands
+
+    def test_check_job_pins_the_baseline_empty(self, workflow):
+        # Grandfathering is a ratchet: the committed baseline may only
+        # ever shrink, and it starts (and must stay) empty — new
+        # findings are fixed or inline-suppressed, never baselined.
+        commands = _steps_commands(workflow["jobs"]["check"])
+        assert "checks-baseline.json" in commands
+        assert (REPO_ROOT / "checks-baseline.json").is_file()
 
     def test_docs_job_runs_the_docs_suite(self, workflow):
         commands = _steps_commands(workflow["jobs"]["docs"])
@@ -194,3 +211,16 @@ class TestRuffConfig:
         assert "E" in ruff["lint"]["select"]
         assert "F" in ruff["lint"]["select"]
         assert ruff["format"]["quote-style"] == "double"
+
+    def test_ruff_selection_includes_the_hardened_families(self):
+        # Bugbear (B), naive-datetime (DTZ) and the scoped bandit
+        # slice (exec/eval, pickle, shell=True) landed together with
+        # the fixes they required; dropping them would be a silent
+        # de-hardening.
+        config = tomllib.loads(PYPROJECT.read_text())
+        select = config["tool"]["ruff"]["lint"]["select"]
+        assert "B" in select
+        assert "DTZ" in select
+        assert "S102" in select  # exec()
+        assert "S301" in select  # pickle.loads
+        assert "S602" in select  # subprocess shell=True

@@ -92,13 +92,15 @@ class TestReadme:
 
 class TestDocsPages:
     @pytest.mark.parametrize(
-        "page", ["architecture.md", "paper_mapping.md", "serving.md"]
+        "page",
+        ["architecture.md", "paper_mapping.md", "serving.md", "checks.md"],
     )
     def test_page_exists(self, page):
         assert (DOCS / page).is_file()
 
     @pytest.mark.parametrize(
-        "page", ["architecture.md", "paper_mapping.md", "serving.md"]
+        "page",
+        ["architecture.md", "paper_mapping.md", "serving.md", "checks.md"],
     )
     def test_referenced_paths_exist(self, page):
         missing = _missing_paths((DOCS / page).read_text())
