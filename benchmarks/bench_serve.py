@@ -110,3 +110,131 @@ def test_warm_duplicate_submission_beats_cold(artifacts_dir, tmp_path):
         f"warm duplicate only {speedup:.1f}x faster than cold "
         f"(need >= {MIN_SPEEDUP}x)"
     )
+
+
+# ----------------------------------------------------------------------
+# BENCH-SERVE-POOL: intra-job shard fan-out across the worker pool
+# ----------------------------------------------------------------------
+
+#: 4-way-shardable bound grid: enough scenarios per shard that the
+#: per-process context build amortises, heavy enough knots that the
+#: kernel work (not protocol overhead) is what the pool parallelises.
+POOL_POINTS = scaled(32, 16)
+POOL_KNOTS = 8192
+#: Pool width under test, and the wall-clock factor a fanned-out cold
+#: submit must beat solo ``--workers 1`` by when the host can deliver.
+POOL_WORKERS = 4
+MIN_POOL_SPEEDUP = 2.0
+
+
+def _available_cpus() -> int:
+    import os
+
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def test_fanned_out_job_beats_solo_worker(artifacts_dir, tmp_path):
+    from repro.api.options import plan_fanout
+
+    request = RunRequest.family(
+        "bound",
+        axes={
+            "q": {
+                "linspace": {
+                    "start": 50.0,
+                    "stop": 400.0,
+                    "points": POOL_POINTS,
+                }
+            }
+        },
+        defaults={"function": "gaussian1", "knots": POOL_KNOTS},
+    )
+
+    # Two fresh servers over two fresh stores: identical cold work,
+    # only the pool width differs — so the ratio is pure fan-out.
+    timings = {}
+    lines = {}
+    for workers in (1, POOL_WORKERS):
+        handle = start_server(
+            ServeConfig(
+                store=str(tmp_path / f"pool{workers}.sqlite"),
+                port=0,
+                workers=workers,
+            )
+        )
+        try:
+            elapsed, got, stream = _timed_submit(
+                handle.host, handle.port, request
+            )
+            assert stream.dedup == "new"
+            assert stream.end is not None
+            assert stream.end["computed"] == POOL_POINTS
+            job_id = stream.job
+            if workers == POOL_WORKERS:
+                # Reconnect/resume leg: a fresh connection resuming at
+                # an offset gets exactly the remaining bytes.
+                with ServeClient(handle.host, handle.port) as client:
+                    tail = client.resume(job_id, last_record=3).lines()
+                assert got[:3] + tail == got
+        finally:
+            handle.stop()
+        timings[workers] = elapsed
+        lines[workers] = got
+
+    # Byte-identity is unconditional: fan-out must never change the
+    # stream, whatever it does to the clock.
+    assert lines[POOL_WORKERS] == lines[1]
+
+    cpus = _available_cpus()
+    shards = plan_fanout(POOL_POINTS, POOL_WORKERS)
+    speedup = timings[1] / timings[POOL_WORKERS]
+    gate = cpus >= POOL_WORKERS
+    table = render_table(
+        ["path", "seconds", "records/s"],
+        [
+            [
+                "solo (--workers 1)",
+                f"{timings[1]:.2f}",
+                f"{POOL_POINTS / timings[1]:.0f}",
+            ],
+            [
+                f"pool (--workers {POOL_WORKERS}, {shards} shards)",
+                f"{timings[POOL_WORKERS]:.2f}",
+                f"{POOL_POINTS / timings[POOL_WORKERS]:.0f}",
+            ],
+            [f"speedup ({cpus} cpus)", f"{speedup:.1f}x", ""],
+        ],
+    )
+    save_text(artifacts_dir, "bench_serve_pool.txt", table)
+    update_bench_json(
+        artifacts_dir,
+        "serve",
+        {
+            "multi_worker": {
+                "records": POOL_POINTS,
+                "knots": POOL_KNOTS,
+                "workers": POOL_WORKERS,
+                "shards": shards,
+                "cpus": cpus,
+                "solo_s": round(timings[1], 4),
+                "pool_s": round(timings[POOL_WORKERS], 4),
+                "speedup": round(speedup, 2),
+                "gate": "enforced" if gate else f"skipped ({cpus} cpu)",
+            }
+        },
+    )
+    print()
+    print(table)
+
+    if gate:
+        assert speedup >= MIN_POOL_SPEEDUP, (
+            f"fanned-out job only {speedup:.1f}x faster than solo "
+            f"(need >= {MIN_POOL_SPEEDUP}x on {cpus} cpus)"
+        )
+    else:
+        print(
+            f"NOTE: {cpus} cpu(s) < {POOL_WORKERS}: the "
+            f">={MIN_POOL_SPEEDUP}x gate is informational here"
+        )

@@ -169,6 +169,7 @@ def execute_scenarios(
     collect: bool = True,
     sink: ResultSink | None = None,
     batch_worker: Callable[..., list[Any]] | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> ScenarioRun:
     """Evaluate a scenario grid under one set of execution options.
 
@@ -190,6 +191,10 @@ def execute_scenarios(
             ``(scenarios, *, backend) -> list[result]``; engaged when
             ``options.backend`` names a batch-capable kernel backend
             (see :meth:`repro.engine.BatchEngine.map`).
+        cancel: Optional cancellation predicate, forwarded to
+            :func:`repro.engine.run_cached_batch` (store-backed runs
+            only — a run with nowhere to checkpoint has nothing to
+            resume, so cancelling it mid-flight would just lose work).
 
     Returns:
         The :class:`ScenarioRun` with results and cache statistics.
@@ -237,6 +242,7 @@ def execute_scenarios(
                 chunk_size=options.chunk,
                 on_result=on_result,
                 group_by=group_by,
+                cancel=cancel,
                 backend=options.backend,
                 batch_worker=batch_worker,
             )

@@ -51,6 +51,7 @@ _SCALAR_OPTION_FIELDS = (
     "format",
     "fail_after",
     "backend",
+    "workers",
 )
 
 #: ExecutionOptions fields with bespoke wire encodings below.  Together

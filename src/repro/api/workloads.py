@@ -777,7 +777,7 @@ def _run_serve(request: RunRequest, params: dict[str, Any]) -> RunResult:
         )
     if not isinstance(options.store, (str, Path)):
         raise ValueError(
-            "serve opens its store inside the job-executor thread; pass "
+            "serve opens its store inside the job-executor pool; pass "
             "the store as a path, not an open instance"
         )
     config = ServeConfig(
@@ -786,6 +786,7 @@ def _run_serve(request: RunRequest, params: dict[str, Any]) -> RunResult:
         store=str(options.store),
         jobs=options.jobs,
         chunk=options.chunk,
+        workers=params["workers"],
         max_queued=params["queue"],
         line_limit=params["limit"],
         allow_fail_after=params["allow_fail_after"],
@@ -1115,6 +1116,12 @@ def _register_builtins() -> None:
                 Parameter(
                     "port", int, 7512,
                     "TCP port to listen on (0 = OS-assigned)",
+                ),
+                Parameter(
+                    "workers", int, None,
+                    "concurrent job slots; independent jobs run in "
+                    "parallel and a large job fans out over idle slots "
+                    "via shard sub-runs (default: cpu-count, capped)",
                 ),
                 Parameter(
                     "queue", int, 16,

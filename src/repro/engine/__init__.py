@@ -104,6 +104,7 @@ from repro.engine.sweeps import (
     bound_result_from_record,
     evaluate_bound_batch,
     evaluate_bound_scenario,
+    evaluate_study_batch,
     evaluate_study_scenario,
     prepared_task_set,
     q_sweep_scenarios,
@@ -146,6 +147,7 @@ __all__ = [
     "bound_result_from_record",
     "evaluate_bound_batch",
     "evaluate_bound_scenario",
+    "evaluate_study_batch",
     "evaluate_study_scenario",
     "prepared_task_set",
     "q_sweep_scenarios",

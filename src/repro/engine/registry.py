@@ -225,6 +225,7 @@ def _register_builtins() -> None:
             "generated task sets (the EXT-D shape)",
             context_key=sweeps.study_context_key,
             artifacts=sweeps.STUDY_ARTIFACTS,
+            batch_worker=sweeps.evaluate_study_batch,
             field_help=(
                 ("utilization", "target total utilization of the "
                  "generated set"),

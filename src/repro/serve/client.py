@@ -223,7 +223,12 @@ class ServeClient:
         return self.submit(request).lines()
 
     def status(self) -> dict[str, Any]:
-        """The server's counters snapshot (``status`` frame)."""
+        """The server's counters snapshot (``status`` frame).
+
+        Includes the worker-pool gauges ``workers`` (slot count) and
+        ``busy_slots`` (slots currently held by jobs and their shard
+        fan-outs) alongside the dedup/backpressure counters.
+        """
         self._send({"op": "status"})
         frame = self._recv()
         if frame.get("frame") != "status":

@@ -9,7 +9,9 @@ re-attach later by job id and replay the stream from an offset — which
 is what makes streams resumable across disconnects.
 
 Thread topology: jobs are *created and observed* on the server's event
-loop, but *evaluated* on the job-executor thread.  The executor thread
+loop, but *evaluated* on a job-executor pool thread (one slot per job;
+a fanned-out job additionally drives shard subprocesses from its
+slot's thread).  The executor thread
 appends lines and flips states directly (atomic under the GIL) and
 wakes loop-side subscribers through
 :meth:`Job.pulse` → ``loop.call_soon_threadsafe``; subscribers follow

@@ -31,7 +31,8 @@ record    ``job``, ``seq`` (1-based), ``line`` (verbatim JSONL line)
 end       ``job``, ``state`` (``done``), ``total``/``cached``/
           ``computed`` cache statistics
 error     ``code``, ``message``, optionally ``job``
-status    counters snapshot (see ``docs/serving.md``)
+status    counters snapshot, incl. pool occupancy — ``workers``,
+          ``busy_slots`` (see ``docs/serving.md``)
 cancelled ``job``
 pong      —
 ========  ============================================================

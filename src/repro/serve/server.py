@@ -9,20 +9,26 @@ One :class:`AnalysisServer` owns four cooperating pieces:
 * a **job registry** (:class:`repro.serve.jobs.JobRegistry`) giving
   every request a content-addressed job id with single-flight
   semantics;
-* a **bounded job queue** — at most ``max_queued`` jobs wait for the
-  executor; submissions beyond that are rejected with a ``busy`` error
-  frame (the backpressure contract);
-* a **single job-executor thread** that evaluates queued jobs one at a
-  time through :func:`repro.engine.run_cached_batch` against one
-  shared :class:`repro.store.ResultStore`.  The store is opened
-  lazily *inside* that thread (sqlite connections are thread-bound),
-  which is also why jobs are strictly serial: one thread, one
-  connection, no cross-thread sqlite traffic.
+* a **bounded job queue** — at most ``max_queued`` jobs wait for a
+  pool slot; submissions beyond that are rejected with a ``busy``
+  error frame (the backpressure contract);
+* a **job-executor pool** of ``workers`` slots.  Independent jobs run
+  concurrently, one slot each, and a single large job additionally
+  *fans out* across the idle slots: the server plans ``k`` shard
+  sub-runs (``1/k`` … ``k/k`` of the grid, ``k`` from
+  :func:`repro.api.options.plan_fanout`), evaluates each in a worker
+  process through :func:`repro.api.execution.execute_scenarios` into a
+  scratch per-shard store, merges the shards back into the shared
+  store and emits the final records from it — byte-identical to a solo
+  :meth:`repro.api.Workbench.run` by construction, because emission
+  always happens from the merged store in scenario order
+  (:func:`repro.engine.emit_from_store`).
 
-Dedup therefore happens at two levels: identical requests collapse to
-one job (single-flight), and distinct requests sharing scenarios hit
-the store's content-addressed cache — a scenario any client ever
-computed is never computed again.
+Dedup happens at three levels: identical requests collapse to one job
+(single-flight), concurrently *running* jobs that overlap claim their
+scenario keys so no two slots ever compute the same scenario, and
+distinct requests sharing scenarios hit the store's content-addressed
+cache — a scenario any client ever computed is never computed again.
 
 Entry points: :func:`run_server` (blocking; the ``repro serve`` CLI
 workload), and :func:`start_server` (background thread returning a
@@ -32,18 +38,28 @@ workload), and :func:`start_server` (background thread returning a
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
+from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.api.options import ExecutionOptions
+from repro.api.execution import execute_scenarios
+from repro.api.options import ExecutionOptions, format_shard, plan_fanout
 from repro.api.plan import PLANNABLE_WORKLOADS, plan_scenarios
 from repro.api.request import RunRequest
 from repro.api.wire import request_from_wire
 from repro.api.workloads import get_workload
-from repro.engine import JobCancelled, WorkerError, record_line, run_cached_batch
+from repro.engine import (
+    CachedRun,
+    JobCancelled,
+    WorkerError,
+    emit_from_store,
+    record_line,
+    run_cached_batch,
+)
 from repro.engine.sinks import ResultSink
 from repro.serve.jobs import Job, JobRegistry, job_id_for
 from repro.serve.protocol import (
@@ -54,11 +70,21 @@ from repro.serve.protocol import (
     encode_frame,
 )
 from repro.store import ResultStore
-from repro.store.keys import package_fingerprint
+from repro.store.keys import package_fingerprint, scenario_key
 
 #: Extra reader allowance so a frame exactly at the limit still parses
 #: (the protocol limit is on the payload; the newline needs a byte too).
 _READER_SLACK = 1024
+
+#: Upper bound of the default pool width: serving is I/O-light and the
+#: engine already parallelizes inside a shard, so past a handful of
+#: slots more concurrency only buys scheduler churn.
+_DEFAULT_WORKER_CAP = 8
+
+
+def default_workers() -> int:
+    """The pool width used when :attr:`ServeConfig.workers` is unset."""
+    return max(1, min(os.cpu_count() or 1, _DEFAULT_WORKER_CAP))
 
 
 @dataclass(frozen=True)
@@ -68,10 +94,15 @@ class ServeConfig:
     Attributes:
         host: Bind address (default loopback).
         port: Bind port; ``0`` picks a free one (tests).
-        store: Path of the shared result store (opened inside the
-            job-executor thread; must be a path, never an open store).
+        store: Path of the shared result store (opened per job run;
+            must be a path, never an open store).
         jobs: Engine pool width for fresh scenarios (``None`` inline).
         chunk: Engine chunk size (``None`` auto).
+        workers: Concurrent job slots (``None`` =
+            :func:`default_workers`, i.e. ``os.cpu_count()`` capped).
+            Independent jobs each take one slot; a large job fans out
+            over the idle ones via shard sub-runs.  ``1`` reproduces
+            the strictly serialized pre-pool behavior.
         max_queued: Queued-job bound; submissions beyond it get
             ``busy`` error frames instead of unbounded queueing.
         line_limit: Per-frame byte budget for client lines.
@@ -88,6 +119,7 @@ class ServeConfig:
     store: str = ""
     jobs: int | None = None
     chunk: int | None = None
+    workers: int | None = None
     max_queued: int = 16
     line_limit: int = DEFAULT_LINE_LIMIT
     allow_fail_after: bool = False
@@ -109,6 +141,66 @@ class _JobSink(ResultSink):
         self._job.append_line(record_line(record))
 
 
+def _evaluate_shard(spec: dict[str, Any]) -> dict[str, Any]:
+    """Evaluate one shard sub-run (entry point of a worker process).
+
+    Re-plans the job's grid from its wire-shaped params, then
+    evaluates only the ``i/N`` slice through
+    :func:`repro.api.execution.execute_scenarios` into the shard's own
+    scratch store.  Never raises: every outcome — success, client
+    cancellation (the coordinator's cancel file), fault injection, a
+    failing scenario — crosses the process boundary as a plain dict,
+    so the coordinator can always tell *which* shard stopped and why.
+    """
+    try:
+        workload = get_workload(spec["workload"])
+        params = workload.resolve_params(spec["params"])
+        plan = plan_scenarios(spec["workload"], params)
+        cancel_path = Path(spec["cancel_path"])
+        run = execute_scenarios(
+            plan.worker,
+            plan.scenarios,
+            options=ExecutionOptions(
+                store=spec["store"],
+                shard=spec["shard"],
+                backend=spec["backend"],
+                fail_after=spec["fail_after"],
+            ),
+            manifest=plan.manifest,
+            group_by=plan.group_by,
+            collect=False,
+            batch_worker=plan.batch_worker,
+            cancel=cancel_path.exists,
+        )
+        return {
+            "ok": True,
+            "total": run.total,
+            "cached": run.cached,
+            "computed": run.computed,
+        }
+    except JobCancelled as exc:
+        return {"ok": False, "kind": "cancelled", "message": str(exc)}
+    except KeyboardInterrupt as exc:
+        # execute_scenarios' fail_after seam raises a bare interrupt;
+        # keep the frame informative either way.
+        message = str(exc) or "fail_after fault injected"
+        return {"ok": False, "kind": "killed", "message": message}
+    except WorkerError as exc:
+        return {
+            "ok": False,
+            "kind": "worker-error",
+            "index": exc.index,
+            "scenario_repr": exc.scenario_repr,
+            "cause_repr": exc.cause_repr,
+        }
+    except Exception as exc:
+        return {
+            "ok": False,
+            "kind": "error",
+            "message": f"{type(exc).__name__}: {exc}",
+        }
+
+
 class AnalysisServer:
     """The running server: loop-side state and the executor bridge.
 
@@ -120,15 +212,28 @@ class AnalysisServer:
     def __init__(self, config: ServeConfig) -> None:
         if not config.store:
             raise ValueError("ServeConfig.store must be a store path")
+        if config.workers is not None and config.workers < 1:
+            raise ValueError(
+                f"ServeConfig.workers must be >= 1, got {config.workers}"
+            )
         self._config = config
         self._registry = JobRegistry()
         self._fingerprint = package_fingerprint("repro")
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
-        self._worker_task: asyncio.Task[None] | None = None
-        self._queue: asyncio.Queue[Job] | None = None
         self._executor: Any = None
-        self._store: ResultStore | None = None
+        self._workers = config.workers or default_workers()
+        self._stopping = False
+        # Pool accounting: a plain lock, usable from the loop *and* the
+        # executor threads (a fanned-out job reserves extra slots from
+        # its own thread, never through the loop).
+        self._pending: deque[Job] = deque()
+        self._slot_lock = threading.Lock()
+        self._slots_busy = 0
+        # Scenario claims: running jobs that overlap serialize on the
+        # scenario level so no two slots compute the same key.
+        self._claims: dict[str, str] = {}
+        self._claims_cond = threading.Condition()
         self.host = config.host
         self.port = config.port
         # loop-side counters beyond what the registry keeps
@@ -145,13 +250,12 @@ class AnalysisServer:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind, start the job worker, and (optionally) report ready."""
+        """Bind, start the job pool, and (optionally) report ready."""
         from concurrent.futures import ThreadPoolExecutor
 
         self._loop = asyncio.get_running_loop()
-        self._queue = asyncio.Queue()
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-job"
+            max_workers=self._workers, thread_name_prefix="repro-serve-job"
         )
         self._server = await asyncio.start_server(
             self._handle_client,
@@ -161,7 +265,6 @@ class AnalysisServer:
         )
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
-        self._worker_task = asyncio.create_task(self._job_worker())
         if self._config.ready_file:
             ready = Path(self._config.ready_file)
             banner = f"{self.host} {self.port}\n"
@@ -173,36 +276,34 @@ class AnalysisServer:
             await asyncio.to_thread(publish)
 
     async def stop(self) -> None:
-        """Stop accepting, cancel live jobs, close the store."""
+        """Stop accepting, cancel live jobs, drain the pool."""
+        self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        if self._worker_task is not None:
-            self._worker_task.cancel()
-            try:
-                await self._worker_task
-            except asyncio.CancelledError:
-                pass
-        # A running job stops at its next record checkpoint; the work
-        # already computed is committed, so a restart resumes it.
+        self._pending.clear()
+        # A running job stops at its next record checkpoint (shard
+        # sub-runs poll the job's cancel file); the work already
+        # computed is committed, so a restart resumes it.
         for job in self._registry.jobs.values():
             if not job.terminal:
                 job.cancel_event.set()
         if self._executor is not None:
-            if self._store is not None:
-                await self._loop.run_in_executor(
-                    self._executor, self._store.close
-                )
-                self._store = None
-            self._executor.shutdown(wait=True)
-            self._executor = None
+            executor, self._executor = self._executor, None
+            # Off-loop shutdown: job-completion callbacks and claim
+            # wakeups need the loop responsive while the pool drains.
+            await asyncio.to_thread(executor.shutdown)
 
     def stats(self) -> dict[str, Any]:
         """Counters snapshot (also the ``status`` frame payload)."""
+        with self._slot_lock:
+            busy = self._slots_busy
         return {
             "protocol": PROTOCOL_VERSION,
             "connections": self._connections,
             "live_connections": self._live_connections,
+            "workers": self._workers,
+            "busy_slots": busy,
             "submitted": self._registry.submitted,
             "singleflight_hits": self._registry.singleflight_hits,
             "replays": self._registry.replays,
@@ -216,56 +317,193 @@ class AnalysisServer:
         }
 
     # ------------------------------------------------------------------
-    # job execution (executor thread)
+    # job dispatch (event loop)
     # ------------------------------------------------------------------
 
-    def _job_store(self) -> ResultStore:
-        # Lazily opened on first use *inside* the executor thread:
-        # sqlite connections refuse cross-thread use, and every job
-        # runs on this one thread, so one connection serves them all.
-        if self._store is None:
-            self._store = ResultStore(
-                self._config.store, fingerprint=self._fingerprint
+    def _dispatch(self) -> None:
+        """Start queued jobs while pool slots are free (loop side)."""
+        if self._stopping or self._executor is None or self._loop is None:
+            return
+        while self._pending:
+            with self._slot_lock:
+                if self._slots_busy >= self._workers:
+                    return
+                self._slots_busy += 1
+            job = self._pending.popleft()
+            if job.state != "queued":
+                # Cancelled while waiting: the slot frees right back up.
+                with self._slot_lock:
+                    self._slots_busy -= 1
+                continue
+            job.state = "running"
+            job.pulse()
+            future = self._loop.run_in_executor(
+                self._executor, self._run_job, job
             )
-        return self._store
+            future.add_done_callback(self._job_finished)
+
+    def _job_finished(self, future: asyncio.Future) -> None:
+        with self._slot_lock:
+            self._slots_busy -= 1
+        if not future.cancelled():
+            future.exception()  # _run_job never raises; never warn
+        self._dispatch()
+
+    def _discard_pending(self, job: Job) -> None:
+        """Drop a no-longer-queued job from the dispatch queue *now*.
+
+        The dispatcher would skip it anyway, but a stale entry sitting
+        in front of live jobs costs them a dispatch round — with a
+        pool, a lazily released queue position is capacity another
+        client's submission was refused over.
+        """
+        try:
+            self._pending.remove(job)
+        except ValueError:
+            pass
+
+    def _wake_dispatcher(self) -> None:
+        """Re-run :meth:`_dispatch` on the loop (thread-safe)."""
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._dispatch)
+        except RuntimeError:
+            pass  # loop already closed (shutdown)
+
+    # ------------------------------------------------------------------
+    # slot + claim accounting (any thread)
+    # ------------------------------------------------------------------
+
+    def _reserve_extra_slots(self, n_scenarios: int, cap: int | None) -> int:
+        """Grab idle pool slots for intra-job fan-out; returns extras.
+
+        Only *idle* capacity is taken: every already-dispatched job was
+        charged its slot before this job started computing, so
+        concurrent clients are never starved — at worst a large job
+        runs narrower than the pool.
+        """
+        with self._slot_lock:
+            slots = 1 + self._workers - self._slots_busy
+            if cap is not None:
+                slots = min(slots, cap)
+            extra = plan_fanout(n_scenarios, slots) - 1
+            self._slots_busy += extra
+        return extra
+
+    def _release_slots(self, count: int) -> None:
+        with self._slot_lock:
+            self._slots_busy -= count
+        self._wake_dispatcher()
+
+    def _acquire_claims(self, job: Job, keys: list[str]) -> bool:
+        """Claim every scenario key for ``job``; ``False`` on cancel.
+
+        All-or-nothing: a job holds either its whole key set or
+        nothing, and holders never wait — so two overlapping jobs
+        serialize (scenario-level single-flight across pool slots)
+        without any possibility of deadlock.
+        """
+        wanted = sorted(set(keys))
+        with self._claims_cond:
+            while not self._stopping:
+                if job.cancel_event.is_set():
+                    return False
+                blocked = [
+                    key
+                    for key in wanted
+                    if self._claims.get(key, job.id) != job.id
+                ]
+                if not blocked:
+                    for key in wanted:
+                        self._claims[key] = job.id
+                    return True
+                # Timed wait doubles as the cancel poll.
+                self._claims_cond.wait(timeout=0.05)
+        return False
+
+    def _release_claims(self, job: Job, keys: list[str]) -> None:
+        wanted = sorted(set(keys))
+        with self._claims_cond:
+            for key in wanted:
+                if self._claims.get(key) == job.id:
+                    del self._claims[key]
+            self._claims_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # job execution (executor threads)
+    # ------------------------------------------------------------------
 
     def _run_job(self, job: Job) -> None:
-        """Evaluate one job on the executor thread."""
+        """Evaluate one job on its pool slot (executor thread)."""
+        keys: list[str] = []
+        claimed = False
+        extra = 0
         try:
             workload = get_workload(job.request.workload)
             params = workload.resolve_params(job.request.params_dict())
             plan = plan_scenarios(job.request.workload, params)
-            store = self._job_store()
-            store.set_job_manifest(job.id, plan.manifest)
-            fail_after = job.request.options.fail_after
-            on_result: Callable[[int], None] | None = None
-            if fail_after is not None:
+            keys = [
+                scenario_key(s, self._fingerprint) for s in plan.scenarios
+            ]
+            claimed = self._acquire_claims(job, keys)
+            if not claimed:
+                raise JobCancelled(
+                    "job cancelled while waiting on overlapping scenarios"
+                )
+            # Per-run store handle: sqlite connections are thread-bound
+            # and pool slots are many, so each run opens (and closes)
+            # its own; WAL mode makes the concurrent access safe.
+            with ResultStore(
+                self._config.store, fingerprint=self._fingerprint
+            ) as store:
+                store.set_job_manifest(job.id, plan.manifest)
+                fail_after = job.request.options.fail_after
+                k = 1
+                if job.request.options.shard is None:
+                    # An explicit shard request is already a slice;
+                    # never split it further.
+                    extra = self._reserve_extra_slots(
+                        len(plan.scenarios), job.request.options.workers
+                    )
+                    k = 1 + extra
+                if k > 1:
+                    run = self._run_sharded(
+                        job, plan, store, keys, k, fail_after
+                    )
+                else:
+                    on_result: Callable[[int], None] | None = None
+                    if fail_after is not None:
 
-                def on_result(count: int, _limit: int = fail_after) -> None:
-                    if count >= _limit:
-                        raise KeyboardInterrupt(
-                            f"fail_after={_limit} fault injected"
-                        )
+                        def on_result(
+                            count: int, _limit: int = fail_after
+                        ) -> None:
+                            if count >= _limit:
+                                raise KeyboardInterrupt(
+                                    f"fail_after={_limit} fault injected"
+                                )
 
-            run = run_cached_batch(
-                plan.worker,
-                plan.scenarios,
-                store,
-                sink=_JobSink(job),
-                collect=False,
-                max_workers=self._config.jobs,
-                chunk_size=self._config.chunk,
-                group_by=plan.group_by,
-                on_result=on_result,
-                cancel=job.cancel_event.is_set,
-                backend=job.request.options.backend,
-                batch_worker=plan.batch_worker,
-            )
+                    run = run_cached_batch(
+                        plan.worker,
+                        plan.scenarios,
+                        store,
+                        sink=_JobSink(job),
+                        collect=False,
+                        max_workers=self._config.jobs,
+                        chunk_size=self._config.chunk,
+                        group_by=plan.group_by,
+                        on_result=on_result,
+                        cancel=job.cancel_event.is_set,
+                        backend=job.request.options.backend,
+                        batch_worker=plan.batch_worker,
+                    )
             # Count scenarios *before* the job turns terminal: the end
             # frame releases subscribers, and a client that saw it must
             # find these totals already reflected in ``status``.
-            self._scenarios_cached += run.cached
-            self._scenarios_computed += run.computed
+            with self._slot_lock:
+                self._scenarios_cached += run.cached
+                self._scenarios_computed += run.computed
             job.complete(run.total, run.cached, run.computed)
         except JobCancelled as exc:
             job.fail("job-cancelled", str(exc), state="cancelled")
@@ -282,18 +520,169 @@ class AnalysisServer:
             job.fail("bad-request", str(exc))
         except Exception as exc:  # pragma: no cover - defensive
             job.fail("job-failed", f"{type(exc).__name__}: {exc}")
+        finally:
+            if extra:
+                self._release_slots(extra)
+            if claimed:
+                self._release_claims(job, keys)
 
-    async def _job_worker(self) -> None:
-        assert self._queue is not None and self._loop is not None
-        while True:
-            job = await self._queue.get()
-            if job.state != "queued":
-                continue  # cancelled while waiting
-            job.state = "running"
-            job.pulse()
-            await self._loop.run_in_executor(
-                self._executor, self._run_job, job
+    def _run_sharded(
+        self,
+        job: Job,
+        plan: Any,
+        store: ResultStore,
+        keys: list[str],
+        k: int,
+        fail_after: int | None,
+    ) -> CachedRun:
+        """Fan one job out over ``k`` shard sub-runs in processes.
+
+        Worker *processes*, not threads: family workers are pure
+        Python, so thread fan-out would serialize on the GIL.  The
+        stream stays byte-identical because nothing is emitted until
+        every shard finished and merged — record frames then flow from
+        the shared store in scenario order, exactly like a solo run.
+
+        Shard stores are scratch: pre-seeded with their slice's cached
+        rows (so shards skip what a solo run would skip), salvaged
+        back into the shared store after the attempt — *whatever*
+        happened, so a killed shard's checkpointed prefix survives —
+        and deleted, so a restart with a different ``k`` can never
+        trip over a stale shard scope.
+        """
+        import multiprocessing
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+        from concurrent.futures import wait as wait_futures
+
+        store_path = Path(self._config.store)
+        shards_dir = store_path.parent / f"{store_path.name}.shards"
+        shards_dir.mkdir(parents=True, exist_ok=True)
+        tag = f"{job.id[:12]}-a{job.attempt}"
+        cancel_path = shards_dir / f"{tag}.cancel"
+        cancel_path.unlink(missing_ok=True)
+        shard_paths: dict[int, Path] = {}
+        for index in range(1, k + 1):
+            shard_path = shards_dir / f"{tag}-{index}of{k}.sqlite"
+            for name in (
+                shard_path.name,
+                shard_path.name + "-wal",
+                shard_path.name + "-shm",
+            ):
+                # A crashed *server* can leave scratch stores behind;
+                # their recorded shard scope may not match this run's.
+                (shards_dir / name).unlink(missing_ok=True)
+            with ResultStore(
+                shard_path, fingerprint=self._fingerprint
+            ) as shard_store:
+                shard_store.adopt_rows(store, keys[index - 1 :: k])
+            shard_paths[index] = shard_path
+        # Fork where available: the children inherit the warm
+        # interpreter, keeping fan-out latency negligible.  Elsewhere
+        # the platform default (spawn) is merely slower, not wrong.
+        methods = multiprocessing.get_all_start_methods()
+        mp_context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        outcomes: dict[int, dict[str, Any]] = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=k, mp_context=mp_context
+            ) as pool:
+                futures = {}
+                for index in range(1, k + 1):
+                    spec = {
+                        "workload": job.request.workload,
+                        "params": dict(job.request.params_dict()),
+                        "store": str(shard_paths[index]),
+                        "shard": format_shard(index, k),
+                        "backend": job.request.options.backend,
+                        # Deterministic under fan-out: the fault seam
+                        # injects into exactly one shard.
+                        "fail_after": fail_after if index == 1 else None,
+                        "cancel_path": str(cancel_path),
+                    }
+                    futures[pool.submit(_evaluate_shard, spec)] = index
+                pending = set(futures)
+                while pending:
+                    done, pending = wait_futures(
+                        pending, timeout=0.05, return_when=FIRST_COMPLETED
+                    )
+                    for future in sorted(done, key=futures.__getitem__):
+                        index = futures[future]
+                        try:
+                            outcomes[index] = future.result()
+                        except Exception as exc:  # BrokenProcessPool …
+                            outcomes[index] = {
+                                "ok": False,
+                                "kind": "crashed",
+                                "message": (
+                                    f"shard worker process died: {exc}"
+                                ),
+                            }
+                    # One dying shard (or a client cancel) tears down
+                    # every sibling at its next checkpoint.
+                    abort = job.cancel_event.is_set() or any(
+                        not outcome["ok"]
+                        for outcome in outcomes.values()
+                    )
+                    if abort and not cancel_path.exists():
+                        cancel_path.touch()
+        finally:
+            for index in sorted(shard_paths):
+                shard_path = shard_paths[index]
+                if shard_path.exists():
+                    try:
+                        with ResultStore(
+                            shard_path, fingerprint=self._fingerprint
+                        ) as shard_store:
+                            store.merge_from(shard_store)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass  # unreadable scratch store: nothing to save
+                for name in (
+                    shard_path.name,
+                    shard_path.name + "-wal",
+                    shard_path.name + "-shm",
+                ):
+                    (shards_dir / name).unlink(missing_ok=True)
+            cancel_path.unlink(missing_ok=True)
+        failures = [
+            (index, outcomes[index])
+            for index in sorted(outcomes)
+            if not outcomes[index]["ok"]
+        ]
+        for index, outcome in failures:
+            if outcome["kind"] == "killed":
+                raise KeyboardInterrupt(
+                    f"shard {index}/{k}: {outcome['message']}"
+                )
+        for index, outcome in failures:
+            if outcome["kind"] == "worker-error":
+                # Shard i of k holds scenarios i-1, i-1+k, i-1+2k, …:
+                # re-pin the shard-local index into the job's grid.
+                raise WorkerError(
+                    (index - 1) + outcome["index"] * k,
+                    outcome["scenario_repr"],
+                    outcome["cause_repr"],
+                )
+        for index, outcome in failures:
+            if outcome["kind"] in ("crashed", "error"):
+                raise RuntimeError(
+                    f"shard {index}/{k}: {outcome['message']}"
+                )
+        if failures:  # all remaining failures are cancellations
+            raise JobCancelled(
+                "job cancelled; every shard stopped at its last "
+                "checkpoint"
             )
+        emit_from_store(
+            store, plan.scenarios, sink=_JobSink(job), collect=False
+        )
+        return CachedRun(
+            results=None,
+            total=len(plan.scenarios),
+            cached=sum(outcomes[i]["cached"] for i in sorted(outcomes)),
+            computed=sum(outcomes[i]["computed"] for i in sorted(outcomes)),
+        )
 
     # ------------------------------------------------------------------
     # connection handling (event loop)
@@ -412,6 +801,11 @@ class AnalysisServer:
           :func:`~repro.serve.jobs.job_id_for` deriving the id from
           workload + params + fingerprint alone, structurally cannot)
           enter the job id;
+        * ``workers`` — an optional *cap* on the job's intra-job shard
+          fan-out (the server never exceeds its own free slots); like
+          ``backend`` it is excluded from the job id by construction,
+          so the same grid submitted with different ``workers`` is
+          still one job;
         * the ``fail_after`` fault seam, and that only when the config
           opts in.
         """
@@ -424,6 +818,7 @@ class AnalysisServer:
             options=ExecutionOptions(
                 fail_after=fail_after,
                 backend=request.options.backend,
+                workers=request.options.workers,
             ),
         )
 
@@ -433,7 +828,7 @@ class AnalysisServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
-        assert self._loop is not None and self._queue is not None
+        assert self._loop is not None
         try:
             request = request_from_wire(frame.get("request"))
             if request.workload not in PLANNABLE_WORKLOADS:
@@ -467,7 +862,8 @@ class AnalysisServer:
             )
         job, dedup = self._registry.submit(job_id, request, self._loop)
         if dedup in ("new", "restart"):
-            self._queue.put_nowait(job)
+            self._pending.append(job)
+            self._dispatch()
         await self._send(
             writer,
             {
@@ -526,6 +922,7 @@ class AnalysisServer:
             job.fail(
                 "job-cancelled", "cancelled while queued", state="cancelled"
             )
+            self._discard_pending(job)
         await self._send(writer, {"frame": "cancelled", "job": job.id})
 
     # -- streaming -----------------------------------------------------
@@ -626,14 +1023,16 @@ class AnalysisServer:
             job.subscribers -= 1
             if job.state == "queued" and job.subscribers == 0:
                 # Nobody is waiting for it and it never started: drop
-                # it (a running job keeps going — its results land in
-                # the shared store, and the client may resume later).
+                # it *and its queue position* right away (a running job
+                # keeps going — its results land in the shared store,
+                # and the client may resume later).
                 job.cancel_event.set()
                 job.fail(
                     "job-cancelled",
                     "all subscribers disconnected before the job started",
                     state="cancelled",
                 )
+                self._discard_pending(job)
 
     @staticmethod
     async def _send(

@@ -1,0 +1,75 @@
+"""Unit surface of `ExecutionOptions`' pool knobs: `workers` and
+`plan_fanout` — the two pieces the serve worker pool builds on."""
+
+import pytest
+
+from repro.api.options import ExecutionOptions, plan_fanout
+
+
+class TestWorkersOption:
+    def test_defaults_to_none(self):
+        assert ExecutionOptions().workers is None
+
+    def test_accepts_positive_counts(self):
+        assert ExecutionOptions(workers=1).workers == 1
+        assert ExecutionOptions(workers=8).workers == 8
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive_counts(self, bad):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ExecutionOptions(workers=bad)
+
+    def test_round_trips_over_the_wire(self):
+        from repro.api import RunRequest
+        from repro.api.wire import request_from_wire, request_to_wire
+
+        request = RunRequest.make(
+            "sweep", ExecutionOptions(workers=3), points=4
+        )
+        rebuilt = request_from_wire(request_to_wire(request))
+        assert rebuilt.options.workers == 3
+
+
+class TestPlanFanout:
+    """`k = plan_fanout(scenarios, slots)`: how many shard sub-runs a
+    job splits into.  Never more shards than slots, never fewer than
+    two scenarios per shard, and degenerate inputs collapse to 1."""
+
+    def test_even_split_uses_every_slot(self):
+        assert plan_fanout(8, 4) == 4
+        assert plan_fanout(100, 4) == 4
+
+    def test_small_grids_do_not_split(self):
+        # Below 2*min_per_shard a split cannot give every shard its
+        # minimum, so the job runs inline.
+        assert plan_fanout(1, 4) == 1
+        assert plan_fanout(2, 4) == 1
+        assert plan_fanout(3, 4) == 1
+
+    def test_shards_capped_by_scenarios_per_shard(self):
+        # 5 scenarios over 4 slots: only 2 shards reach 2 scenarios.
+        assert plan_fanout(5, 4) == 2
+        assert plan_fanout(6, 4) == 3
+        assert plan_fanout(7, 4) == 3
+
+    def test_single_slot_never_splits(self):
+        assert plan_fanout(100, 1) == 1
+        assert plan_fanout(100, 0) == 1
+
+    def test_min_per_shard_is_respected(self):
+        assert plan_fanout(8, 4, min_per_shard=4) == 2
+        assert plan_fanout(8, 4, min_per_shard=8) == 1
+
+    def test_invalid_min_per_shard_is_rejected(self):
+        with pytest.raises(ValueError, match="min_per_shard"):
+            plan_fanout(8, 4, min_per_shard=0)
+
+    @pytest.mark.parametrize("n", range(1, 40))
+    @pytest.mark.parametrize("slots", range(1, 6))
+    def test_invariants_hold_everywhere(self, n, slots):
+        k = plan_fanout(n, slots)
+        assert 1 <= k <= max(slots, 1)
+        if k > 1:
+            # Every shard scope i/k holds ceil-or-floor of n/k
+            # scenarios, each at least min_per_shard.
+            assert n // k >= 2

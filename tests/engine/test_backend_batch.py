@@ -85,6 +85,21 @@ class TestBatchWorkerParity:
             )
         assert str(batch_exc.value) == str(scalar_exc.value)
 
+    @pytest.mark.parametrize("backend", ["numpy", "numba"])
+    def test_every_batch_backend_matches_the_reference(self, backend):
+        # The parity surface of the optional-backend CI legs: any
+        # registered batch kernel (numba rides along when installed)
+        # must agree with the scalar walk bit for bit.
+        pytest.importorskip("numpy")
+        from repro.piecewise.backends import available_backends
+
+        if backend not in available_backends():
+            pytest.skip(f"backend {backend!r} not available here")
+        scenarios = _scenarios()
+        assert evaluate_bound_batch(
+            scenarios, backend=backend
+        ) == _reference(scenarios)
+
     def test_order_is_the_input_order_across_groups(self):
         pytest.importorskip("numpy")
         # q-major input interleaves the two context groups; the batch
@@ -193,6 +208,100 @@ class TestCachedBackendSeam:
         assert run.cached == len(scenarios) // 2
         assert run.computed == len(scenarios) - len(scenarios) // 2
         assert run.results == expected
+
+
+class TestStudyBatchWorkerParity:
+    """The study family's batch entry point mirrors the bound one."""
+
+    @staticmethod
+    def _study_scenarios():
+        import itertools
+
+        from repro.engine.sweeps import StudyScenario
+        from repro.sched.crpd_rta import METHODS
+
+        # Mixed grid: three generated sets (two of which admit NPR
+        # assignments, the u=0.98 one does not) under two fractions —
+        # so lanes, groups, and the not-admitted early-out all engage.
+        return [
+            StudyScenario(
+                utilization=u,
+                seed=seed,
+                n_tasks=4,
+                q_fraction=q_fraction,
+                delay_height=0.3,
+                methods=METHODS,
+            )
+            for u, seed, q_fraction in itertools.product(
+                (0.6, 0.85, 0.98), (1, 2), (0.4, 1.0)
+            )
+        ]
+
+    def test_batch_equals_per_scenario_reference(self):
+        pytest.importorskip("numpy")
+        from repro.engine import evaluate_study_batch
+        from repro.engine.sweeps import evaluate_study_scenario
+
+        scenarios = self._study_scenarios()
+        reference = [evaluate_study_scenario(s) for s in scenarios]
+        # The grid must actually exercise both branches…
+        assert any(not r.admitted for r in reference)
+        assert any(r.admitted for r in reference)
+        # …and somewhere algorithm1's verdict must differ from eq4's
+        # (Theorem 1 dominance), or the lanes prove nothing.
+        assert any(
+            r.accepted[-1] != r.accepted[-2]
+            for r in reference
+            if r.admitted
+        )
+        assert evaluate_study_batch(scenarios) == reference
+
+    def test_engine_route_is_bit_identical(self):
+        pytest.importorskip("numpy")
+        from repro.engine import evaluate_study_batch
+        from repro.engine.sweeps import (
+            evaluate_study_scenario,
+            study_context_key,
+        )
+
+        scenarios = self._study_scenarios()
+        expected = run_batch(evaluate_study_scenario, scenarios)
+        got = run_batch(
+            evaluate_study_scenario,
+            scenarios,
+            group_by=study_context_key,
+            backend="numpy",
+            batch_worker=evaluate_study_batch,
+        )
+        assert got == expected
+
+    @pytest.mark.parametrize("backend", ["numpy", "numba"])
+    def test_every_batch_backend_matches_the_reference(self, backend):
+        pytest.importorskip("numpy")
+        from repro.engine import evaluate_study_batch
+        from repro.engine.sweeps import evaluate_study_scenario
+        from repro.piecewise.backends import available_backends
+
+        if backend not in available_backends():
+            pytest.skip(f"backend {backend!r} not available here")
+        scenarios = self._study_scenarios()
+        assert evaluate_study_batch(scenarios, backend=backend) == [
+            evaluate_study_scenario(s) for s in scenarios
+        ]
+
+    def test_backend_without_batch_kernel_is_refused(self):
+        from repro.engine import evaluate_study_batch
+
+        with pytest.raises(ValueError, match="does not support batch"):
+            evaluate_study_batch(
+                self._study_scenarios()[:1], backend="vectorized"
+            )
+
+    def test_registered_on_the_study_family(self):
+        from repro.engine import evaluate_study_batch
+        from repro.engine.registry import get_family
+
+        assert get_family("study").batch_worker is evaluate_study_batch
 
 
 def _explodes_if_called(scenarios, *, backend):  # pragma: no cover

@@ -96,11 +96,85 @@ class TestMidJobKill:
             assert client.run(wounded) == solo_lines(CHEAP)
 
 
+class TestShardFanOut:
+    """Faults inside an intra-job shard fan-out (pool of 4 slots).
+
+    ``SLOW`` has 8 scenarios, so an idle 4-slot pool splits it into
+    four 2-scenario shard sub-runs.
+    """
+
+    def test_killed_shard_fails_the_job_and_restart_resumes(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory(workers=4, allow_fail_after=True)
+        wounded = RunRequest(
+            workload=SLOW.workload,
+            params=SLOW.params,
+            options=ExecutionOptions(fail_after=1),
+        )
+        with ServeClient(handle.host, handle.port) as client:
+            with pytest.raises(ServeError) as info:
+                client.run(wounded)
+            # The dying shard is pinned in the frame, and the message
+            # still carries the resume contract.
+            assert info.value.code == "job-failed"
+            assert "shard 1/" in str(info.value)
+            assert "checkpointed" in str(info.value)
+            # Sibling shards were torn down and every slot handed back
+            # (the error frame can race the executor's cleanup by a
+            # few milliseconds, hence the wait).
+            _wait_for(lambda: _status(handle)["busy_slots"] == 0)
+            assert client.status()["jobs"]["failed"] == 1
+
+        # The killed shard checkpointed its prefix and the salvage pass
+        # merged every sibling's committed rows, so the restart serves
+        # at least one scenario from cache and is byte-exact.
+        with ServeClient(handle.host, handle.port) as client:
+            stream = client.submit(SLOW)
+            assert stream.dedup == "restart"
+            assert stream.lines() == solo_lines(SLOW, tag="solo-slow")
+            assert stream.end is not None
+            assert stream.end["cached"] >= 1
+            assert (
+                stream.end["cached"] + stream.end["computed"]
+                == stream.end["total"]
+                == 8
+            )
+
+    def test_cancel_tears_down_every_in_flight_shard(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory(workers=4)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+
+            def run_slow():
+                with ServeClient(handle.host, handle.port) as client:
+                    return client.run(SLOW)
+
+            victim = pool.submit(run_slow)
+            _wait_for(lambda: _status(handle)["jobs"]["running"] == 1)
+            with ServeClient(handle.host, handle.port) as client:
+                client.cancel(_expected_job_id(SLOW))
+            with pytest.raises(ServeError) as info:
+                victim.result()
+            assert info.value.code == "job-cancelled"
+
+        # All shard slots were reclaimed and the checkpointed work
+        # survives into a byte-exact restart.
+        _wait_for(lambda: _status(handle)["busy_slots"] == 0)
+        with ServeClient(handle.host, handle.port) as client:
+            stream = client.submit(SLOW)
+            assert stream.dedup == "restart"
+            assert stream.lines() == solo_lines(SLOW, tag="solo-slow")
+
+
 class TestDisconnects:
     def test_queued_job_is_cancelled_when_its_only_client_vanishes(
         self, serve_factory, solo_lines
     ) -> None:
-        handle = serve_factory()
+        # workers=1: the second job must actually *queue* behind the
+        # slow one, whatever the host's core count.
+        handle = serve_factory(workers=1)
         with ThreadPoolExecutor(max_workers=1) as pool:
             slow = pool.submit(
                 lambda: ServeClient(handle.host, handle.port).run(SLOW)
@@ -120,6 +194,49 @@ class TestDisconnects:
             stream = client.submit(CHEAP)
             assert stream.dedup == "restart"
             assert stream.lines() == solo_lines(CHEAP)
+
+    def test_vanished_queued_job_releases_its_queue_slot_immediately(
+        self, serve_factory, solo_lines
+    ) -> None:
+        # Regression: an EOF-cancelled queued job must give its queue
+        # capacity back right away — with max_queued=1 the deserter's
+        # job is the *only* slot, so the follow-up submission below
+        # would be rejected with ``busy`` if teardown leaked it.
+        handle = serve_factory(workers=1, max_queued=1)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            slow = pool.submit(
+                lambda: ServeClient(handle.host, handle.port).run(SLOW)
+            )
+            _wait_for(lambda: _status(handle)["jobs"]["running"] == 1)
+
+            deserter = ServeClient(handle.host, handle.port)
+            stream = deserter.submit(CHEAP)
+            assert stream.state == "queued"
+            # The queue is now full: an independent grid bounces.
+            other = RunRequest.family(
+                "bound",
+                axes={"q": {"grid": [70.0, 130.0]}},
+                defaults={"function": "gaussian1", "knots": 48},
+            )
+            with ServeClient(handle.host, handle.port) as client:
+                with pytest.raises(ServeError) as info:
+                    client.run(other)
+                assert info.value.code == "busy"
+
+            deserter.close()  # vanish while still queued
+            _wait_for(lambda: _status(handle)["jobs"]["cancelled"] == 1)
+
+            # The slot is free again *while the slow job still runs*:
+            # the same submission that just bounced is now accepted.
+            with ServeClient(handle.host, handle.port) as client:
+                queued = client.submit(other)
+                assert queued.state in ("queued", "running")
+                assert queued.lines() == solo_lines(other, tag="solo-other")
+            assert len(slow.result()) == 8
+
+        status = _status(handle)
+        assert status["rejected"] == 1
+        assert status["jobs"]["done"] == 2
 
     def test_disconnect_mid_stream_then_resume_yields_remaining_records(
         self, serve_factory, solo_lines
@@ -146,7 +263,9 @@ class TestCancellation:
     def test_cancelling_a_running_job_stops_it_between_records(
         self, serve_factory, solo_lines
     ) -> None:
-        handle = serve_factory()
+        # workers=1 keeps the slow job unsplit, so the cancel reliably
+        # lands while records are still being produced.
+        handle = serve_factory(workers=1)
         with ThreadPoolExecutor(max_workers=1) as pool:
 
             def run_slow():

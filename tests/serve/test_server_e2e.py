@@ -74,6 +74,36 @@ class TestConcurrentClients:
         assert status["jobs"]["done"] == 2
         assert status["jobs"]["failed"] == 0
 
+    def test_overlapping_grids_compute_once_across_the_pool(
+        self, serve_factory, solo_lines
+    ) -> None:
+        # Same contract as above, but with four genuine pool slots:
+        # scenario claims (not accidental serialization through one
+        # worker) are what keep the computed/cached counts exact.
+        handle = serve_factory(workers=4)
+        requests = [GRID_A, GRID_A, GRID_B, GRID_B]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            streams = list(
+                pool.map(lambda r: _serve_lines(handle, r), requests)
+            )
+
+        expected_a = solo_lines(GRID_A, tag="solo-a")
+        expected_b = solo_lines(GRID_B, tag="solo-b")
+        assert streams[0] == expected_a
+        assert streams[1] == expected_a
+        assert streams[2] == expected_b
+        assert streams[3] == expected_b
+
+        with ServeClient(handle.host, handle.port) as client:
+            status = client.status()
+        assert status["workers"] == 4
+        assert status["scenarios_computed"] == 3
+        assert status["scenarios_cached"] == 1
+        assert status["submitted"] == 4
+        assert status["singleflight_hits"] + status["replays"] == 2
+        assert status["jobs"]["done"] == 2
+        assert status["jobs"]["failed"] == 0
+
     def test_warm_server_serves_everything_from_cache(
         self, serve_factory
     ) -> None:
@@ -232,3 +262,105 @@ class TestBackendOption:
             handle, self._with_backend(GRID_A, "numpy")
         )
         assert lines == solo_lines(GRID_A, tag="solo-numpy")
+
+
+#: A 4-way-shardable grid: 8 scenarios → plan_fanout picks k=4 on an
+#: otherwise-idle 4-slot pool (2 scenarios per shard).
+GRID_WIDE = RunRequest.family(
+    "bound",
+    axes={
+        "q": {"linspace": {"start": 50.0, "stop": 400.0, "points": 8}}
+    },
+    defaults={"function": "gaussian1", "knots": 48},
+)
+
+
+class TestWorkerPool:
+    """Intra-job shard fan-out: same bytes, idle slots put to work."""
+
+    def test_fanned_out_job_streams_byte_identical_to_solo(
+        self, serve_factory, solo_lines
+    ) -> None:
+        import time
+
+        handle = serve_factory(workers=4)
+        with ServeClient(handle.host, handle.port) as client:
+            stream = client.submit(GRID_WIDE)
+            lines = stream.lines()
+            assert stream.end is not None
+            assert stream.end["total"] == 8
+            assert stream.end["computed"] == 8
+            assert stream.end["cached"] == 0
+            assert client.status()["workers"] == 4
+        assert lines == solo_lines(GRID_WIDE, tag="solo-wide")
+        # Every slot is handed back once the fan-out finishes; the end
+        # frame can beat the executor's cleanup by a few milliseconds,
+        # so the gauge is polled, not read once.
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            with ServeClient(handle.host, handle.port) as client:
+                if client.status()["busy_slots"] == 0:
+                    break
+            time.sleep(0.02)
+        else:
+            raise AssertionError("pool slots were not released")
+
+    def test_fanned_out_job_resumes_from_an_offset(
+        self, serve_factory, solo_lines
+    ) -> None:
+        handle = serve_factory(workers=4)
+        with ServeClient(handle.host, handle.port) as client:
+            stream = client.submit(GRID_WIDE)
+            head = [next(stream), next(stream), next(stream)]
+            job_id = stream.job
+
+        with ServeClient(handle.host, handle.port) as client:
+            tail = client.resume(job_id, last_record=3).lines()
+        assert head + tail == solo_lines(GRID_WIDE, tag="solo-wide")
+
+    def test_workers_option_never_enters_the_job_id(
+        self, serve_factory
+    ) -> None:
+        from repro.api.options import ExecutionOptions
+
+        # Like ``backend``: a pure execution knob.  The same grid with
+        # a different workers cap is the same job — the second
+        # submission replays the first instead of recomputing.
+        handle = serve_factory(workers=4)
+        with ServeClient(handle.host, handle.port) as client:
+            first = client.submit(
+                RunRequest(
+                    workload=GRID_WIDE.workload,
+                    params=GRID_WIDE.params,
+                    options=ExecutionOptions(workers=1),
+                )
+            )
+            first_lines = first.lines()
+            second = client.submit(
+                RunRequest(
+                    workload=GRID_WIDE.workload,
+                    params=GRID_WIDE.params,
+                    options=ExecutionOptions(workers=4),
+                )
+            )
+            assert second.job == first.job
+            assert second.dedup == "replay"
+            assert second.lines() == first_lines
+
+    def test_client_shard_requests_pass_through_unsplit(
+        self, serve_factory, solo_lines
+    ) -> None:
+        # Submitted shard options are server policy to drop (a serve
+        # job always addresses its full grid) — the full stream, not a
+        # slice, and never a double-sharded one.
+        from repro.api.options import ExecutionOptions
+
+        handle = serve_factory(workers=4)
+        sharded = RunRequest(
+            workload=GRID_WIDE.workload,
+            params=GRID_WIDE.params,
+            options=ExecutionOptions(shard="1/2"),
+        )
+        assert _serve_lines(handle, sharded) == solo_lines(
+            GRID_WIDE, tag="solo-wide"
+        )
