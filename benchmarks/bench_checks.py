@@ -1,0 +1,100 @@
+"""BENCH-CHECKS: the incremental cache makes warm check passes cheap.
+
+The full static-analysis pass over the repo is run twice through
+:func:`repro.checks.run_with_cache` against the same cache file:
+
+1. **cold** — empty cache: every file parsed, the call graph built,
+   every checker executed;
+2. **warm** — nothing changed: per-file findings replayed from the
+   content-fingerprinted cache, ASTs never parsed.
+
+Asserted claims (regressions fail the run instead of silently
+rotting): the warm pass is at least ``MIN_SPEEDUP``× faster than the
+cold pass, and its report JSON is byte-identical to the cold pass's —
+the cache is a pure accelerator, never a behaviour change.
+
+Artifacts: ``results/bench_checks.txt`` timing table and a section in
+``results/BENCH_checks.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_checks.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import save_text, scaled, update_bench_json
+
+from repro.checks import load_tree, repo_root, run_with_cache
+
+#: Timed repetitions per phase (best-of, to shed scheduler noise).
+REPS = scaled(3, 1)
+#: A warm pass only hashes file bytes and replays stored findings;
+#: anything under this factor means the cache path has regressed
+#: badly.  (Measured ~29x on the repo at PR 10.)
+MIN_SPEEDUP = 5.0
+
+
+def _run(cache_path):
+    tree = load_tree(repo_root())
+    start = time.perf_counter()
+    report = run_with_cache(tree, cache_path)
+    return time.perf_counter() - start, report
+
+
+def test_warm_check_pass_beats_cold_and_is_identical(
+    artifacts_dir, tmp_path
+):
+    cache = tmp_path / "checks-cache.json"
+
+    cold_s, cold_report = _run(cache)  # writes the cache
+    warm_s = min(_run(cache)[0] for _ in range(REPS))
+    _warm_s, warm_report = _run(cache)
+
+    cold_blob = json.dumps(cold_report.to_json(), sort_keys=True)
+    warm_blob = json.dumps(warm_report.to_json(), sort_keys=True)
+    assert warm_blob == cold_blob, (
+        "warm report diverged from cold — the cache changed behaviour"
+    )
+    assert cold_report.files_checked > 50
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm check pass only {speedup:.1f}x faster than cold "
+        f"(cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms); "
+        f"the incremental cache has regressed below {MIN_SPEEDUP}x"
+    )
+
+    lines = [
+        "BENCH-CHECKS incremental static-analysis cache",
+        "",
+        f"{'phase':<8} {'ms':>10}",
+        f"{'cold':<8} {cold_s * 1e3:>10.1f}",
+        f"{'warm':<8} {warm_s * 1e3:>10.1f}",
+        "",
+        f"speedup: {speedup:.1f}x (gate: >= {MIN_SPEEDUP}x)",
+        f"files: {cold_report.files_checked}  "
+        f"checks: {len(cold_report.codes_run)}  "
+        f"findings: {len(cold_report.findings)}",
+        "reports: byte-identical",
+    ]
+    table = "\n".join(lines)
+    print("\n" + table)
+    save_text(artifacts_dir, "bench_checks.txt", table)
+    update_bench_json(
+        artifacts_dir,
+        "checks",
+        {
+            "incremental_cache": {
+                "cold_ms": round(cold_s * 1e3, 2),
+                "warm_ms": round(warm_s * 1e3, 2),
+                "speedup": round(speedup, 2),
+                "files": cold_report.files_checked,
+                "checks": len(cold_report.codes_run),
+                "min_speedup_gate": MIN_SPEEDUP,
+            }
+        },
+    )

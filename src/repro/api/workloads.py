@@ -816,8 +816,10 @@ def _run_check(request: RunRequest, params: dict[str, Any]) -> RunResult:
     from repro.checks import (
         load_baseline,
         load_tree,
+        prune_baseline,
         repo_root,
         run_checks,
+        run_with_cache,
         write_baseline,
     )
 
@@ -826,24 +828,32 @@ def _run_check(request: RunRequest, params: dict[str, Any]) -> RunResult:
     baseline_path = root / params["baseline"]
     select = list(params["select"]) or None
     ignore = list(params["ignore"]) or None
+    cache_path = Path(params["cache"]) if params["cache"] else None
+
+    def run(baseline=()):
+        if cache_path is not None:
+            return run_with_cache(
+                tree, cache_path,
+                select=select, ignore=ignore, baseline=baseline,
+            )
+        return run_checks(
+            tree, select=select, ignore=ignore, baseline=baseline
+        )
+
     if params["write_baseline"]:
         # Re-baseline: grandfather whatever is live right now (the
         # suppressions still apply) and report against the new file.
-        report = run_checks(tree, select=select, ignore=ignore)
+        report = run()
         write_baseline(baseline_path, report.findings)
-        report = run_checks(
-            tree,
-            select=select,
-            ignore=ignore,
-            baseline=load_baseline(baseline_path),
-        )
+        report = run(baseline=load_baseline(baseline_path))
     else:
-        report = run_checks(
-            tree,
-            select=select,
-            ignore=ignore,
-            baseline=load_baseline(baseline_path),
-        )
+        report = run(baseline=load_baseline(baseline_path))
+    pruned = 0
+    if params["prune_baseline"] and report.stale:
+        # Self-cleaning: drop exactly the stale entries (keeping each
+        # survivor's reason field) and re-report against the result.
+        pruned = prune_baseline(baseline_path, report.stale)
+        report = run(baseline=load_baseline(baseline_path))
     return RunResult(
         request=request,
         ok=report.ok,
@@ -854,9 +864,11 @@ def _run_check(request: RunRequest, params: dict[str, Any]) -> RunResult:
             "format": params["format"],
             "baseline": str(baseline_path),
             "baseline_written": bool(params["write_baseline"]),
+            "baseline_pruned": pruned,
             "findings": len(report.findings),
             "suppressed": report.suppressed,
             "baselined": report.baselined,
+            "stale": len(report.stale),
         },
     )
 
@@ -867,9 +879,21 @@ def _render_check(result: RunResult) -> str:
     report = result.payload
     if result.extra["format"] == "json":
         return json.dumps(report.to_json(), indent=2, sort_keys=True)
+    if result.extra["format"] == "sarif":
+        from repro.checks import report_to_sarif
+
+        return json.dumps(
+            report_to_sarif(report), indent=2, sort_keys=True
+        )
     text = report.render_text()
     if result.extra["baseline_written"]:
         text += f"\nwrote baseline {result.extra['baseline']}"
+    if result.extra["baseline_pruned"]:
+        text += (
+            f"\npruned {result.extra['baseline_pruned']} stale "
+            f"entr{'y' if result.extra['baseline_pruned'] == 1 else 'ies'} "
+            f"from {result.extra['baseline']}"
+        )
     return text
 
 
@@ -1155,7 +1179,8 @@ def _register_builtins() -> None:
         Workload(
             name="check",
             summary="run the domain-invariant static-analysis pass "
-            "(determinism, worker purity, async hygiene, contracts)",
+            "(determinism, worker purity, async hygiene, concurrency, "
+            "fork safety, contracts)",
             parameters=(
                 Parameter(
                     "select", None, (),
@@ -1171,7 +1196,7 @@ def _register_builtins() -> None:
                 ),
                 Parameter(
                     "format", str, "text", "report format",
-                    choices=("text", "json"),
+                    choices=("text", "json", "sarif"),
                 ),
                 Parameter(
                     "baseline", str, "checks-baseline.json",
@@ -1187,6 +1212,18 @@ def _register_builtins() -> None:
                     "write_baseline", bool, False,
                     "rewrite the baseline file to grandfather every "
                     "currently-live finding, then report against it",
+                ),
+                Parameter(
+                    "prune_baseline", bool, False,
+                    "drop stale baseline entries (findings that no "
+                    "longer fire) from the baseline file, then "
+                    "re-report against the pruned file",
+                ),
+                Parameter(
+                    "cache", str, "",
+                    "incremental-cache file: unchanged files replay "
+                    "their previous findings (empty = run cold); cold "
+                    "and cached runs report identically",
                 ),
             ),
             runner=_run_check,

@@ -5,15 +5,22 @@ machines agree on, byte-identical resumed/sharded streams,
 bit-identical kernel backends, process-pool workers that pickle, an
 event loop that never stalls — are easy to break with one innocent
 line.  This package turns those invariants into registered, named
-checkers over a parsed source tree and the live registries:
+checkers over a parsed source tree, the live registries, and an
+interprocedural call graph (:mod:`repro.checks.callgraph`):
 
-* ``determinism`` (``DET001``–``DET005``) — unseeded randomness,
+* ``determinism`` (``DET001``–``DET006``) — unseeded randomness,
   wall-clock/entropy reads, ``hash()`` of strings, unordered set
-  iteration, exact float-literal equality;
+  iteration, exact float-literal equality, and entropy reachable from
+  registered family workers through any call chain;
 * ``worker-purity`` (``WP001``–``WP003``) — frozen scenario
   dataclasses, picklable top-level family callables, no
   ``global``/``nonlocal`` in workers;
-* ``async-hygiene`` (``ASY001``) — blocking calls inside ``async def``;
+* ``async-hygiene`` (``ASY001``–``ASY002``) — blocking calls inside
+  (or transitively reachable from) ``async def``;
+* ``concurrency`` (``LK001``–``LK003``) — inconsistent lock order,
+  blocking while holding a lock, ``await`` under a sync lock;
+* ``fork-safety`` (``FS001``–``FS002``) — loop/thread state or global
+  mutation reachable from subprocess entry points;
 * ``contracts`` (``RC001``–``RC005``) — registry/wire declarations
   that must not drift from the code they describe.
 
@@ -21,7 +28,12 @@ Run it as ``python -m repro check`` (see :mod:`repro.api.workloads`),
 or programmatically via :func:`run_repo_checks`.  False positives are
 silenced per line with ``# repro-check: ignore[CODE]``; pre-existing
 findings are grandfathered in the committed ``checks-baseline.json``,
-which CI asserts only ever shrinks.
+where every entry carries a reason and a stale entry (one whose
+finding no longer fires) fails the pass until pruned
+(``--prune-baseline``).  With a cache path
+(``--cache``/:func:`run_repo_checks`'s ``cache_path``) unchanged
+files replay their previous findings instead of being re-analysed —
+see :mod:`repro.checks.cache`.
 """
 
 from __future__ import annotations
@@ -31,7 +43,21 @@ from pathlib import Path
 
 # Importing the checker modules is what registers their rules; the
 # order here fixes the registration (and docs-table) order.
-from repro.checks import contracts, determinism, hygiene, purity  # noqa: F401
+from repro.checks import (  # noqa: F401
+    concurrency,
+    contracts,
+    determinism,
+    forksafety,
+    hygiene,
+    purity,
+)
+from repro.checks.cache import rules_fingerprint, run_with_cache
+from repro.checks.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    build_graph,
+)
 from repro.checks.model import (
     REPORT_VERSION,
     Checker,
@@ -41,10 +67,12 @@ from repro.checks.model import (
     check_groups,
     get_check,
     load_baseline,
+    prune_baseline,
     register_check,
     run_checks,
     write_baseline,
 )
+from repro.checks.sarif import report_to_sarif
 from repro.checks.source import (
     DEFAULT_SUBDIRS,
     SourceFile,
@@ -56,16 +84,24 @@ from repro.checks.source import (
 
 __all__ = [
     "REPORT_VERSION",
+    "CallGraph",
+    "CallSite",
     "Checker",
     "CheckReport",
     "Finding",
+    "FunctionInfo",
+    "build_graph",
     "check_codes",
     "check_groups",
     "get_check",
     "register_check",
     "run_checks",
+    "run_with_cache",
+    "rules_fingerprint",
     "load_baseline",
+    "prune_baseline",
     "write_baseline",
+    "report_to_sarif",
     "DEFAULT_SUBDIRS",
     "SourceFile",
     "SourceTree",
@@ -81,6 +117,7 @@ def run_repo_checks(
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
     baseline_path: Path | None = None,
+    cache_path: Path | None = None,
 ) -> CheckReport:
     """Run the full pass the ``check`` workload and CI job run.
 
@@ -91,14 +128,26 @@ def run_repo_checks(
         ignore: Checker codes/groups/prefixes to drop from the run.
         baseline_path: Grandfathered-findings file (default:
             ``<root>/checks-baseline.json``; missing file = empty).
+        cache_path: Incremental-cache file; ``None`` (the default)
+            runs cold.  Cold and cached runs produce identical
+            reports (see :mod:`repro.checks.cache`).
     """
     base = Path(root) if root is not None else repo_root()
     tree = load_tree(base)
     if baseline_path is None:
         baseline_path = base / "checks-baseline.json"
+    baseline = load_baseline(Path(baseline_path))
+    if cache_path is not None:
+        return run_with_cache(
+            tree,
+            Path(cache_path),
+            select=select,
+            ignore=ignore,
+            baseline=baseline,
+        )
     return run_checks(
         tree,
         select=select,
         ignore=ignore,
-        baseline=load_baseline(Path(baseline_path)),
+        baseline=baseline,
     )

@@ -1,0 +1,258 @@
+"""Content-fingerprinted incremental cache for the checks pass.
+
+A full ``repro check`` parses every covered file and walks a call
+graph over all of them; on a repo that hasn't changed since the last
+run that work re-derives a result the previous run already proved.
+This module persists per-file findings keyed by content fingerprints
+and replays them when they are provably still valid, so the warm path
+reduces to hashing file bytes (ASTs are parsed lazily and a clean
+warm run never needs one).
+
+Soundness is driven by each checker's declared ``cache_scope``
+(:class:`repro.checks.model.Checker`):
+
+* ``"file"`` — findings depend on the file alone; reused whenever the
+  file's fingerprint is unchanged.
+* ``"deps"`` — findings depend on the file plus its call-graph
+  closure (functions it reaches + modules it imports, recorded at
+  cache-write time); reused when the file, every dependency, *and*
+  the covered file set are unchanged (a new file can capture an
+  import that previously resolved externally).
+* ``"tree"`` — findings couple arbitrary files (lock-order conflicts
+  pair sites across modules; entry-point discovery is global); reused
+  only when nothing at all changed.
+* ``None`` — never cached: the rule reads live registries, not just
+  source text, and runs every pass.
+
+The cache stores *raw* findings — pre-suppression, pre-baseline — and
+every run folds them through
+:func:`repro.checks.model.fold_findings`, the same path a cold run
+takes, so cold and warm reports are byte-identical by construction
+(asserted in CI by running the pass twice and comparing JSON).
+
+Cached entries exist only for the codes the writing run selected;
+running with a different ``--select`` simply recomputes and rewrites.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.checks.model import (
+    REPORT_VERSION,
+    Checker,
+    CheckReport,
+    Finding,
+    fold_findings,
+    selected_checkers,
+)
+from repro.checks.source import SourceTree
+
+#: Version stamp of the cache file format.
+CACHE_VERSION = 1
+
+__all__ = ["CACHE_VERSION", "rules_fingerprint", "run_with_cache"]
+
+
+def rules_fingerprint() -> str:
+    """A digest over the checker implementation itself.
+
+    Any edit to any module in ``repro.checks`` (a new rule, a changed
+    blocking set, a resolver fix) must invalidate every cached
+    finding; hashing the package sources is the cheapest sound way to
+    get that.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"report-v{REPORT_VERSION}".encode())
+    package = Path(__file__).resolve().parent
+    for path in sorted(package.glob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _load_cache(path: Path, fingerprint: str) -> dict | None:
+    """The usable cached payload at ``path``, or ``None`` (= cold)."""
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None  # a corrupt cache is a cold run, never an error
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("version") != CACHE_VERSION:
+        return None
+    if payload.get("rules") != fingerprint:
+        return None
+    return payload
+
+
+def _as_findings(entries: Sequence[dict]) -> list[Finding]:
+    return [Finding(**entry) for entry in entries]
+
+
+def _as_dicts(findings: Sequence[Finding]) -> list[dict]:
+    return [
+        {
+            "code": f.code,
+            "file": f.file,
+            "line": f.line,
+            "severity": f.severity,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+
+
+def run_with_cache(
+    tree: SourceTree,
+    cache_path: Path,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+    baseline: Sequence[tuple[str, str, int]] = (),
+) -> CheckReport:
+    """Run the selected checkers over ``tree``, reusing cached results.
+
+    Behaviourally identical to :func:`repro.checks.model.run_checks`
+    with the same arguments — same findings, same report, same
+    ordering — except that provably-unchanged per-file results are
+    replayed from ``cache_path`` instead of recomputed, and the cache
+    file is rewritten to describe this run.
+    """
+    checkers = selected_checkers(select, ignore)
+    codes_run = tuple(c.code for c in checkers)
+    fingerprint = rules_fingerprint()
+    shas = {file.rel: _sha(file.text) for file in tree.files}
+    cached = _load_cache(cache_path, fingerprint)
+
+    old_shas: dict[str, str] = cached.get("shas", {}) if cached else {}
+    old_deps: dict[str, list] = cached.get("deps", {}) if cached else {}
+    old_file: dict = cached.get("file_findings", {}) if cached else {}
+    old_tree: dict = cached.get("tree_findings", {}) if cached else {}
+    same_file_set = set(old_shas) == set(shas)
+    all_clean = same_file_set and old_shas == shas
+
+    def file_clean(rel: str) -> bool:
+        return old_shas.get(rel) == shas[rel]
+
+    def deps_clean(rel: str) -> bool:
+        if not same_file_set or not file_clean(rel):
+            return False
+        if rel not in old_deps:
+            return False
+        return all(
+            old_shas.get(dep) == shas.get(dep)
+            for dep in old_deps[rel]
+        )
+
+    raw: list[Finding] = []
+    fresh_by_code: dict[str, list[Finding]] = {}
+    ran_fresh = False  # a *cacheable* checker recomputed something
+    for checker in checkers:
+        scope = checker.cache_scope
+        if scope is None:
+            # Never cached (live-registry rules) — and never a reason
+            # to rewrite the cache file either.
+            raw.extend(checker.run(tree))
+            continue
+        if scope == "tree":
+            if cached is not None and all_clean and checker.code in old_tree:
+                raw.extend(_as_findings(old_tree[checker.code]))
+            else:
+                found = list(checker.run(tree))
+                fresh_by_code[checker.code] = found
+                raw.extend(found)
+                ran_fresh = True
+            continue
+        clean = file_clean if scope == "file" else deps_clean
+        dirty = [
+            file.rel
+            for file in tree.files
+            if cached is None
+            or not clean(file.rel)
+            or checker.code not in old_file.get(file.rel, {})
+        ]
+        reused = [
+            file.rel for file in tree.files if file.rel not in set(dirty)
+        ]
+        for rel in reused:
+            raw.extend(_as_findings(old_file[rel][checker.code]))
+        if dirty:
+            view = tree.restrict(dirty)
+            found = list(checker.run(view))
+            fresh_by_code[checker.code] = found
+            raw.extend(found)
+            ran_fresh = True
+
+    report = fold_findings(tree, raw, baseline=baseline, codes_run=codes_run)
+
+    if ran_fresh or cached is None:
+        _write_cache(
+            cache_path,
+            tree,
+            checkers,
+            fingerprint,
+            shas,
+            raw,
+            old_deps if all_clean else {},
+        )
+    return report
+
+
+def _write_cache(
+    path: Path,
+    tree: SourceTree,
+    checkers: Sequence[Checker],
+    fingerprint: str,
+    shas: dict[str, str],
+    raw: Sequence[Finding],
+    fallback_deps: dict[str, list],
+) -> None:
+    """Persist this run's raw findings, fingerprints and dep sets."""
+    by_scope = {c.code: c.cache_scope for c in checkers}
+    file_findings: dict[str, dict[str, list[dict]]] = {}
+    tree_findings: dict[str, list[dict]] = {}
+    for code, scope in sorted(by_scope.items()):
+        if scope is None:
+            continue
+        code_findings = [f for f in raw if f.code == code]
+        if scope == "tree":
+            tree_findings[code] = _as_dicts(code_findings)
+            continue
+        for rel in shas:
+            file_findings.setdefault(rel, {})[code] = _as_dicts(
+                [f for f in code_findings if f.file == rel]
+            )
+    needs_deps = any(
+        scope == "deps" for scope in by_scope.values()
+    )
+    deps: dict[str, list[str]] = {}
+    if needs_deps:
+        graph = tree.callgraph()
+        deps = {
+            rel: sorted(graph.file_closure(rel)) for rel in sorted(shas)
+        }
+    elif fallback_deps:
+        deps = {
+            rel: entry
+            for rel, entry in fallback_deps.items()
+            if rel in shas
+        }
+    payload = {
+        "version": CACHE_VERSION,
+        "rules": fingerprint,
+        "shas": shas,
+        "deps": deps,
+        "file_findings": file_findings,
+        "tree_findings": tree_findings,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

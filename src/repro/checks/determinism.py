@@ -21,7 +21,14 @@ patterns that silently break it:
   serialization fed from it is unstable (wrap in ``sorted``);
 * ``DET005`` — ``==``/``!=`` against a non-integral float literal:
   analysis values are accumulated floats, and exact comparison against
-  ``0.1``-style literals is a rounding bug waiting for an input.
+  ``0.1``-style literals is a rounding bug waiting for an input;
+* ``DET006`` — the interprocedural upgrade of DET001/DET002: a
+  wall-clock, entropy or global-``random`` read reachable from a
+  *registered scenario-family worker* through any chain of calls.
+  Workers are what the engine fans out over process pools, and the
+  registry's contract is that their results depend on the scenario
+  alone — the finding anchors on the worker's first hop into the
+  offending chain and reports the whole path.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from repro.checks.callgraph import CallSite, format_path, transitive_hits
 from repro.checks.model import Checker, Finding, register_check
 from repro.checks.source import SourceFile, SourceTree, dotted_name
 
@@ -224,6 +232,66 @@ def _det005(tree: SourceTree) -> Iterator[Finding]:
                     break
 
 
+def entropy_label(site: CallSite) -> str | None:
+    """The nondeterministic surface a resolved call site reads, if
+    any.
+
+    The union of DET001's and DET002's lexical sets, matched against
+    the call graph's canonical external names (``from time import
+    time`` still reads ``time.time``).
+    """
+    name = site.external
+    if name is None:
+        return None
+    parts = name.split(".")
+    if name in _CLOCK_ENTROPY:
+        return name
+    if len(parts) >= 2 and tuple(parts[-2:]) in _CLOCK_SUFFIXES:
+        return name
+    if (
+        len(parts) >= 2
+        and parts[0] == "random"
+        and parts[1] not in _RANDOM_OK
+    ):
+        return name
+    if len(parts) >= 3 and parts[1] == "random":
+        return name
+    return None
+
+
+def _det006(tree: SourceTree) -> Iterator[Finding]:
+    """``DET006``: entropy reachable from registered family workers."""
+    graph = tree.callgraph()
+    covered = {file.rel for file in tree.files}
+    roles: dict[str, str] = {}
+    for node_id, _site, role in graph.worker_entries():
+        roles.setdefault(node_id, role)
+    for node_id, role in sorted(roles.items()):
+        info = graph.function(node_id)
+        if info.file not in covered:
+            continue
+        seen: set[tuple[int, str]] = set()
+        for first, path, label in transitive_hits(
+            graph, node_id, entropy_label
+        ):
+            if (first.line, label) in seen:
+                continue
+            seen.add((first.line, label))
+            yield Finding(
+                code="DET006",
+                file=info.file,
+                line=first.line,
+                severity="error",
+                message=(
+                    f"scenario-family {role} {info.qual} reaches "
+                    f"nondeterministic {label}() through "
+                    f"{format_path(graph, path, label)}; worker results "
+                    "must depend on the scenario alone (thread "
+                    "random.Random(seed), never the wall clock)"
+                ),
+            )
+
+
 def _register() -> None:
     register_check(
         Checker(
@@ -232,6 +300,7 @@ def _register() -> None:
             severity="error",
             summary="module-level random.* call (shared unseeded state)",
             run=_det001,
+            cache_scope="file",
         )
     )
     register_check(
@@ -242,6 +311,7 @@ def _register() -> None:
             summary="wall-clock/entropy read (time.time, datetime.now, "
             "os.urandom, uuid4)",
             run=_det002,
+            cache_scope="file",
         )
     )
     register_check(
@@ -252,6 +322,7 @@ def _register() -> None:
             summary="builtin hash() outside __hash__ (PYTHONHASHSEED-"
             "randomized)",
             run=_det003,
+            cache_scope="file",
         )
     )
     register_check(
@@ -262,6 +333,7 @@ def _register() -> None:
             summary="direct set iteration (unstable order feeding "
             "ordered consumers)",
             run=_det004,
+            cache_scope="file",
         )
     )
     register_check(
@@ -272,6 +344,18 @@ def _register() -> None:
             summary="float == against a non-integral literal on "
             "analysis values",
             run=_det005,
+            cache_scope="file",
+        )
+    )
+    register_check(
+        Checker(
+            code="DET006",
+            group="determinism",
+            severity="error",
+            summary="entropy/clock read reachable from a registered "
+            "family worker (path reported)",
+            run=_det006,
+            cache_scope="tree",
         )
     )
 

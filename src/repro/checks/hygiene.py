@@ -12,6 +12,16 @@ thread, reached via ``run_in_executor``/``asyncio.to_thread``.
 ``open`` and ``pathlib`` file I/O — lexically inside an ``async def``
 body (nested synchronous ``def`` bodies are exempt: they execute
 wherever they are called, typically on the executor).
+
+``ASY002`` is the interprocedural upgrade: the same blocking surface
+reached from an ``async def`` *through any chain of synchronous
+calls* (a helper three frames deep that opens a file stalls the loop
+exactly as if the coroutine had).  The finding is anchored on the
+first hop — the call in the coroutine that enters the chain, which is
+the line that must change — and its message spells out the whole
+path.  Chains are not followed into ``async`` callees (those are
+checked in their own right) and lexical hits stay ``ASY001``'s, so
+the two rules never double-report one site.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from repro.checks.callgraph import CallSite, format_path, transitive_hits
 from repro.checks.model import Checker, Finding, register_check
 from repro.checks.source import SourceTree, dotted_name
 
@@ -89,6 +100,28 @@ class _AsyncVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def blocking_label(site: CallSite) -> str | None:
+    """The blocking surface a resolved call site hits, if any.
+
+    Matches the same sets ``ASY001`` uses lexically, but against the
+    call graph's resolved view: canonical external names (so ``from
+    time import sleep`` still reads ``time.sleep``), blocking builtins
+    and the ``pathlib``-style attribute suffixes on unresolved
+    receivers.  Shared by ``ASY002`` and the lock-discipline rules.
+    """
+    if site.external is not None:
+        if (
+            site.external in _BLOCKING
+            or site.external in _BLOCKING_BUILTINS
+        ):
+            return site.external
+        if site.external.split(".")[-1] in _BLOCKING_ATTRS:
+            return site.external
+    if site.attr is not None and site.attr in _BLOCKING_ATTRS:
+        return site.raw or f".{site.attr}"
+    return None
+
+
 def check_async_hygiene(tree: SourceTree) -> Iterator[Finding]:
     """``ASY001`` over every coroutine in the tree."""
     for file in tree.files:
@@ -108,6 +141,38 @@ def check_async_hygiene(tree: SourceTree) -> Iterator[Finding]:
             )
 
 
+def check_async_transitive(tree: SourceTree) -> Iterator[Finding]:
+    """``ASY002``: blocking surfaces reachable from coroutines."""
+    graph = tree.callgraph()
+    covered = {file.rel for file in tree.files}
+    for info in graph.functions():
+        if not info.is_async or info.file not in covered:
+            continue
+        seen: set[tuple[int, str]] = set()
+        for first, path, label in transitive_hits(
+            graph,
+            info.node_id,
+            blocking_label,
+            follow=lambda callee: not callee.is_async,
+        ):
+            if (first.line, label) in seen:
+                continue
+            seen.add((first.line, label))
+            yield Finding(
+                code="ASY002",
+                file=info.file,
+                line=first.line,
+                severity="error",
+                message=(
+                    f"async def {info.qual} reaches blocking "
+                    f"{label}() through {format_path(graph, path, label)}; "
+                    "the whole chain runs on the event loop — move the "
+                    "entry call to the executor (run_in_executor / "
+                    "asyncio.to_thread)"
+                ),
+            )
+
+
 def _register() -> None:
     register_check(
         Checker(
@@ -117,6 +182,18 @@ def _register() -> None:
             summary="blocking call (sleep, sqlite, subprocess, file I/O) "
             "inside async def",
             run=check_async_hygiene,
+            cache_scope="file",
+        )
+    )
+    register_check(
+        Checker(
+            code="ASY002",
+            group="async-hygiene",
+            severity="error",
+            summary="blocking call reachable from async def through a "
+            "sync call chain (path reported)",
+            run=check_async_transitive,
+            cache_scope="deps",
         )
     )
 

@@ -83,6 +83,14 @@ class Checker:
         summary: One-line description (docs table, ``--help`` listings).
         run: ``SourceTree -> iterable of Finding``.  Introspection-based
             rules may ignore the tree and read the live registries.
+        cache_scope: How the incremental cache may reuse this rule's
+            findings for an unchanged file (see
+            :mod:`repro.checks.cache`). ``"file"``: findings depend on
+            the file alone. ``"deps"``: findings depend on the file
+            plus its call-graph closure. ``"tree"``: findings couple
+            arbitrary files (reused only when *nothing* changed).
+            ``None``: never cached — the rule reads live registries,
+            not just source text, so it runs every pass.
     """
 
     code: str
@@ -90,6 +98,14 @@ class Checker:
     severity: str
     summary: str
     run: Callable[[SourceTree], Iterable[Finding]]
+    cache_scope: str | None = None
+
+    def __post_init__(self) -> None:
+        require(
+            self.cache_scope in (None, "file", "deps", "tree"),
+            f"checker {self.code}: cache_scope must be None, 'file', "
+            f"'deps' or 'tree'; got {self.cache_scope!r}",
+        )
 
 
 _CHECKERS: dict[str, Checker] = {}
@@ -169,6 +185,19 @@ def _selected(
     return chosen
 
 
+def selected_checkers(
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Checker]:
+    """The concrete checkers a ``--select``/``--ignore`` pair runs.
+
+    Public alias of the resolution :func:`run_checks` uses, so the
+    incremental cache layer partitions exactly the same checker set by
+    ``cache_scope`` instead of re-implementing term matching.
+    """
+    return _selected(select, ignore)
+
+
 # ----------------------------------------------------------------------
 # baseline
 # ----------------------------------------------------------------------
@@ -220,6 +249,32 @@ def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
+def prune_baseline(
+    path: Path, stale: Sequence[tuple[str, str, int]]
+) -> int:
+    """Drop the ``stale`` entries from the baseline file in place.
+
+    Entries are matched by ``(code, file, line)`` key; surviving
+    entries keep every extra field they carry (notably the ``reason``
+    comment the committed baseline requires per entry).  Returns the
+    number of entries removed.
+    """
+    if not path.exists() or not stale:
+        return 0
+    load_baseline(path)  # validate before rewriting
+    payload = json.loads(path.read_text())
+    doomed = set(stale)
+    kept = [
+        entry
+        for entry in payload["findings"]
+        if (entry["code"], entry["file"], entry["line"]) not in doomed
+    ]
+    removed = len(payload["findings"]) - len(kept)
+    payload["findings"] = kept
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return removed
+
+
 # ----------------------------------------------------------------------
 # running
 # ----------------------------------------------------------------------
@@ -235,6 +290,11 @@ class CheckReport:
         suppressed: Findings silenced by inline
             ``# repro-check: ignore[CODE]`` comments.
         baselined: Findings matched (and absorbed) by the baseline.
+        stale: Baseline entries (``(code, file, line)`` keys, sorted)
+            whose finding no longer fires — the baseline is
+            self-cleaning, so these fail the pass until pruned
+            (``--prune-baseline``).  Only codes that actually ran can
+            declare an entry stale.
         codes_run: The checker codes that actually ran.
         files_checked: Files the source tree covered.
     """
@@ -244,11 +304,13 @@ class CheckReport:
     baselined: int
     codes_run: tuple[str, ...]
     files_checked: int
+    stale: tuple[tuple[str, str, int], ...] = ()
 
     @property
     def ok(self) -> bool:
-        """Whether the pass is clean (no live findings)."""
-        return not self.findings
+        """Whether the pass is clean (no live findings, no stale
+        baseline entries)."""
+        return not self.findings and not self.stale
 
     def to_json(self) -> dict[str, Any]:
         """The JSON report (``--format json``; schema-tested)."""
@@ -256,10 +318,15 @@ class CheckReport:
             "version": REPORT_VERSION,
             "ok": self.ok,
             "findings": [asdict(f) for f in self.findings],
+            "stale": [
+                {"code": code, "file": file, "line": line}
+                for code, file, line in self.stale
+            ],
             "summary": {
                 "findings": len(self.findings),
                 "suppressed": self.suppressed,
                 "baselined": self.baselined,
+                "stale": len(self.stale),
                 "checks": len(self.codes_run),
                 "files": self.files_checked,
             },
@@ -280,6 +347,11 @@ class CheckReport:
             f"{f.location}: {f.code} [{f.severity}] {f.message}"
             for f in self.findings
         ]
+        lines.extend(
+            f"{file}:{line}: {code} [stale-baseline] entry no longer "
+            "fires; prune it with --prune-baseline"
+            for code, file, line in self.stale
+        )
         return "\n".join([*lines, tail])
 
 
@@ -294,28 +366,62 @@ def run_checks(
     Suppression: a finding whose source line carries
     ``# repro-check: ignore[CODE]`` (its own code listed) is counted,
     not reported.  Baseline: a finding whose ``(code, file, line)`` key
-    appears in ``baseline`` is grandfathered.  Everything else is live.
+    appears in ``baseline`` is grandfathered — and a baseline entry
+    matching *no* raw finding of a checker that ran is reported stale
+    (the baseline may only ever shrink, and it shrinks loudly).
+    Everything else is live.
     """
     checkers = _selected(select, ignore)
     raw: list[Finding] = []
     for checker in checkers:
         raw.extend(checker.run(tree))
+    return fold_findings(
+        tree,
+        raw,
+        baseline=baseline,
+        codes_run=tuple(c.code for c in checkers),
+    )
+
+
+def fold_findings(
+    tree: SourceTree,
+    raw: Sequence[Finding],
+    baseline: Sequence[tuple[str, str, int]],
+    codes_run: tuple[str, ...],
+) -> CheckReport:
+    """Fold raw findings through suppression/baseline into a report.
+
+    Split out of :func:`run_checks` so the incremental cache — which
+    assembles ``raw`` from a mix of fresh checker runs and cached
+    per-file results — produces byte-identical reports through the
+    same folding path.
+    """
     baseline_keys = set(baseline)
     findings: list[Finding] = []
     suppressed = 0
     baselined = 0
+    matched: set[tuple[str, str, int]] = set()
     for finding in raw:
+        if finding.key() in baseline_keys:
+            matched.add(finding.key())
         if tree.is_suppressed(finding.file, finding.line, finding.code):
             suppressed += 1
         elif finding.key() in baseline_keys:
             baselined += 1
         else:
             findings.append(finding)
+    ran = set(codes_run)
+    stale = sorted(
+        key
+        for key in baseline_keys - matched
+        if key[0] in ran
+    )
     findings.sort(key=lambda f: (f.file, f.line, f.code))
     return CheckReport(
         findings=tuple(findings),
         suppressed=suppressed,
         baselined=baselined,
-        codes_run=tuple(c.code for c in checkers),
+        codes_run=codes_run,
         files_checked=len(tree.files),
+        stale=tuple(stale),
     )

@@ -43,6 +43,7 @@ a resume hint whenever a store was attached.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -266,7 +267,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     (:class:`repro.api.RunError`) exits 1, invalid arguments or
     incompatible stores (:class:`ValueError`) exit 2, and
     ``KeyboardInterrupt`` exits 130 for every command — with a resume
-    hint when a store was attached.
+    hint when a store was attached — and a closed stdout pipe
+    (``check --format json | head``) exits 141 silently, never with a
+    traceback.
     """
     from repro.api import RunError
     from repro.engine import WorkerError
@@ -275,6 +278,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.run(args)
+    except BrokenPipeError:
+        # stdout's reader went away (e.g. piped into `head`); the
+        # Unix convention is to die quietly with SIGPIPE's code.
+        # Reopen stdout on devnull so the interpreter's shutdown
+        # flush cannot raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
     except KeyboardInterrupt:
         return _interrupted(args)
     except WorkerError as exc:

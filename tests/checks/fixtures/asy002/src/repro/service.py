@@ -1,0 +1,9 @@
+"""ASY002 fixture: a coroutine blocks through a sync helper chain."""
+
+from repro.util import load_config
+
+
+async def handle(reader, writer):
+    config = load_config("service.json")
+    writer.write(config)
+    await writer.drain()

@@ -1,0 +1,6 @@
+"""The helper module of the ASY002 fixture."""
+
+
+def load_config(name):
+    with open(name) as source:
+        return source.read()

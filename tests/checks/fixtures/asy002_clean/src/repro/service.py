@@ -1,0 +1,9 @@
+"""ASY002 clean twin: the helper chain never blocks."""
+
+from repro.util import default_config
+
+
+async def handle(reader, writer):
+    config = default_config("service")
+    writer.write(config)
+    await writer.drain()

@@ -1,0 +1,5 @@
+"""The helper module of the ASY002 clean twin."""
+
+
+def default_config(name):
+    return ("{}", name)

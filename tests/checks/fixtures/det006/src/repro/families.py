@@ -1,0 +1,12 @@
+"""Registry stubs for the DET006 fixture (shape-matched, not run)."""
+
+
+class ScenarioFamily:
+    def __init__(self, name, worker, batch_worker=None):
+        self.name = name
+        self.worker = worker
+        self.batch_worker = batch_worker
+
+
+def register_family(family):
+    return family

@@ -1,0 +1,11 @@
+"""DET006 fixture: a registered worker reads the wall clock."""
+
+from repro.families import ScenarioFamily, register_family
+from repro.work import evaluate_timing_scenario
+
+register_family(
+    ScenarioFamily(
+        name="timing",
+        worker=evaluate_timing_scenario,
+    )
+)

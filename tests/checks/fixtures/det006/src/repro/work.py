@@ -1,0 +1,11 @@
+"""The worker module of the DET006 fixture."""
+
+
+def evaluate_timing_scenario(scenario):
+    return _stamp(scenario)
+
+
+def _stamp(scenario):
+    import time
+
+    return (scenario, time.time())

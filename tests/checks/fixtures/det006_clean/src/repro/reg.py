@@ -1,0 +1,11 @@
+"""DET006 clean twin: the registered worker stays deterministic."""
+
+from repro.families import ScenarioFamily, register_family
+from repro.work import evaluate_timing_scenario
+
+register_family(
+    ScenarioFamily(
+        name="timing",
+        worker=evaluate_timing_scenario,
+    )
+)

@@ -1,0 +1,14 @@
+"""FS001 fixture: a shard worker reaches for the parent's loop."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.shard import evaluate_shard
+
+
+def run_sharded(specs):
+    results = []
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(evaluate_shard, spec) for spec in specs]
+    for future in futures:
+        results.append(future)
+    return results

@@ -1,0 +1,12 @@
+"""The shard worker module of the FS001 fixture."""
+
+import asyncio
+
+
+def evaluate_shard(spec):
+    return _drain(spec)
+
+
+def _drain(spec):
+    loop = asyncio.get_event_loop()
+    return loop.run_until_complete(spec)

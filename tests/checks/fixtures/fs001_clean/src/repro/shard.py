@@ -1,0 +1,17 @@
+"""The shard worker module of the FS001 clean twin.
+
+A *fresh* thread pool inside the child is legitimate — only
+inherited loop/thread handles are hazards.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def evaluate_shard(spec):
+    return _drain(spec)
+
+
+def _drain(spec):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        chunks = list(pool.map(len, spec))
+    return sum(chunks)

@@ -1,0 +1,10 @@
+"""FS002 fixture: a shard worker mutates a module global."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.shard import evaluate_shard
+
+
+def run_sharded(specs):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return [pool.submit(evaluate_shard, spec) for spec in specs]

@@ -1,0 +1,13 @@
+"""The shard worker module of the FS002 fixture."""
+
+_PROGRESS = 0
+
+
+def evaluate_shard(spec):
+    return _record(spec)
+
+
+def _record(spec):
+    global _PROGRESS
+    _PROGRESS += 1
+    return (_PROGRESS, spec)

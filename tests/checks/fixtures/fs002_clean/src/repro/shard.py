@@ -1,0 +1,9 @@
+"""The shard worker module of the FS002 clean twin."""
+
+
+def evaluate_shard(spec):
+    return _record(spec, 0)
+
+
+def _record(spec, progress):
+    return (progress + 1, spec)

@@ -1,0 +1,19 @@
+"""LK001 clean twin: both sites agree on one acquisition order."""
+
+import threading
+
+
+class Table:
+    def __init__(self):
+        self.slots = threading.Lock()
+        self.claims = threading.Condition()
+
+    def forward(self):
+        with self.slots:
+            with self.claims:
+                return 1
+
+    def backward(self):
+        with self.slots:
+            with self.claims:
+                return 2

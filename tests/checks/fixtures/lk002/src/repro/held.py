@@ -1,0 +1,17 @@
+"""LK002 fixture: blocking I/O reached while the lock is held."""
+
+import threading
+
+
+class Journal:
+    def __init__(self, path):
+        self.lock = threading.Lock()
+        self.path = path
+
+    def flush(self):
+        with self.lock:
+            self._persist()
+
+    def _persist(self):
+        with open(self.path, "w") as sink:
+            sink.write("flushed")

@@ -1,0 +1,28 @@
+"""LK002 clean twin: the I/O happens after the lock is released.
+
+Also exercises the one sanctioned pattern: ``Condition.wait()`` on
+the very condition being held is the primitive's contract, not a
+stall.
+"""
+
+import threading
+
+
+class Journal:
+    def __init__(self, path):
+        self.lock = threading.Lock()
+        self.ready = threading.Condition()
+        self.path = path
+
+    def flush(self):
+        with self.lock:
+            payload = "flushed"
+        self._persist(payload)
+
+    def await_ready(self):
+        with self.ready:
+            self.ready.wait(timeout=0.05)
+
+    def _persist(self, payload):
+        with open(self.path, "w") as sink:
+            sink.write(payload)

@@ -1,0 +1,10 @@
+"""LK003 fixture: a coroutine awaits while holding a sync lock."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+async def publish(queue, item):
+    with _lock:
+        await queue.put(item)

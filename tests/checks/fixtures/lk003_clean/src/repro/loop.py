@@ -1,0 +1,11 @@
+"""LK003 clean twin: the await happens outside the lock."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+async def publish(queue, item):
+    with _lock:
+        staged = item
+    await queue.put(staged)

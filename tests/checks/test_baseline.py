@@ -1,0 +1,149 @@
+"""The self-cleaning baseline: stale detection and pruning.
+
+PR 8's baseline could only absorb findings; a fixed finding left its
+entry behind forever.  Now a baseline entry whose finding no longer
+fires is *stale* — it fails the pass (both report formats say so) —
+and ``--prune-baseline`` rewrites the file to drop exactly the stale
+keys, preserving each survivor's ``reason`` field.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.checks import (
+    REPORT_VERSION,
+    load_baseline,
+    load_tree,
+    prune_baseline,
+    run_checks,
+)
+from repro.cli import main
+
+BAD = "import random\n\nx = random.random()\n"
+FIXED = "x = 4\n"
+
+
+def _repo(tmp_path, text=BAD, baseline=None):
+    bad = tmp_path / "src" / "repro" / "bad.py"
+    bad.parent.mkdir(parents=True, exist_ok=True)
+    bad.write_text(text)
+    if baseline is not None:
+        (tmp_path / "checks-baseline.json").write_text(
+            json.dumps({"version": REPORT_VERSION, "findings": baseline})
+        )
+    return tmp_path
+
+
+def _entry(code="DET001", file="src/repro/bad.py", line=3, **extra):
+    return {"code": code, "file": file, "line": line, **extra}
+
+
+class TestStaleDetection:
+    def test_matched_entry_absorbs_and_passes(self, tmp_path):
+        root = _repo(tmp_path, baseline=[_entry()])
+        report = run_checks(
+            load_tree(root),
+            baseline=load_baseline(root / "checks-baseline.json"),
+        )
+        assert report.ok
+        assert report.baselined == 1
+        assert report.stale == ()
+
+    def test_unmatched_entry_is_stale_and_fails(self, tmp_path):
+        root = _repo(tmp_path, text=FIXED, baseline=[_entry()])
+        report = run_checks(
+            load_tree(root),
+            baseline=load_baseline(root / "checks-baseline.json"),
+        )
+        assert not report.ok
+        assert report.findings == ()
+        assert report.stale == (("DET001", "src/repro/bad.py", 3),)
+
+    def test_stale_entries_surface_in_both_formats(self, tmp_path):
+        root = _repo(tmp_path, text=FIXED, baseline=[_entry()])
+        report = run_checks(
+            load_tree(root),
+            baseline=load_baseline(root / "checks-baseline.json"),
+        )
+        text = report.render_text()
+        assert "stale-baseline" in text
+        assert "--prune-baseline" in text
+        payload = report.to_json()
+        assert payload["ok"] is False
+        assert payload["stale"] == [
+            {"code": "DET001", "file": "src/repro/bad.py", "line": 3}
+        ]
+        assert payload["summary"]["stale"] == 1
+
+    def test_only_codes_that_ran_can_be_stale(self, tmp_path):
+        # Running a subset must not condemn entries of skipped rules.
+        root = _repo(tmp_path, text=FIXED, baseline=[_entry()])
+        report = run_checks(
+            load_tree(root),
+            select=["ASY001"],
+            baseline=load_baseline(root / "checks-baseline.json"),
+        )
+        assert report.ok
+        assert report.stale == ()
+
+
+class TestPrune:
+    def test_prune_drops_only_stale_and_keeps_reasons(self, tmp_path):
+        root = _repo(
+            tmp_path,
+            baseline=[
+                _entry(reason="grandfathered seed entropy"),
+                _entry(line=99, reason="fixed long ago"),
+            ],
+        )
+        path = root / "checks-baseline.json"
+        report = run_checks(
+            load_tree(root), baseline=load_baseline(path)
+        )
+        assert report.stale == (("DET001", "src/repro/bad.py", 99),)
+        removed = prune_baseline(path, report.stale)
+        assert removed == 1
+        payload = json.loads(path.read_text())
+        assert payload["findings"] == [
+            _entry(reason="grandfathered seed entropy")
+        ]
+        # The pruned file now folds clean.
+        assert run_checks(
+            load_tree(root), baseline=load_baseline(path)
+        ).ok
+
+    def test_prune_with_nothing_stale_is_a_noop(self, tmp_path):
+        root = _repo(tmp_path, baseline=[_entry(reason="keep me")])
+        path = root / "checks-baseline.json"
+        before = path.read_text()
+        assert prune_baseline(path, []) == 0
+        assert path.read_text() == before
+
+
+class TestCliFlow:
+    def test_stale_baseline_fails_the_cli(self, tmp_path, capsys):
+        root = _repo(tmp_path, text=FIXED, baseline=[_entry()])
+        assert main(["check", "--root", str(root)]) == 1
+        assert "stale-baseline" in capsys.readouterr().out
+
+    def test_prune_baseline_flag_rewrites_and_passes(
+        self, tmp_path, capsys
+    ):
+        root = _repo(
+            tmp_path,
+            text=FIXED,
+            baseline=[_entry(), _entry(code="ASY001", line=1)],
+        )
+        assert (
+            main(["check", "--root", str(root), "--prune-baseline"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pruned 2 stale entries" in out
+        payload = json.loads(
+            (root / "checks-baseline.json").read_text()
+        )
+        assert payload["findings"] == []
+        # And the repo now passes with no flags at all.
+        assert main(["check", "--root", str(root)]) == 0

@@ -1,0 +1,154 @@
+"""The incremental cache: parity, invalidation, and soundness.
+
+The contract under test (:mod:`repro.checks.cache`): a warm run is
+*behaviourally invisible* — same findings, same report JSON as a cold
+run — and reuse is sound, meaning a change to a file, to one of its
+call-graph dependencies, to the covered file set, or to the checker
+implementation recomputes rather than replays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checks import (
+    load_tree,
+    rules_fingerprint,
+    run_checks,
+    run_with_cache,
+)
+from repro.checks.cache import CACHE_VERSION
+
+SERVICE = (
+    "from repro.util import load_config\n"
+    "\n"
+    "\n"
+    "async def handle(request):\n"
+    "    return load_config(request)\n"
+)
+
+UTIL_BLOCKING = (
+    "def load_config(request):\n"
+    "    with open('config.json') as fh:\n"
+    "        return fh.read()\n"
+)
+
+UTIL_CLEAN = (
+    "def load_config(request):\n"
+    "    return {'request': request}\n"
+)
+
+
+@pytest.fixture
+def repo(tmp_path):
+    """A tiny checkable repo with an ASY002 violation two files deep."""
+
+    def write(files: dict[str, str]) -> Path:
+        for rel, text in files.items():
+            path = tmp_path / "src" / "repro" / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        return tmp_path
+
+    write({"service.py": SERVICE, "util.py": UTIL_BLOCKING})
+    return tmp_path, write
+
+
+def _warm(root: Path, cache: Path, **kwargs):
+    return run_with_cache(load_tree(root), cache, **kwargs)
+
+
+class TestParity:
+    def test_cold_and_warm_reports_are_identical_json(self, repo):
+        root, _write = repo
+        cache = root / "cache.json"
+        cold = run_checks(load_tree(root))
+        first = _warm(root, cache)   # cold, writes the cache
+        second = _warm(root, cache)  # warm, replays it
+        blobs = [
+            json.dumps(r.to_json(), sort_keys=True)
+            for r in (cold, first, second)
+        ]
+        assert blobs[0] == blobs[1] == blobs[2]
+        assert cold.findings  # the parity is over a non-empty report
+
+    def test_warm_run_does_not_reparse_clean_files(self, repo):
+        root, _write = repo
+        cache = root / "cache.json"
+        _warm(root, cache)
+        tree = load_tree(root)
+        run_with_cache(tree, cache)
+        parsed = [f.rel for f in tree.files if f._ast is not None]
+        assert parsed == [], (
+            f"warm run parsed {parsed} despite an unchanged repo"
+        )
+
+
+class TestInvalidation:
+    def test_editing_a_dependency_recomputes_the_dependent(self, repo):
+        root, write = repo
+        cache = root / "cache.json"
+        before = _warm(root, cache)
+        assert [f.code for f in before.findings] == ["ASY002"]
+        # Fix the *dependency*; service.py itself is byte-identical.
+        write({"util.py": UTIL_CLEAN})
+        after = _warm(root, cache)
+        assert after.findings == (), (
+            "stale ASY002 replayed from cache after its dependency "
+            "changed"
+        )
+
+    def test_a_new_file_invalidates_deps_scope_reuse(self, repo):
+        root, write = repo
+        cache = root / "cache.json"
+        _warm(root, cache)
+        # A new covered file can change what an import resolves to.
+        write({"extra.py": "def noop():\n    return None\n"})
+        report = _warm(root, cache)
+        assert [f.code for f in report.findings] == ["ASY002"]
+
+    def test_rules_fingerprint_gates_the_whole_cache(self, repo):
+        root, _write = repo
+        cache = root / "cache.json"
+        _warm(root, cache)
+        payload = json.loads(cache.read_text())
+        assert payload["version"] == CACHE_VERSION
+        assert payload["rules"] == rules_fingerprint()
+        payload["rules"] = "0" * 64  # a different checker build
+        cache.write_text(json.dumps(payload))
+        report = _warm(root, cache)  # falls back to a cold run
+        assert [f.code for f in report.findings] == ["ASY002"]
+        assert json.loads(cache.read_text())["rules"] == (
+            rules_fingerprint()
+        )
+
+    def test_corrupt_cache_is_a_cold_run_not_an_error(self, repo):
+        root, _write = repo
+        cache = root / "cache.json"
+        cache.write_text("{not json")
+        report = _warm(root, cache)
+        assert [f.code for f in report.findings] == ["ASY002"]
+        json.loads(cache.read_text())  # rewritten, valid again
+
+    def test_select_change_recomputes(self, repo):
+        root, _write = repo
+        cache = root / "cache.json"
+        _warm(root, cache, select=["DET001"])
+        report = _warm(root, cache)  # full set now
+        assert [f.code for f in report.findings] == ["ASY002"]
+
+
+class TestBaselineComposition:
+    def test_baseline_folds_identically_on_warm_runs(self, repo):
+        root, _write = repo
+        cache = root / "cache.json"
+        cold = _warm(root, cache)
+        key = cold.findings[0]
+        baseline = [(key.code, key.file, key.line)]
+        warm = _warm(root, cache, baseline=baseline)
+        assert warm.ok
+        assert warm.baselined == 1
+        assert warm.findings == ()

@@ -1,0 +1,118 @@
+"""The committed fixture corpus: one known violation per new rule.
+
+Each fixture under ``tests/checks/fixtures/`` is a small synthetic
+package (its own repo root with a ``src/repro`` layout) carrying
+exactly one violation of one interprocedural rule, paired with a
+*clean twin* — the same structure with the violation repaired.  The
+suite asserts exact code/file/line for every expected finding, the
+reported call path in the message, and silence on the twins: a
+resolver regression that moves a finding by one line or drops a hop
+from the path fails here, not in production.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.checks import load_tree, run_checks
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture name -> (selected rule, [(file, line)], [path fragments]).
+EXPECTED = {
+    "lk001": (
+        "LK001",
+        [("src/repro/locks.py", 13), ("src/repro/locks.py", 18)],
+        [
+            "opposite order occurs at src/repro/locks.py:18",
+            "opposite order occurs at src/repro/locks.py:13",
+        ],
+    ),
+    "lk002": (
+        "LK002",
+        [("src/repro/held.py", 13)],
+        ["Journal.flush -> Journal._persist -> open()"],
+    ),
+    "lk003": (
+        "LK003",
+        [("src/repro/loop.py", 10)],
+        ["holding sync lock _lock"],
+    ),
+    "fs001": (
+        "FS001",
+        [("src/repro/shard.py", 11), ("src/repro/shard.py", 12)],
+        [
+            "evaluate_shard -> _drain -> asyncio.get_event_loop()",
+            "launched at src/repro/fanout.py:11",
+        ],
+    ),
+    "fs002": (
+        "FS002",
+        [("src/repro/shard.py", 11)],
+        ["evaluate_shard -> _record"],
+    ),
+    "asy002": (
+        "ASY002",
+        [("src/repro/service.py", 7)],
+        ["handle -> load_config -> open()"],
+    ),
+    "det006": (
+        "DET006",
+        [("src/repro/work.py", 5)],
+        ["evaluate_timing_scenario -> _stamp -> time.time()"],
+    ),
+}
+
+
+def _run(case: str, rule: str):
+    tree = load_tree(FIXTURES / case)
+    return run_checks(tree, select=[rule])
+
+
+class TestViolations:
+    @pytest.mark.parametrize("case", sorted(EXPECTED))
+    def test_exact_code_file_and_line(self, case):
+        rule, locations, _fragments = EXPECTED[case]
+        report = _run(case, rule)
+        found = [(f.file, f.line) for f in report.findings]
+        assert found == sorted(locations), (
+            f"{case}: expected findings at {locations}, got "
+            f"{[(f.file, f.line, f.message) for f in report.findings]}"
+        )
+        assert all(f.code == rule for f in report.findings)
+
+    @pytest.mark.parametrize("case", sorted(EXPECTED))
+    def test_reported_call_path(self, case):
+        rule, _locations, fragments = EXPECTED[case]
+        report = _run(case, rule)
+        blob = "\n".join(f.message for f in report.findings)
+        for fragment in fragments:
+            assert fragment in blob, (
+                f"{case}: expected {fragment!r} in:\n{blob}"
+            )
+
+    @pytest.mark.parametrize("case", sorted(EXPECTED))
+    def test_severity_is_error(self, case):
+        rule, _locations, _fragments = EXPECTED[case]
+        report = _run(case, rule)
+        assert report.findings
+        assert all(f.severity == "error" for f in report.findings)
+
+
+class TestCleanTwins:
+    @pytest.mark.parametrize("case", sorted(EXPECTED))
+    def test_twin_is_silent(self, case):
+        rule, _locations, _fragments = EXPECTED[case]
+        report = _run(f"{case}_clean", rule)
+        assert report.findings == (), (
+            f"{case}_clean: unexpected "
+            f"{[(f.file, f.line, f.message) for f in report.findings]}"
+        )
+
+    @pytest.mark.parametrize("case", sorted(EXPECTED))
+    def test_twin_exists_and_mirrors_the_layout(self, case):
+        bad = FIXTURES / case / "src" / "repro"
+        clean = FIXTURES / f"{case}_clean" / "src" / "repro"
+        assert sorted(p.name for p in bad.glob("*.py")) == sorted(
+            p.name for p in clean.glob("*.py")
+        )

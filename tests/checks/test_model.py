@@ -93,7 +93,7 @@ class TestSelection:
         tree = make_tree({"m.py": "x = 1\n"})
         report = run_checks(tree, select=["determinism"])
         assert set(report.codes_run) == {
-            "DET001", "DET002", "DET003", "DET004", "DET005",
+            "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
         }
 
     def test_select_by_prefix(self, make_tree):
@@ -188,8 +188,10 @@ class TestReport:
         assert payload["version"] == REPORT_VERSION
         assert payload["ok"] is True
         assert payload["findings"] == []
+        assert payload["stale"] == []
         summary = payload["summary"]
         assert set(summary) == {
-            "findings", "suppressed", "baselined", "checks", "files",
+            "findings", "suppressed", "baselined", "stale",
+            "checks", "files",
         }
         assert summary["files"] == 1

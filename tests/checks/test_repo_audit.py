@@ -1,0 +1,85 @@
+"""Audit regression: the serve/engine concurrency surfaces stay clean.
+
+The PR-10 audit of ``repro.serve.server`` and the engine found zero
+live violations — but "zero findings" is only meaningful if the
+analysis can be shown to *see* the audited code.  These tests pin
+both halves: the call graph and lock analysis resolve the real
+``_slot_lock``/``_claims_cond`` regions, the real fork fan-out, and
+the real registered workers (so the rules cannot go silently inert on
+the code they were built for), and those surfaces then produce no
+findings (so a regression in serve/engine fails here with a call
+path, not in production).
+"""
+
+from __future__ import annotations
+
+from repro.checks import load_tree, repo_root, run_checks
+from repro.checks.concurrency import _analysis
+
+SERVER = "src/repro/serve/server.py"
+
+
+def _tree():
+    return load_tree(repo_root())
+
+
+class TestAnalysisSeesTheServeLayer:
+    def test_both_server_locks_are_discovered(self):
+        analysis = _analysis(_tree())
+        assert {
+            "repro.serve.server:AnalysisServer._claims_cond",
+            "repro.serve.server:AnalysisServer._slot_lock",
+        } <= set(analysis.locks)
+
+    def test_slot_lock_held_regions_are_tracked(self):
+        # _reserve_extra_slots calls the fan-out planner while holding
+        # _slot_lock; the audit verdict "that's fine" is only sound
+        # because the analysis sees the held call and clears its
+        # closure of blocking operations.
+        analysis = _analysis(_tree())
+        facts = analysis.facts[
+            "repro.serve.server:AnalysisServer._reserve_extra_slots"
+        ]
+        held_labels = {site.label for _held, site in facts.held_calls}
+        assert "plan_fanout" in held_labels
+
+    def test_condition_wait_exemption_applies_to_acquire_claims(self):
+        # _acquire_claims blocks on _claims_cond.wait() *by design*;
+        # LK002 must classify that as the exempt wait-on-held-lock
+        # idiom, not a blocking call under a lock.
+        analysis = _analysis(_tree())
+        facts = analysis.facts[
+            "repro.serve.server:AnalysisServer._acquire_claims"
+        ]
+        waits = [
+            site
+            for _held, site in facts.held_calls
+            if site.attr == "wait" or (site.raw or "").endswith(".wait")
+        ]
+        assert waits, "cond.wait under the condition went unseen"
+
+    def test_shard_fork_entry_is_discovered(self):
+        graph = _tree().callgraph()
+        entries = {target for target, _site in graph.fork_entries()}
+        assert "repro.serve.server:_evaluate_shard" in entries
+
+    def test_registered_workers_are_discovered(self):
+        graph = _tree().callgraph()
+        workers = {target for target, _site, _role in graph.worker_entries()}
+        assert any("repro.engine" in w for w in workers), workers
+
+
+class TestAuditedSurfacesAreClean:
+    def test_concurrency_rules_hold_on_the_repo(self):
+        report = run_checks(_tree(), select=["concurrency"])
+        assert report.ok, "\n" + report.render_text()
+        assert set(report.codes_run) == {"LK001", "LK002", "LK003"}
+
+    def test_fork_safety_rules_hold_on_the_repo(self):
+        report = run_checks(_tree(), select=["fork-safety"])
+        assert report.ok, "\n" + report.render_text()
+        assert set(report.codes_run) == {"FS001", "FS002"}
+
+    def test_transitive_hygiene_holds_on_the_repo(self):
+        report = run_checks(_tree(), select=["ASY002", "DET006"])
+        assert report.ok, "\n" + report.render_text()

@@ -6,9 +6,13 @@ through one handler in :func:`repro.cli.main`, so long-running figure
 and study commands interrupt just as cleanly.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _run(tmp_path, monkeypatch, argv):
@@ -236,3 +240,31 @@ class TestVersionFlag:
             main(["--version"])
         assert excinfo.value.code == 0
         assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestClosedStdoutPipe:
+    def test_broken_pipe_exits_141_without_traceback(self):
+        # `python -m repro check --format json | head` must follow the
+        # Unix convention — die quietly with SIGPIPE's exit code — not
+        # dump a BrokenPipeError traceback from the shutdown flush.
+        # Writing to a pipe whose read end is already closed makes the
+        # first print raise deterministically (no buffer-size race).
+        import os
+        import subprocess
+        import sys
+
+        read_end, write_end = os.pipe()
+        os.close(read_end)
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "families"],
+                stdout=write_end,
+                stderr=subprocess.PIPE,
+                text=True,
+                env={**os.environ, "PYTHONPATH": "src"},
+                cwd=str(REPO_ROOT),
+            )
+        finally:
+            os.close(write_end)
+        assert proc.returncode == 141, proc.stderr
+        assert "Traceback" not in proc.stderr
